@@ -1,0 +1,62 @@
+// Ablation — aggregation methods: plain majority voting (Definition 4)
+// vs score-weighted voting (the flexible-aggregation extension the paper's
+// Definition 4 remark invites), on all three datasets.
+//
+// Both aggregations consume the same ensemble run, so the comparison
+// isolates the aggregation function itself. Expected outcome: broadly
+// similar curves, with score weighting buying extra precision at small
+// detection budgets because nodes from high-φ blocks outrank nodes that
+// scraped into many marginal blocks.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ensemfdet;
+
+int main() {
+  bench::PrintHeader("Ablation: aggregation",
+                     "Majority voting (Definition 4) vs score-weighted "
+                     "voting");
+
+  TableWriter series(
+      {"curve", "x", "num_detected", "precision", "recall", "f1"});
+  TableWriter areas({"dataset", "mva_pr_area", "weighted_pr_area"});
+
+  for (JdPreset preset : AllJdPresets()) {
+    Dataset data = bench::LoadPreset(preset);
+    EnsemFDetConfig cfg;
+    cfg.ratio = 0.1;
+    cfg.num_samples = bench::EnsembleN();
+    cfg.seed = bench::Seed();
+    auto report =
+        EnsemFDet(cfg).Run(data.graph, &DefaultThreadPool()).ValueOrDie();
+
+    auto mva_points =
+        VoteSweep(report.votes, data.blacklist, cfg.num_samples);
+    bench::AppendCurve(&series, data.name + "/MVA", mva_points,
+                       /*x_is_control=*/false);
+
+    // Weighted votes form a continuous score — sweep detection-set sizes
+    // matching the MVA curve's span for a fair comparison.
+    int64_t max_detected = 1;
+    for (const auto& p : mva_points) {
+      max_detected = std::max(max_detected, p.num_detected);
+    }
+    auto sizes = GeometricSizes(10, std::max<int64_t>(11, max_detected), 25);
+    auto weighted_points =
+        ScoreSweep(report.weighted_user_votes, data.blacklist, sizes);
+    bench::AppendCurve(&series, data.name + "/ScoreWeighted",
+                       weighted_points, /*x_is_control=*/false);
+
+    areas.AddRow({data.name, FormatDouble(PrCurveArea(mva_points)),
+                  FormatDouble(PrCurveArea(weighted_points))});
+  }
+
+  bench::PrintTable("aggregation_curves", series);
+  bench::PrintTable("aggregation_pr_area", areas);
+  std::printf(
+      "\nReading: the two aggregations share one ensemble run; differences\n"
+      "are purely in how per-member flags combine. Score weighting adds a\n"
+      "density prior on top of agreement counting.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation — column-weight family of the density score (DESIGN.md): the
+// paper's Definition 2 adopts FRAUDAR's logarithmic popularity discount
+// specifically for camouflage resistance. This bench runs the full
+// ENSEMFDET pipeline under all three weightings on dataset 1 (whose
+// planted fraud camouflages at popular merchants, and whose benign
+// micro-communities sit on popular merchants by construction) and reports
+// the PR quality of each — quantifying how much of the paper's accuracy
+// comes from the metric choice rather than the ensemble machinery.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ensemfdet;
+
+int main() {
+  bench::PrintHeader("Ablation: density metric",
+                     "column weight 1/log(c+d) vs 1/(c+d) vs constant");
+  Dataset data = bench::LoadPreset(JdPreset::kDataset1);
+
+  TableWriter series(
+      {"curve", "x", "num_detected", "precision", "recall", "f1"});
+  TableWriter areas({"weight kind", "pr_curve_area", "avg khat"});
+
+  for (ColumnWeightKind kind :
+       {ColumnWeightKind::kLogarithmic, ColumnWeightKind::kInverse,
+        ColumnWeightKind::kConstant}) {
+    EnsemFDetConfig cfg;
+    cfg.ratio = 0.1;
+    cfg.num_samples = bench::EnsembleN();
+    cfg.seed = bench::Seed();
+    cfg.fdet.density.weight_kind = kind;
+    if (kind == ColumnWeightKind::kInverse) {
+      cfg.fdet.density.log_offset = 1.0;
+    }
+    auto report =
+        EnsemFDet(cfg).Run(data.graph, &DefaultThreadPool()).ValueOrDie();
+    auto points =
+        VoteSweep(report.votes, data.blacklist, cfg.num_samples);
+    bench::AppendCurve(&series, ColumnWeightKindName(kind), points,
+                       /*x_is_control=*/false);
+    double khat = 0.0;
+    for (const auto& m : report.members) khat += m.num_blocks;
+    khat /= static_cast<double>(report.members.size());
+    areas.AddRow({ColumnWeightKindName(kind),
+                  FormatDouble(PrCurveArea(points)),
+                  FormatDouble(khat, 1)});
+  }
+
+  bench::PrintTable("density_metric_curves", series);
+  bench::PrintTable("density_metric_pr_area", areas);
+  std::printf(
+      "\nReading: the logarithmic discount should lead — popularity-blind\n"
+      "constant weighting chases flash-sale crowds and camouflage edges,\n"
+      "while the aggressive 1/(c+d) discount throws away too much of the\n"
+      "fraud blocks' own (necessarily popular) colluding merchants.\n");
+  return 0;
+}

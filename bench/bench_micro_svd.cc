@@ -1,0 +1,76 @@
+// Microbench: the truncated-SVD substrate powering SPOKEN/FBOX — cost vs
+// rank k and vs power-iteration count, plus raw SpMV throughput, on a
+// dataset-1-shaped adjacency matrix.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "datagen/presets.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/svd.h"
+
+namespace ensemfdet {
+namespace {
+
+const CsrMatrix& SharedAdjacency() {
+  static const CsrMatrix* matrix = [] {
+    Dataset data =
+        GenerateJdPreset(JdPreset::kDataset1, 0.01, 7).ValueOrDie();
+    return new CsrMatrix(AdjacencyMatrix(data.graph));
+  }();
+  return *matrix;
+}
+
+void BM_SpMV(benchmark::State& state) {
+  const CsrMatrix& a = SharedAdjacency();
+  std::vector<double> x(static_cast<size_t>(a.cols()), 1.0);
+  std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
+  for (auto _ : state) {
+    a.Multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpMV);
+
+void BM_SpMTV(benchmark::State& state) {
+  const CsrMatrix& a = SharedAdjacency();
+  std::vector<double> x(static_cast<size_t>(a.rows()), 1.0);
+  std::vector<double> y(static_cast<size_t>(a.cols()), 0.0);
+  for (auto _ : state) {
+    a.MultiplyTranspose(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpMTV);
+
+void BM_TruncatedSvdRank(benchmark::State& state) {
+  const CsrMatrix& a = SharedAdjacency();
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto svd = ComputeTruncatedSvd(a, k).ValueOrDie();
+    benchmark::DoNotOptimize(svd.sigma.data());
+  }
+  state.SetLabel("k=" + std::to_string(k));
+}
+BENCHMARK(BM_TruncatedSvdRank)->Arg(5)->Arg(10)->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TruncatedSvdPowerIters(benchmark::State& state) {
+  const CsrMatrix& a = SharedAdjacency();
+  SvdOptions options;
+  options.power_iterations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto svd = ComputeTruncatedSvd(a, 10, options).ValueOrDie();
+    benchmark::DoNotOptimize(svd.sigma.data());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " power iters");
+}
+BENCHMARK(BM_TruncatedSvdPowerIters)->Arg(2)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ensemfdet
+
+BENCHMARK_MAIN();

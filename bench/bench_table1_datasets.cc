@@ -1,0 +1,71 @@
+// Table I — "Statistics of datasets": regenerates the three synthetic
+// JD-shaped datasets and prints their statistics next to the paper's
+// originals, so the scaled substitution is auditable.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ensemfdet;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int64_t pins;
+  int64_t fraud_pins;
+  int64_t merchants;
+  int64_t edges;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"dataset1", 454925, 24247, 226585, 1023846},
+    {"dataset2", 2194325, 16035, 120867, 2790517},
+    {"dataset3", 4332696, 101702, 556634, 7997696},
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table I", "Statistics of datasets");
+
+  TableWriter table({"Dataset", "Node:PIN", "Fraud PIN", "Node:Merchant",
+                     "Edge", "paper PIN", "paper Fraud", "paper Merchant",
+                     "paper Edge"});
+  TableWriter shape({"Dataset", "fraud rate", "paper fraud rate",
+                     "avg PIN degree", "avg merchant degree"});
+
+  auto presets = AllJdPresets();
+  for (size_t i = 0; i < presets.size(); ++i) {
+    Dataset data = bench::LoadPreset(presets[i]);
+    const PaperRow& paper = kPaper[i];
+    const int64_t fraud =
+        static_cast<int64_t>(data.planted_fraud_users.size());
+    table.AddRow({data.name, FormatCount(data.graph.num_users()),
+                  FormatCount(fraud),
+                  FormatCount(data.graph.num_merchants()),
+                  FormatCount(data.graph.num_edges()),
+                  FormatCount(paper.pins), FormatCount(paper.fraud_pins),
+                  FormatCount(paper.merchants), FormatCount(paper.edges)});
+
+    DegreeStats pin_stats = ComputeDegreeStats(data.graph, Side::kUser);
+    DegreeStats merchant_stats =
+        ComputeDegreeStats(data.graph, Side::kMerchant);
+    shape.AddRow(
+        {data.name,
+         FormatDouble(static_cast<double>(fraud) /
+                      static_cast<double>(data.graph.num_users())),
+         FormatDouble(static_cast<double>(paper.fraud_pins) /
+                      static_cast<double>(paper.pins)),
+         FormatDouble(pin_stats.avg_degree, 2),
+         FormatDouble(merchant_stats.avg_degree, 2)});
+  }
+
+  bench::PrintTable("table1_statistics", table);
+  bench::PrintTable("table1_shape_check", shape);
+  std::printf(
+      "\nShape check vs paper: generated counts are the paper's Table I\n"
+      "multiplied by ENSEMFDET_SCALE; fraud rates match the originals\n"
+      "(5.3%%, 0.7%%, 2.3%%), and dataset 2/3 keep their many-PINs-per-\n"
+      "merchant imbalance.\n");
+  return 0;
+}

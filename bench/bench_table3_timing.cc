@@ -1,0 +1,97 @@
+// Table III — "The comparison of time consumption between EnsemFDet and
+// Fraudar": wall-clock of the full detection pipelines per dataset.
+//
+// Paper setup: ENSEMFDET with S=0.1, N=80 running its members in parallel
+// on a multicore testbed; FRAUDAR with K fixed at 30 on the full graph,
+// sequential (the heuristic process cannot be parallelized — the paper's
+// core scalability point). Shape to reproduce: ENSEMFDET ≫ faster (paper:
+// ~10x at S=0.1, up to 100x at S=0.01), with the advantage coming from
+// (a) per-member work ∝ S·|E| with k̂ ≪ K thanks to truncation and
+// (b) members running concurrently.
+//
+// Substitution note (see DESIGN.md): the paper's testbed has enough cores
+// to run all members concurrently; this machine may not (possibly 1 core).
+// We therefore measure true per-member times and report, alongside the
+// local wall-clock, the simulated parallel wall-clock at P cores — a
+// simple LPT bound: max(Σ member_i / P, max member_i) — for the paper's
+// effective parallelism. The per-member times are real measurements; only
+// the scheduling is simulated.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ensemfdet;
+
+namespace {
+
+// Longest-processing-time makespan lower bound for P identical cores.
+double SimulatedWall(const std::vector<double>& member_seconds, int cores) {
+  double total = 0.0, longest = 0.0;
+  for (double s : member_seconds) {
+    total += s;
+    longest = std::max(longest, s);
+  }
+  return std::max(total / static_cast<double>(cores), longest);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table III",
+                     "Time consumption: EnsemFDet (S=0.1, N=80) vs Fraudar "
+                     "(K=30)");
+
+  TableWriter table({"Dataset", "EnsemFDet(local)", "EnsemFDet(P=8)",
+                     "EnsemFDet(P=80)", "Fraudar", "speedup(P=80)",
+                     "avg khat"});
+
+  for (JdPreset preset : AllJdPresets()) {
+    Dataset data = bench::LoadPreset(preset);
+
+    EnsemFDetConfig cfg;
+    cfg.ratio = 0.1;
+    cfg.num_samples = bench::EnsembleN();
+    cfg.seed = bench::Seed();
+    WallTimer ensemble_timer;
+    auto report =
+        EnsemFDet(cfg).Run(data.graph, &DefaultThreadPool()).ValueOrDie();
+    const double local_seconds = ensemble_timer.ElapsedSeconds();
+
+    std::vector<double> member_seconds;
+    double avg_khat = 0.0;
+    for (const auto& m : report.members) {
+      member_seconds.push_back(m.seconds);
+      avg_khat += m.num_blocks;
+    }
+    avg_khat /= static_cast<double>(report.members.size());
+    const double wall_p8 = SimulatedWall(member_seconds, 8);
+    const double wall_p80 = SimulatedWall(member_seconds, 80);
+
+    FraudarConfig fraudar_cfg;
+    fraudar_cfg.num_blocks = 30;
+    WallTimer fraudar_timer;
+    auto fraudar = RunFraudar(data.graph, fraudar_cfg).ValueOrDie();
+    const double fraudar_seconds = fraudar_timer.ElapsedSeconds();
+    (void)fraudar;
+
+    table.AddRow({data.name, FormatDuration(local_seconds),
+                  FormatDuration(wall_p8), FormatDuration(wall_p80),
+                  FormatDuration(fraudar_seconds),
+                  FormatDouble(fraudar_seconds / wall_p80, 1) + "x",
+                  FormatDouble(avg_khat, 1)});
+  }
+
+  bench::PrintTable("table3_timing", table);
+  std::printf(
+      "\nShape check vs paper: at the paper's effective parallelism\n"
+      "(P=80, one core per member) EnsemFDet beats Fraudar by an order of\n"
+      "magnitude (paper: 74s vs 806s etc.), because each member peels only\n"
+      "S·|E| edges and truncation stops at khat << 30. The local column is\n"
+      "this machine's real wall-clock (threads=%d); P=8/P=80 columns are\n"
+      "the same measured member times under simulated scheduling — the\n"
+      "paper's 100x claim at S=0.01 is reachable by rerunning with a\n"
+      "smaller S.\n",
+      DefaultThreadPool().num_threads());
+  return 0;
+}

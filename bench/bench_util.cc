@@ -1,0 +1,58 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace ensemfdet {
+namespace bench {
+
+double Scale() { return GetEnvDouble("ENSEMFDET_SCALE", 0.02); }
+
+int EnsembleN() { return GetEnvInt("ENSEMFDET_N", 80); }
+
+uint64_t Seed() {
+  return static_cast<uint64_t>(GetEnvInt64("ENSEMFDET_SEED", 7));
+}
+
+void PrintHeader(const std::string& experiment, const std::string& caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), caption.c_str());
+  std::printf("scale=%.3f  N=%d  seed=%llu  threads=%d\n",
+              Scale(), EnsembleN(),
+              static_cast<unsigned long long>(Seed()),
+              DefaultThreadPool().num_threads());
+  std::printf("================================================================\n");
+}
+
+void PrintTable(const std::string& name, const TableWriter& table) {
+  std::printf("\n--- %s (csv) ---\n", name.c_str());
+  table.WriteCsv(&std::cout);
+  std::printf("--- %s (table) ---\n", name.c_str());
+  table.WriteMarkdown(&std::cout);
+  std::cout.flush();
+}
+
+Dataset LoadPreset(JdPreset preset) {
+  Dataset data = GenerateJdPreset(preset, Scale(), Seed()).ValueOrDie();
+  std::printf("[data] %s: %s PINs (%s blacklisted) x %s merchants, %s edges\n",
+              data.name.c_str(), FormatCount(data.graph.num_users()).c_str(),
+              FormatCount(data.blacklist.num_fraud()).c_str(),
+              FormatCount(data.graph.num_merchants()).c_str(),
+              FormatCount(data.graph.num_edges()).c_str());
+  return data;
+}
+
+void AppendCurve(TableWriter* table, const std::string& curve,
+                 const std::vector<OperatingPoint>& points,
+                 bool x_is_control) {
+  for (const OperatingPoint& p : points) {
+    const double x = x_is_control ? p.control
+                                  : static_cast<double>(p.num_detected);
+    table->AddRow({curve, FormatDouble(x, 0), FormatCount(p.num_detected),
+                   FormatDouble(p.precision), FormatDouble(p.recall),
+                   FormatDouble(p.f1)});
+  }
+}
+
+}  // namespace bench
+}  // namespace ensemfdet

@@ -1,0 +1,52 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench prints:
+//   * a header naming the paper artifact it regenerates,
+//   * the workload parameters in effect (scale, N, S, seeds),
+//   * the figure's data series as CSV (machine-readable, plot-ready),
+//   * a human-readable markdown table of the same rows.
+//
+// Environment knobs (all benches):
+//   ENSEMFDET_SCALE    dataset scale vs Table I (default 0.02)
+//   ENSEMFDET_N        ensemble size N where the paper uses 80
+//   ENSEMFDET_THREADS  thread pool size (default: hardware)
+//   ENSEMFDET_SEED     root seed (default 7)
+#ifndef ENSEMFDET_BENCH_BENCH_UTIL_H_
+#define ENSEMFDET_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "core/ensemfdet.h"
+
+namespace ensemfdet {
+namespace bench {
+
+/// Dataset scale relative to Table I (ENSEMFDET_SCALE, default 0.02).
+double Scale();
+
+/// Ensemble size where the paper uses N=80 (ENSEMFDET_N).
+int EnsembleN();
+
+/// Root seed (ENSEMFDET_SEED, default 7).
+uint64_t Seed();
+
+/// Prints the bench banner: experiment id, paper caption, parameters.
+void PrintHeader(const std::string& experiment, const std::string& caption);
+
+/// Prints one table as a named CSV block followed by markdown.
+void PrintTable(const std::string& name, const TableWriter& table);
+
+/// Generates the preset at the bench scale and prints its one-line summary.
+Dataset LoadPreset(JdPreset preset);
+
+/// Appends every operating point of `points` to `table` as rows
+/// (curve, x_field, precision, recall, f1) where x_field is chosen by
+/// `x_is_control` (control value vs num_detected).
+void AppendCurve(TableWriter* table, const std::string& curve,
+                 const std::vector<OperatingPoint>& points,
+                 bool x_is_control);
+
+}  // namespace bench
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+// Command-line detector: run ENSEMFDET on a transaction edge list.
+//
+//   $ ./build/examples/detect_from_tsv graph.tsv [N] [S] [T]
+//   $ ./build/examples/detect_from_tsv            # self-demo on synthetic data
+//
+// Input format (graph/graph_io.h): one `user<TAB>merchant` pair per line,
+// '#' comments allowed, optional `# bipartite <users> <merchants>` header.
+// Output: one detected suspicious user id per line on stdout (pipe it into
+// your case-review tooling); diagnostics go to stderr.
+//
+// This is the shape of the deployment the paper describes (§VI: "deployed
+// in the risk control department of JD.com"): nightly graph dump in, PIN
+// review queue out, with T controlling the queue size.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/ensemfdet.h"
+
+using namespace ensemfdet;
+
+namespace {
+
+// Writes a demo graph so the example is runnable with no arguments.
+std::string WriteDemoGraph() {
+  Dataset data = GenerateJdPreset(JdPreset::kDataset1, 0.005, 11)
+                     .ValueOrDie();
+  const std::string path = "/tmp/ensemfdet_demo_graph.tsv";
+  ENSEMFDET_CHECK_OK(SaveEdgeListTsv(data.graph, path));
+  std::fprintf(stderr,
+               "[demo] no input given; wrote synthetic campaign graph to %s "
+               "(%lld PINs, %lld edges)\n",
+               path.c_str(), static_cast<long long>(data.graph.num_users()),
+               static_cast<long long>(data.graph.num_edges()));
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : WriteDemoGraph();
+  EnsemFDetConfig config;
+  config.num_samples = argc > 2 ? std::atoi(argv[2]) : 40;
+  config.ratio = argc > 3 ? std::atof(argv[3]) : 0.1;
+  const int32_t threshold =
+      argc > 4 ? std::atoi(argv[4])
+               : std::max(1, config.num_samples / 10);
+
+  auto graph_result = LoadEdgeListTsv(path);
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 graph_result.status().ToString().c_str());
+    return 1;
+  }
+  const BipartiteGraph& graph = *graph_result;
+  std::fprintf(stderr, "[load] %s: %lld users x %lld merchants, %lld edges\n",
+               path.c_str(), static_cast<long long>(graph.num_users()),
+               static_cast<long long>(graph.num_merchants()),
+               static_cast<long long>(graph.num_edges()));
+
+  WallTimer timer;
+  auto report_result =
+      EnsemFDet(config).Run(graph, &DefaultThreadPool());
+  if (!report_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 report_result.status().ToString().c_str());
+    return 1;
+  }
+  const EnsemFDetReport& report = *report_result;
+  auto suspicious = report.AcceptedUsers(threshold);
+  std::fprintf(stderr,
+               "[detect] N=%d S=%.3f T=%d -> %zu suspicious users in %s\n",
+               config.num_samples, config.ratio, threshold,
+               suspicious.size(),
+               FormatDuration(timer.ElapsedSeconds()).c_str());
+
+  for (UserId u : suspicious) std::printf("%u\n", u);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Promotion-campaign fraud detection end to end — the paper's motivating
+// scenario (§I): an e-commerce platform runs a discount campaign,
+// fraudsters register account farms to cash out, and the risk team needs a
+// ranked, size-controllable list of suspicious PINs.
+//
+//   $ ./build/examples/promo_campaign_detection            # default scale
+//   $ ENSEMFDET_SCALE=0.05 ./build/examples/promo_campaign_detection
+//
+// Pipeline: synthesize a JD-like transaction graph (Table I dataset-1
+// shape) → run ENSEMFDET in parallel → evaluate against the blacklist →
+// print the Precision/Recall/F1 operating table over the voting threshold
+// T, exactly the knob a risk-control deployment would tune.
+#include <cstdio>
+#include <iostream>
+
+#include "core/ensemfdet.h"
+
+using namespace ensemfdet;
+
+int main() {
+  const double scale = GetEnvDouble("ENSEMFDET_SCALE", 0.02);
+
+  // 1. Data: a campaign week of transactions with planted fraud groups.
+  std::printf("generating dataset-1-shaped campaign data (scale %.3f)...\n",
+              scale);
+  auto data_result = GenerateJdPreset(JdPreset::kDataset1, scale, 20260610);
+  if (!data_result.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 data_result.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& data = *data_result;
+  std::printf(
+      "  %s: %s PINs (%s blacklisted), %s merchants, %s edges\n\n",
+      data.name.c_str(), FormatCount(data.graph.num_users()).c_str(),
+      FormatCount(data.blacklist.num_fraud()).c_str(),
+      FormatCount(data.graph.num_merchants()).c_str(),
+      FormatCount(data.graph.num_edges()).c_str());
+
+  // 2. Detection: the paper's flagship configuration S=0.1, N=80.
+  EnsemFDetConfig config;
+  config.method = SampleMethod::kRandomEdge;
+  config.num_samples = 80;
+  config.ratio = 0.1;
+  config.seed = 31;
+  config.fdet.max_blocks = 30;
+
+  WallTimer timer;
+  auto report_result =
+      EnsemFDet(config).Run(data.graph, &DefaultThreadPool());
+  if (!report_result.ok()) {
+    std::fprintf(stderr, "detection failed: %s\n",
+                 report_result.status().ToString().c_str());
+    return 1;
+  }
+  const EnsemFDetReport& report = *report_result;
+  std::printf("ENSEMFDET: N=%d members, S=%.2f, wall time %s\n",
+              config.num_samples, config.ratio,
+              FormatDuration(timer.ElapsedSeconds()).c_str());
+
+  double avg_blocks = 0.0;
+  for (const auto& m : report.members) avg_blocks += m.num_blocks;
+  avg_blocks /= static_cast<double>(report.members.size());
+  std::printf("  average auto-truncated k-hat per member: %.1f blocks\n\n",
+              avg_blocks);
+
+  // 3. Evaluation: the T-operating table a risk team would pick from.
+  auto points = VoteSweep(report.votes, data.blacklist, config.num_samples);
+  TableWriter table({"T", "#detected PIN", "Precision", "Recall", "F1"});
+  for (const auto& p : points) {
+    // Print a digestible subset of thresholds.
+    const int32_t t = static_cast<int32_t>(p.control);
+    if (t % 8 != 0 && t != 1 && t != 4) continue;
+    table.AddRow({std::to_string(t), FormatCount(p.num_detected),
+                  FormatDouble(p.precision), FormatDouble(p.recall),
+                  FormatDouble(p.f1)});
+  }
+  table.WriteMarkdown(&std::cout);
+
+  std::printf("\nPR-curve area over the full T sweep: %.4f\n",
+              PrCurveArea(points));
+  std::printf(
+      "\nReading the table: raise T to favour precision (fewer, surer\n"
+      "flags); lower it to favour recall. The curve is smooth — unlike\n"
+      "block-granular detectors, any detection budget is reachable.\n");
+  return 0;
+}

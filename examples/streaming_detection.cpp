@@ -1,0 +1,94 @@
+// Streaming detection: catch a fraud burst while the campaign is running.
+//
+//   $ ./build/examples/streaming_detection
+//
+// Simulates a promotion day as a transaction stream: steady legitimate
+// traffic, then a coordinated account-farm burst in the middle, then quiet.
+// A WindowedDetector re-runs ENSEMFDET every detection interval over a
+// sliding window and prints, per detection, how many of the flagged users
+// are actual ring members — showing the ring lighting up while its burst
+// is inside the window and fading out afterwards (the paper's §I point:
+// campaigns are short-lived, so detection must be too).
+#include <cstdio>
+#include <iostream>
+
+#include "core/ensemfdet.h"
+
+using namespace ensemfdet;
+
+int main() {
+  constexpr int64_t kUsers = 3000;
+  constexpr int64_t kMerchants = 800;
+  constexpr UserId kRingUsers = 40;      // ids [0, 40)
+  constexpr MerchantId kRingMerchants = 6;  // ids [0, 6)
+
+  WindowedDetectorConfig config;
+  config.num_users = kUsers;
+  config.num_merchants = kMerchants;
+  config.window = 3600;              // one "hour" of stream time
+  config.detection_interval = 900;   // detect every 15 "minutes"
+  config.ensemble.num_samples = 24;
+  config.ensemble.ratio = 0.25;
+  config.ensemble.seed = 17;
+  config.ensemble.fdet.max_blocks = 12;
+
+  WindowedDetector detector(config, &DefaultThreadPool());
+
+  Rng rng(2026);
+  TableWriter timeline({"stream time", "window events", "detected@T",
+                        "ring members", "ring recall"});
+
+  auto report_detection = [&](int64_t now, const EnsemFDetReport& report) {
+    const int32_t threshold = config.ensemble.num_samples / 4;
+    auto flagged = report.AcceptedUsers(threshold);
+    int64_t ring_hits = 0;
+    for (UserId u : flagged) ring_hits += (u < kRingUsers);
+    timeline.AddRow({std::to_string(now),
+                     FormatCount(detector.window_size()),
+                     FormatCount(static_cast<int64_t>(flagged.size())),
+                     FormatCount(ring_hits),
+                     FormatDouble(static_cast<double>(ring_hits) /
+                                  static_cast<double>(kRingUsers), 2)});
+  };
+
+  // Phase 1+2+3: background all day; ring burst only in [4000, 5200].
+  int64_t now = 0;
+  const int64_t kEnd = 12000;
+  int64_t next_ring_event = 4000;
+  int ring_user_cursor = 0;
+  while (now < kEnd) {
+    now += 1 + static_cast<int64_t>(rng.NextBounded(3));
+    Transaction tx;
+    tx.timestamp = now;
+    if (now >= 4000 && now <= 5200 && now >= next_ring_event) {
+      // Burst: ring accounts sweep their colluding merchants.
+      tx.user = static_cast<UserId>(ring_user_cursor % kRingUsers);
+      tx.merchant =
+          static_cast<MerchantId>(rng.NextBounded(kRingMerchants));
+      ++ring_user_cursor;
+      next_ring_event = now + 2;
+    } else {
+      tx.user = static_cast<UserId>(
+          kRingUsers + rng.NextBounded(kUsers - kRingUsers));
+      tx.merchant = static_cast<MerchantId>(
+          kRingMerchants + rng.NextBounded(kMerchants - kRingMerchants));
+    }
+    auto result = detector.Ingest(tx);
+    if (!result.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (result->has_value()) report_detection(now, **result);
+  }
+
+  std::printf("streaming fraud detection over a simulated promotion day\n");
+  std::printf("(ring burst active during stream time [4000, 5200])\n\n");
+  timeline.WriteMarkdown(&std::cout);
+  std::printf(
+      "\nExpected shape: ring recall ~0 before the burst, jumps toward 1\n"
+      "while the burst is inside the sliding window, and decays back once\n"
+      "the window slides past it — early detection without reprocessing\n"
+      "the full day's graph.\n");
+  return 0;
+}

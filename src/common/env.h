@@ -1,0 +1,28 @@
+// Typed accessors for environment-variable configuration.
+//
+// Benches and examples read their scale/thread knobs from the environment
+// (ENSEMFDET_SCALE, ENSEMFDET_THREADS, ...) so the same binary serves both
+// quick CI runs and full-scale reproductions.
+#ifndef ENSEMFDET_COMMON_ENV_H_
+#define ENSEMFDET_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ensemfdet {
+
+/// Returns the env var's value or `fallback` if unset/empty.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+/// Returns the env var parsed as int, or `fallback` if unset or unparsable.
+int GetEnvInt(const char* name, int fallback);
+
+/// Returns the env var parsed as int64, or `fallback` if unset/unparsable.
+int64_t GetEnvInt64(const char* name, int64_t fallback);
+
+/// Returns the env var parsed as double, or `fallback` if unset/unparsable.
+double GetEnvDouble(const char* name, double fallback);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_COMMON_ENV_H_

@@ -1,0 +1,91 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ensemfdet {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::once_flag g_env_init;
+
+// stderr writes from the thread pool interleave without this.
+std::mutex& EmitMutex() {
+  static std::mutex m;
+  return m;
+}
+
+void InitLevelFromEnvOnce() {
+  std::call_once(g_env_init, [] {
+    const char* env = std::getenv("ENSEMFDET_LOG_LEVEL");
+    if (env != nullptr && *env != '\0') {
+      int v = std::atoi(env);
+      if (v >= 0 && v <= 3) g_log_level.store(v, std::memory_order_relaxed);
+    }
+  });
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  InitLevelFromEnvOnce();
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < static_cast<int>(GetLogLevel())) return;
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), Basename(file_),
+               line_, stream_.str().c_str());
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "Check failed: " << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::fprintf(stderr, "[FATAL %s:%d] %s\n", Basename(file_), line_,
+                 stream_.str().c_str());
+  }
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace ensemfdet

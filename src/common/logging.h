@@ -1,0 +1,90 @@
+// Minimal leveled logging plus CHECK macros for internal invariants.
+//
+// Severity is filtered by SetLogLevel / the ENSEMFDET_LOG_LEVEL env var
+// (0=DEBUG .. 3=ERROR; default INFO). CHECK failures print the failing
+// condition with file:line and abort — they guard programmer invariants,
+// never user input (user input goes through Status).
+#ifndef ENSEMFDET_COMMON_LOGGING_H_
+#define ENSEMFDET_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ensemfdet {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting (CHECK failures).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ENSEMFDET_LOG(level)                                          \
+  ::ensemfdet::internal::LogMessage(::ensemfdet::LogLevel::k##level,  \
+                                    __FILE__, __LINE__)
+
+/// Aborts with a diagnostic when `condition` is false.
+#define ENSEMFDET_CHECK(condition)                                   \
+  if (!(condition))                                                  \
+  ::ensemfdet::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define ENSEMFDET_CHECK_OK(expr)                                     \
+  do {                                                               \
+    ::ensemfdet::Status _st = (expr);                                \
+    ENSEMFDET_CHECK(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+#ifndef NDEBUG
+#define ENSEMFDET_DCHECK(condition) ENSEMFDET_CHECK(condition)
+#else
+#define ENSEMFDET_DCHECK(condition) \
+  if (false && !(condition))        \
+  ::ensemfdet::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+#endif
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_COMMON_LOGGING_H_

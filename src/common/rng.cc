@@ -1,0 +1,116 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // xoshiro must not start at the all-zero state; SplitMix64 of any seed
+  // cannot produce four zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  ENSEMFDET_DCHECK(bound != 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+Rng Rng::Split(uint64_t index) const {
+  // Mix (seed, index) so that distinct (parent, index) pairs give distinct,
+  // well-separated child seeds.
+  uint64_t sm = seed_ ^ (0x632be59bd9b4e019ULL * (index + 1));
+  uint64_t child_seed = SplitMix64(&sm);
+  return Rng(child_seed);
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  ENSEMFDET_CHECK(k <= n) << "sample size " << k << " > population " << n;
+  // Partial Fisher-Yates on a virtual array: `perm` records only displaced
+  // slots, so memory is O(k) and time O(k) regardless of n.
+  std::unordered_map<uint64_t, uint64_t> perm;
+  perm.reserve(static_cast<size_t>(k) * 2);
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  for (uint64_t i = 0; i < k; ++i) {
+    uint64_t j = i + NextBounded(n - i);
+    uint64_t vi, vj;
+    auto it = perm.find(i);
+    vi = (it == perm.end()) ? i : it->second;
+    it = perm.find(j);
+    vj = (it == perm.end()) ? j : it->second;
+    out.push_back(vj);
+    perm[j] = vi;
+  }
+  return out;
+}
+
+}  // namespace ensemfdet

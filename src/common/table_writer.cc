@@ -1,0 +1,98 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string CsvEscape(const std::string& cell) {
+  if (!NeedsQuoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ENSEMFDET_CHECK(!header_.empty());
+}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  ENSEMFDET_CHECK(cells.size() == header_.size())
+      << "row has " << cells.size() << " cells, header has "
+      << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::WriteCsv(std::ostream* os) const {
+  auto write_row = [os](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) *os << ',';
+      *os << CsvEscape(row[i]);
+    }
+    *os << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+void TableWriter::WriteMarkdown(std::ostream* os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto write_row = [&](const std::vector<std::string>& row) {
+    *os << '|';
+    for (size_t i = 0; i < row.size(); ++i) {
+      *os << ' ' << row[i] << std::string(width[i] - row[i].size(), ' ')
+          << " |";
+    }
+    *os << '\n';
+  };
+  write_row(header_);
+  *os << '|';
+  for (size_t i = 0; i < header_.size(); ++i) {
+    *os << std::string(width[i] + 2, '-') << '|';
+  }
+  *os << '\n';
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatCount(int64_t v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (v < 0) out += '-';
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,48 @@
+// Tabular output helpers for the benchmark harness.
+//
+// Every figure/table bench prints (a) machine-readable CSV rows so the
+// paper's plots can be regenerated with any plotting tool, and (b) an
+// aligned markdown table for human reading. Both come from the same
+// TableWriter so the two views can never disagree.
+#ifndef ENSEMFDET_COMMON_TABLE_WRITER_H_
+#define ENSEMFDET_COMMON_TABLE_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ensemfdet {
+
+/// Collects rows of string cells under a fixed header and renders them as
+/// CSV or an aligned markdown table.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Writes `header\nrow\n...` in RFC-4180-ish CSV (cells containing comma,
+  /// quote or newline are quoted).
+  void WriteCsv(std::ostream* os) const;
+
+  /// Writes an aligned `| a | b |` markdown table with a separator rule.
+  void WriteMarkdown(std::ostream* os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places ("0.1234").
+std::string FormatDouble(double v, int digits = 4);
+
+/// Formats an integer with thousands separators ("1,023,846").
+std::string FormatCount(int64_t v);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,79 @@
+// Fixed-size thread pool used to run the N sample→FDET jobs of ENSEMFDET in
+// parallel (Algorithm 2, "begin run in parallel").
+//
+// Design notes:
+//  - Tasks are type-erased std::function<void()>; callers wanting results
+//    use Submit() which wraps the callable in a std::packaged_task and
+//    returns a std::future.
+//  - ParallelFor partitions [begin, end) into contiguous chunks; each chunk
+//    index is deterministic, so randomized workloads that Split() their RNG
+//    by item index produce identical results at any thread count — this is
+//    what makes the ensemble's output independent of parallelism, a property
+//    tested in ensemble tests.
+#ifndef ENSEMFDET_COMMON_THREAD_POOL_H_
+#define ENSEMFDET_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ensemfdet {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1; pass 0 to use hardware_concurrency).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Runs fn(i) for every i in [begin, end), distributing items across the
+  /// pool, and blocks until all complete. fn must be safe to invoke
+  /// concurrently for distinct i. Exceptions propagate from the first
+  /// failing item (rethrown on the calling thread).
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t)>& fn);
+
+  /// Blocks until every task enqueued so far has finished.
+  void WaitIdle();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;        // task available or shutting down
+  std::condition_variable idle_cv_;   // all work drained
+  int64_t in_flight_ = 0;             // queued + executing
+  bool shutdown_ = false;
+};
+
+/// Process-wide default pool, sized from ENSEMFDET_THREADS env var if set,
+/// otherwise hardware concurrency. Intended for examples/benches; library
+/// components accept an explicit pool.
+ThreadPool& DefaultThreadPool();
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_COMMON_THREAD_POOL_H_

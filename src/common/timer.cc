@@ -1,0 +1,19 @@
+#include "common/timer.h"
+
+#include <cstdio>
+
+namespace ensemfdet {
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f sec", seconds);
+  }
+  return buf;
+}
+
+}  // namespace ensemfdet

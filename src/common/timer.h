@@ -1,0 +1,34 @@
+// Wall-clock timing utilities for Table III and the micro-benches.
+#ifndef ENSEMFDET_COMMON_TIMER_H_
+#define ENSEMFDET_COMMON_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace ensemfdet {
+
+/// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart.
+  double ElapsedSeconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Formats a duration as "12.345 sec" / "87.2 ms" with sensible units.
+std::string FormatDuration(double seconds);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_COMMON_TIMER_H_

@@ -1,0 +1,279 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/zipf.h"
+#include "graph/graph_builder.h"
+
+namespace ensemfdet {
+
+namespace {
+
+// Knuth's Poisson sampler; fine for the small means used here (λ ≲ 30).
+int64_t SamplePoisson(double lambda, Rng* rng) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  double product = rng->NextDouble();
+  int64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng->NextDouble();
+  }
+  return count;
+}
+
+Status ValidateConfig(const DataGenConfig& config) {
+  if (config.num_users < 1 || config.num_merchants < 1) {
+    return Status::InvalidArgument("dataset needs at least one node per side");
+  }
+  if (config.num_edges < 0) {
+    return Status::InvalidArgument("num_edges must be >= 0");
+  }
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  if (!rate_ok(config.blacklist_miss_rate) ||
+      !rate_ok(config.blacklist_noise_rate)) {
+    return Status::InvalidArgument("blacklist rates must be in [0, 1]");
+  }
+  int64_t fraud_users = 0;
+  int64_t fraud_merchants = 0;
+  for (const FraudGroupSpec& g : config.fraud_groups) {
+    if (g.num_users < 1 || g.num_merchants < 1) {
+      return Status::InvalidArgument("fraud group must have users and "
+                                     "merchants");
+    }
+    if (g.edges_per_user < 0.0 || g.camouflage_per_user < 0.0) {
+      return Status::InvalidArgument("fraud group edge rates must be >= 0");
+    }
+    fraud_users += g.num_users;
+    fraud_merchants += g.num_merchants;
+  }
+  if (fraud_users > config.num_users) {
+    return Status::InvalidArgument(
+        "fraud groups need " + std::to_string(fraud_users) +
+        " users but dataset has " + std::to_string(config.num_users));
+  }
+  if (fraud_merchants > config.num_merchants) {
+    return Status::InvalidArgument(
+        "fraud groups need " + std::to_string(fraud_merchants) +
+        " merchants but dataset has " + std::to_string(config.num_merchants));
+  }
+  int64_t community_users = 0;
+  for (const CommunitySpec& c : config.communities) {
+    if (c.num_users < 1 || c.num_merchants < 1) {
+      return Status::InvalidArgument("community must have users and "
+                                     "merchants");
+    }
+    if (c.edges_per_user < 0.0) {
+      return Status::InvalidArgument("community edge rate must be >= 0");
+    }
+    if (c.num_merchants > config.num_merchants) {
+      return Status::InvalidArgument("community wider than merchant side");
+    }
+    community_users += c.num_users;
+  }
+  if (community_users + fraud_users > config.num_users) {
+    return Status::InvalidArgument(
+        "fraud groups and communities together need " +
+        std::to_string(community_users + fraud_users) +
+        " users but dataset has " + std::to_string(config.num_users));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> GenerateDataset(const DataGenConfig& config) {
+  ENSEMFDET_RETURN_NOT_OK(ValidateConfig(config));
+  Rng root(config.seed);
+  Rng assign_rng = root.Split(0);
+  Rng fraud_rng = root.Split(1);
+  Rng background_rng = root.Split(2);
+  Rng blacklist_rng = root.Split(3);
+  Rng community_rng = root.Split(4);
+
+  Dataset dataset;
+  dataset.name = config.name;
+
+  // --- Assign fraud and community identities ------------------------------
+  int64_t total_fraud_users = 0;
+  int64_t total_fraud_merchants = 0;
+  for (const FraudGroupSpec& g : config.fraud_groups) {
+    total_fraud_users += g.num_users;
+    total_fraud_merchants += g.num_merchants;
+  }
+  int64_t total_community_users = 0;
+  for (const CommunitySpec& c : config.communities) {
+    total_community_users += c.num_users;
+  }
+  // One draw covers both populations so fraud and community members are
+  // disjoint: the prefix feeds fraud groups, the suffix communities.
+  std::vector<uint64_t> fraud_user_pool = assign_rng.SampleWithoutReplacement(
+      static_cast<uint64_t>(config.num_users),
+      static_cast<uint64_t>(total_fraud_users + total_community_users));
+  std::vector<uint64_t> fraud_merchant_pool =
+      assign_rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(config.num_merchants),
+          static_cast<uint64_t>(total_fraud_merchants));
+
+  GraphBuilder builder(config.num_users, config.num_merchants);
+  builder.Reserve(config.num_edges);
+
+  // Popularity order for camouflage targets and background traffic. Ranks
+  // are mapped through a random permutation so popularity is independent of
+  // raw node id.
+  std::vector<uint32_t> user_by_rank(static_cast<size_t>(config.num_users));
+  for (size_t i = 0; i < user_by_rank.size(); ++i) {
+    user_by_rank[i] = static_cast<uint32_t>(i);
+  }
+  background_rng.Shuffle(&user_by_rank);
+  std::vector<uint32_t> merchant_by_rank(
+      static_cast<size_t>(config.num_merchants));
+  for (size_t i = 0; i < merchant_by_rank.size(); ++i) {
+    merchant_by_rank[i] = static_cast<uint32_t>(i);
+  }
+  background_rng.Shuffle(&merchant_by_rank);
+
+  const ZipfSampler user_zipf(config.num_users, config.user_zipf_exponent);
+  const ZipfSampler merchant_zipf(config.num_merchants,
+                                  config.merchant_zipf_exponent);
+
+  // --- Plant fraud groups -------------------------------------------------
+  int64_t fraud_edges = 0;
+  size_t user_cursor = 0;
+  size_t merchant_cursor = 0;
+  for (const FraudGroupSpec& spec : config.fraud_groups) {
+    std::vector<UserId> group_users;
+    group_users.reserve(static_cast<size_t>(spec.num_users));
+    for (int64_t i = 0; i < spec.num_users; ++i) {
+      group_users.push_back(
+          static_cast<UserId>(fraud_user_pool[user_cursor++]));
+    }
+    std::vector<MerchantId> group_merchants;
+    group_merchants.reserve(static_cast<size_t>(spec.num_merchants));
+    for (int64_t i = 0; i < spec.num_merchants; ++i) {
+      group_merchants.push_back(
+          static_cast<MerchantId>(fraud_merchant_pool[merchant_cursor++]));
+    }
+
+    for (UserId u : group_users) {
+      // Within-block purchases: synchronized behaviour.
+      int64_t within = std::clamp<int64_t>(
+          SamplePoisson(spec.edges_per_user, &fraud_rng), 1,
+          spec.num_merchants);
+      std::vector<uint64_t> picks = fraud_rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(spec.num_merchants),
+          static_cast<uint64_t>(within));
+      for (uint64_t p : picks) {
+        builder.AddEdge(u, group_merchants[static_cast<size_t>(p)]);
+        ++fraud_edges;
+      }
+      // Camouflage purchases at popular legitimate merchants.
+      int64_t camouflage = SamplePoisson(spec.camouflage_per_user, &fraud_rng);
+      for (int64_t cidx = 0; cidx < camouflage; ++cidx) {
+        int64_t rank = merchant_zipf.Sample(&fraud_rng);
+        builder.AddEdge(u, merchant_by_rank[static_cast<size_t>(rank)]);
+        ++fraud_edges;
+      }
+    }
+
+    std::sort(group_users.begin(), group_users.end());
+    dataset.fraud_user_groups.push_back(group_users);
+    dataset.planted_fraud_users.insert(dataset.planted_fraud_users.end(),
+                                       group_users.begin(),
+                                       group_users.end());
+    dataset.planted_fraud_merchants.insert(
+        dataset.planted_fraud_merchants.end(), group_merchants.begin(),
+        group_merchants.end());
+  }
+  std::sort(dataset.planted_fraud_users.begin(),
+            dataset.planted_fraud_users.end());
+  std::sort(dataset.planted_fraud_merchants.begin(),
+            dataset.planted_fraud_merchants.end());
+
+  // --- Plant legitimate communities ----------------------------------------
+  // Members are benign users (disjoint from fraud, see pool draw above);
+  // community merchants come from the popular end of the catalogue, so the
+  // cluster's column weights are small under φ while its raw spectral
+  // energy remains large.
+  int64_t community_edges = 0;
+  for (const CommunitySpec& spec : config.communities) {
+    std::vector<UserId> members;
+    members.reserve(static_cast<size_t>(spec.num_users));
+    for (int64_t i = 0; i < spec.num_users; ++i) {
+      members.push_back(static_cast<UserId>(fraud_user_pool[user_cursor++]));
+    }
+    // Merchants: distinct draws from the top-20% popularity ranks (at
+    // least wide enough to fit the request).
+    const int64_t popular_window = std::max<int64_t>(
+        spec.num_merchants, config.num_merchants / 5);
+    std::vector<uint64_t> ranks = community_rng.SampleWithoutReplacement(
+        static_cast<uint64_t>(popular_window),
+        static_cast<uint64_t>(spec.num_merchants));
+    std::vector<MerchantId> venues;
+    venues.reserve(ranks.size());
+    for (uint64_t r : ranks) {
+      venues.push_back(merchant_by_rank[static_cast<size_t>(r)]);
+    }
+
+    for (UserId u : members) {
+      int64_t purchases = std::clamp<int64_t>(
+          SamplePoisson(spec.edges_per_user, &community_rng), 1,
+          spec.num_merchants);
+      std::vector<uint64_t> picks = community_rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(spec.num_merchants),
+          static_cast<uint64_t>(purchases));
+      for (uint64_t p : picks) {
+        builder.AddEdge(u, venues[static_cast<size_t>(p)]);
+        ++community_edges;
+      }
+    }
+    std::sort(members.begin(), members.end());
+    dataset.community_user_groups.push_back(std::move(members));
+  }
+
+  // --- Background traffic --------------------------------------------------
+  const int64_t background_edges = std::max<int64_t>(
+      0, config.num_edges - fraud_edges - community_edges);
+  for (int64_t e = 0; e < background_edges; ++e) {
+    const int64_t user_rank = user_zipf.Sample(&background_rng);
+    const int64_t merchant_rank = merchant_zipf.Sample(&background_rng);
+    builder.AddEdge(user_by_rank[static_cast<size_t>(user_rank)],
+                    merchant_by_rank[static_cast<size_t>(merchant_rank)]);
+  }
+
+  ENSEMFDET_ASSIGN_OR_RETURN(dataset.graph,
+                             builder.Build(DuplicatePolicy::kKeepFirst));
+
+  // --- Blacklist: planted truth with misses, plus benign noise -------------
+  dataset.blacklist = LabelSet(config.num_users);
+  for (UserId u : dataset.planted_fraud_users) {
+    if (!blacklist_rng.NextBernoulli(config.blacklist_miss_rate)) {
+      dataset.blacklist.MarkFraud(u);
+    }
+  }
+  const int64_t noise_count = static_cast<int64_t>(
+      std::llround(config.blacklist_noise_rate *
+                   static_cast<double>(total_fraud_users)));
+  std::vector<bool> is_planted(static_cast<size_t>(config.num_users), false);
+  for (UserId u : dataset.planted_fraud_users) is_planted[u] = true;
+  int64_t added = 0;
+  // Rejection-sample benign users; the benign pool vastly outnumbers the
+  // planted pool in every realistic config, so this terminates fast.
+  int64_t attempts = 0;
+  const int64_t max_attempts = 100 * (noise_count + 1);
+  while (added < noise_count && attempts < max_attempts) {
+    ++attempts;
+    const UserId u = static_cast<UserId>(blacklist_rng.NextBounded(
+        static_cast<uint64_t>(config.num_users)));
+    if (is_planted[u] || dataset.blacklist.IsFraud(u)) continue;
+    dataset.blacklist.MarkFraud(u);
+    ++added;
+  }
+  return dataset;
+}
+
+}  // namespace ensemfdet

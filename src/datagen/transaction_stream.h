@@ -1,0 +1,39 @@
+// Timestamped transaction streams for the windowed detector.
+//
+// Turns a generated Dataset into a campaign-day timeline: background
+// purchases spread across the whole horizon, each fraud group compressed
+// into its own short burst (the paper's "synchronized behavior ...
+// extremely synchronized behavior patterns within a short time"), and all
+// events sorted by timestamp so they can feed WindowedDetector::Ingest
+// directly.
+#ifndef ENSEMFDET_DATAGEN_TRANSACTION_STREAM_H_
+#define ENSEMFDET_DATAGEN_TRANSACTION_STREAM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/generator.h"
+#include "stream/windowed_detector.h"
+
+namespace ensemfdet {
+
+struct StreamTimelineConfig {
+  /// Stream horizon: background timestamps are uniform over [0, horizon).
+  int64_t horizon = 86400;
+  /// Length of each fraud group's burst window.
+  int64_t burst_duration = 1800;
+  /// Bursts are centred at evenly spaced points of the horizon, group g
+  /// at (g + 1) / (#groups + 1) · horizon.
+  uint64_t seed = 99;
+};
+
+/// Assigns a timestamp to every edge of `dataset.graph`: edges incident to
+/// fraud-group users get timestamps inside their group's burst, everything
+/// else is uniform background. Returns the events sorted by timestamp
+/// (stable on ties), ready for WindowedDetector.
+Result<std::vector<Transaction>> BuildTransactionStream(
+    const Dataset& dataset, const StreamTimelineConfig& config);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_DATAGEN_TRANSACTION_STREAM_H_

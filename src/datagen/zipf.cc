@@ -1,0 +1,37 @@
+#include "datagen/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+ZipfSampler::ZipfSampler(int64_t n, double exponent) : exponent_(exponent) {
+  ENSEMFDET_CHECK(n >= 1) << "Zipf support must be nonempty";
+  ENSEMFDET_CHECK(exponent >= 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -exponent);
+    cdf_[static_cast<size_t>(r)] = total;
+  }
+  const double inv_total = 1.0 / total;
+  for (double& c : cdf_) c *= inv_total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail unreachable
+}
+
+int64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(int64_t rank) const {
+  ENSEMFDET_CHECK(rank >= 0 && rank < n());
+  const size_t r = static_cast<size_t>(rank);
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,45 @@
+// Greedy densest-block peeling (inner loop of paper Algorithm 1, lines
+// 3-8; the FRAUDAR [13] greedy with the min-heap speedup).
+//
+// Starting from the whole graph H_n, repeatedly delete the node whose
+// removal costs the least suspiciousness mass (the min-priority node),
+// recording φ(H_i) for every prefix; the returned block is the prefix with
+// maximum φ. Merchant column weights 1/log(c + d_j) are fixed from the
+// input graph's degrees at entry, matching FRAUDAR.
+//
+// Complexity: O((|U| + |V| + |E|) · log(|U| + |V|)).
+#ifndef ENSEMFDET_DETECT_GREEDY_PEELER_H_
+#define ENSEMFDET_DETECT_GREEDY_PEELER_H_
+
+#include <vector>
+
+#include "detect/density.h"
+#include "graph/bipartite_graph.h"
+
+namespace ensemfdet {
+
+/// Output of one peel: the densest block found plus the full peeling trace
+/// (used by tests and the Fig 1 bench).
+struct PeelResult {
+  /// Users/merchants of the argmax-φ prefix, ascending ids (graph-local).
+  std::vector<UserId> users;
+  std::vector<MerchantId> merchants;
+  /// φ of that block under the entry-time column weights.
+  double score = 0.0;
+  /// trace[t] = φ(H_{n-t}) before the t-th removal; trace[0] = φ(G).
+  std::vector<double> trace;
+  /// Node removal order as packed ids (user u → u; merchant v → |U|+v).
+  std::vector<int64_t> removal_order;
+};
+
+/// Peels `graph` once and returns the best block. An empty graph (or one
+/// with no edges) yields an empty block with score 0.
+/// If `keep_trace` is false the trace/removal_order vectors stay empty
+/// (saves memory on large graphs).
+PeelResult PeelDensestBlock(const BipartiteGraph& graph,
+                            const DensityConfig& config,
+                            bool keep_trace = false);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_DETECT_GREEDY_PEELER_H_

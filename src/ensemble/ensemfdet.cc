@@ -1,0 +1,128 @@
+#include "ensemble/ensemfdet.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "graph/subgraph.h"
+
+namespace ensemfdet {
+
+namespace {
+
+// One ensemble member's contribution, in parent-graph id space.
+// weight[i] is the φ of the densest detected block containing node i —
+// the per-member input to the score-weighted aggregation variant.
+struct MemberOutput {
+  std::vector<UserId> users;
+  std::vector<double> user_weights;
+  std::vector<MerchantId> merchants;
+  std::vector<double> merchant_weights;
+  EnsemFDetReport::MemberStats stats;
+  Status status;
+};
+
+MemberOutput RunMember(const BipartiteGraph& graph, const Sampler& sampler,
+                       const FdetConfig& fdet_config, Rng member_rng) {
+  MemberOutput out;
+  WallTimer timer;
+
+  SubgraphView view = sampler.Sample(graph, &member_rng);
+  out.stats.sample_users = view.graph.num_users();
+  out.stats.sample_merchants = view.graph.num_merchants();
+  out.stats.sample_edges = view.graph.num_edges();
+
+  Result<FdetResult> fdet = RunFdet(view.graph, fdet_config);
+  if (!fdet.ok()) {
+    out.status = fdet.status();
+    return out;
+  }
+  out.stats.num_blocks = fdet->truncation_index;
+
+  // Per-node weight: max φ over the detected blocks containing the node
+  // (nodes can sit in several blocks — blocks are edge-disjoint, not
+  // vertex-disjoint).
+  std::unordered_map<UserId, double> user_weight;
+  std::unordered_map<MerchantId, double> merchant_weight;
+  for (const DetectedBlock& block : fdet->blocks) {
+    for (UserId lu : block.users) {
+      double& w = user_weight[lu];
+      w = std::max(w, block.score);
+    }
+    for (MerchantId lv : block.merchants) {
+      double& w = merchant_weight[lv];
+      w = std::max(w, block.score);
+    }
+  }
+
+  for (UserId local : fdet->DetectedUsers()) {
+    out.users.push_back(view.ToParentUser(local));
+    out.user_weights.push_back(user_weight.at(local));
+  }
+  for (MerchantId local : fdet->DetectedMerchants()) {
+    out.merchants.push_back(view.ToParentMerchant(local));
+    out.merchant_weights.push_back(merchant_weight.at(local));
+  }
+  out.stats.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace
+
+Result<EnsemFDetReport> EnsemFDet::Run(const BipartiteGraph& graph,
+                                       ThreadPool* pool) const {
+  if (config_.num_samples < 1) {
+    return Status::InvalidArgument("num_samples (N) must be >= 1, got " +
+                                   std::to_string(config_.num_samples));
+  }
+  ENSEMFDET_ASSIGN_OR_RETURN(
+      std::unique_ptr<Sampler> sampler,
+      MakeSampler(config_.method, config_.ratio, config_.reweight_edges));
+
+  WallTimer total_timer;
+  const int n = config_.num_samples;
+  Rng root(config_.seed);
+
+  std::vector<MemberOutput> outputs(static_cast<size_t>(n));
+  auto run_one = [&](int64_t i) {
+    outputs[static_cast<size_t>(i)] =
+        RunMember(graph, *sampler, config_.fdet,
+                  root.Split(static_cast<uint64_t>(i)));
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
+    pool->ParallelFor(0, n, run_one);
+  } else {
+    for (int64_t i = 0; i < n; ++i) run_one(i);
+  }
+
+  // Aggregate strictly in member order → deterministic at any thread count.
+  EnsemFDetReport report;
+  report.num_samples = n;
+  report.votes = VoteTable(graph.num_users(), graph.num_merchants());
+  report.weighted_user_votes.assign(
+      static_cast<size_t>(graph.num_users()), 0.0);
+  report.weighted_merchant_votes.assign(
+      static_cast<size_t>(graph.num_merchants()), 0.0);
+  report.members.reserve(static_cast<size_t>(n));
+  for (MemberOutput& out : outputs) {
+    ENSEMFDET_RETURN_NOT_OK(out.status);
+    report.votes.AddVotes(out.users, out.merchants);
+    for (size_t i = 0; i < out.users.size(); ++i) {
+      report.weighted_user_votes[out.users[i]] += out.user_weights[i];
+    }
+    for (size_t i = 0; i < out.merchants.size(); ++i) {
+      report.weighted_merchant_votes[out.merchants[i]] +=
+          out.merchant_weights[i];
+    }
+    report.members.push_back(out.stats);
+  }
+  report.total_seconds = total_timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,56 @@
+#include "ensemble/vote_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+VoteTable::VoteTable(int64_t num_users, int64_t num_merchants)
+    : user_votes_(static_cast<size_t>(num_users), 0),
+      merchant_votes_(static_cast<size_t>(num_merchants), 0) {}
+
+void VoteTable::AddVotes(std::span<const UserId> users,
+                         std::span<const MerchantId> merchants) {
+  for (UserId u : users) {
+    ENSEMFDET_DCHECK(u < user_votes_.size());
+    ++user_votes_[u];
+  }
+  for (MerchantId v : merchants) {
+    ENSEMFDET_DCHECK(v < merchant_votes_.size());
+    ++merchant_votes_[v];
+  }
+}
+
+std::vector<UserId> VoteTable::AcceptedUsers(int32_t threshold) const {
+  std::vector<UserId> out;
+  for (size_t u = 0; u < user_votes_.size(); ++u) {
+    if (user_votes_[u] >= threshold) out.push_back(static_cast<UserId>(u));
+  }
+  return out;
+}
+
+std::vector<MerchantId> VoteTable::AcceptedMerchants(
+    int32_t threshold) const {
+  std::vector<MerchantId> out;
+  for (size_t v = 0; v < merchant_votes_.size(); ++v) {
+    if (merchant_votes_[v] >= threshold) {
+      out.push_back(static_cast<MerchantId>(v));
+    }
+  }
+  return out;
+}
+
+int64_t VoteTable::CountAcceptedUsers(int32_t threshold) const {
+  int64_t count = 0;
+  for (int32_t votes : user_votes_) count += (votes >= threshold) ? 1 : 0;
+  return count;
+}
+
+int32_t VoteTable::max_user_votes() const {
+  int32_t best = 0;
+  for (int32_t votes : user_votes_) best = std::max(best, votes);
+  return best;
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,166 @@
+#include "eval/curves.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+namespace {
+
+OperatingPoint MakePoint(double control, std::span<const UserId> detected,
+                         const LabelSet& labels) {
+  const Confusion c = CountConfusion(detected, labels);
+  OperatingPoint p;
+  p.control = control;
+  p.num_detected = c.num_detected();
+  p.precision = Precision(c);
+  p.recall = Recall(c);
+  p.f1 = F1Score(c);
+  return p;
+}
+
+}  // namespace
+
+std::vector<OperatingPoint> VoteSweep(const VoteTable& votes,
+                                      const LabelSet& labels,
+                                      int32_t max_threshold) {
+  ENSEMFDET_CHECK(votes.num_users() == labels.num_users())
+      << "vote table and labels disagree on user universe";
+  std::vector<OperatingPoint> points;
+  int64_t last_detected = -1;
+  for (int32_t t = max_threshold; t >= 1; --t) {
+    std::vector<UserId> detected = votes.AcceptedUsers(t);
+    if (static_cast<int64_t>(detected.size()) == last_detected) continue;
+    last_detected = static_cast<int64_t>(detected.size());
+    points.push_back(MakePoint(static_cast<double>(t), detected, labels));
+  }
+  return points;
+}
+
+std::vector<OperatingPoint> ScoreSweep(std::span<const double> scores,
+                                       const LabelSet& labels,
+                                       std::span<const int64_t> sizes) {
+  ENSEMFDET_CHECK(static_cast<int64_t>(scores.size()) == labels.num_users());
+  std::vector<UserId> ranked(scores.size());
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::sort(ranked.begin(), ranked.end(), [&scores](UserId a, UserId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+
+  std::vector<OperatingPoint> points;
+  for (int64_t size : sizes) {
+    const int64_t take =
+        std::clamp<int64_t>(size, 0, static_cast<int64_t>(ranked.size()));
+    std::span<const UserId> prefix(ranked.data(),
+                                   static_cast<size_t>(take));
+    points.push_back(
+        MakePoint(static_cast<double>(take), prefix, labels));
+  }
+  return points;
+}
+
+std::vector<OperatingPoint> BlockSweep(
+    const std::vector<std::vector<UserId>>& user_blocks,
+    const LabelSet& labels) {
+  std::vector<OperatingPoint> points;
+  std::vector<UserId> cumulative;
+  for (size_t i = 0; i < user_blocks.size(); ++i) {
+    cumulative.insert(cumulative.end(), user_blocks[i].begin(),
+                      user_blocks[i].end());
+    std::sort(cumulative.begin(), cumulative.end());
+    cumulative.erase(std::unique(cumulative.begin(), cumulative.end()),
+                     cumulative.end());
+    points.push_back(
+        MakePoint(static_cast<double>(i + 1), cumulative, labels));
+  }
+  return points;
+}
+
+double PrCurveArea(std::span<const OperatingPoint> points) {
+  if (points.size() < 2) return 0.0;
+  std::vector<OperatingPoint> sorted(points.begin(), points.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const OperatingPoint& a, const OperatingPoint& b) {
+              return a.recall < b.recall;
+            });
+  double area = 0.0;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    const double dr = sorted[i].recall - sorted[i - 1].recall;
+    area += dr * 0.5 * (sorted[i].precision + sorted[i - 1].precision);
+  }
+  return area;
+}
+
+std::vector<RocPoint> RocCurve(std::span<const double> scores,
+                               const LabelSet& labels) {
+  ENSEMFDET_CHECK(static_cast<int64_t>(scores.size()) == labels.num_users());
+  std::vector<UserId> ranked(scores.size());
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::sort(ranked.begin(), ranked.end(), [&scores](UserId a, UserId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+
+  const int64_t positives = labels.num_fraud();
+  const int64_t negatives = labels.num_users() - positives;
+  std::vector<RocPoint> points;
+  points.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  int64_t tp = 0, fp = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    labels.IsFraud(ranked[i]) ? ++tp : ++fp;
+    // Emit one point per distinct score value: all ties must be included
+    // together or the curve would depend on tie order.
+    const bool last = i + 1 == ranked.size();
+    if (!last && scores[ranked[i + 1]] == scores[ranked[i]]) continue;
+    RocPoint p;
+    p.threshold = scores[ranked[i]];
+    p.true_positive_rate =
+        positives == 0 ? 0.0
+                       : static_cast<double>(tp) /
+                             static_cast<double>(positives);
+    p.false_positive_rate =
+        negatives == 0 ? 0.0
+                       : static_cast<double>(fp) /
+                             static_cast<double>(negatives);
+    points.push_back(p);
+  }
+  return points;
+}
+
+double RocAuc(std::span<const RocPoint> points) {
+  if (points.size() < 2) return 0.0;
+  std::vector<RocPoint> sorted(points.begin(), points.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RocPoint& a, const RocPoint& b) {
+              return a.false_positive_rate < b.false_positive_rate;
+            });
+  double area = 0.0;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    const double dx =
+        sorted[i].false_positive_rate - sorted[i - 1].false_positive_rate;
+    area += dx * 0.5 *
+            (sorted[i].true_positive_rate + sorted[i - 1].true_positive_rate);
+  }
+  return area;
+}
+
+std::vector<int64_t> GeometricSizes(int64_t lo, int64_t hi, int n) {
+  ENSEMFDET_CHECK(lo >= 1 && hi >= lo && n >= 1);
+  std::vector<int64_t> sizes;
+  const double ratio = static_cast<double>(hi) / static_cast<double>(lo);
+  for (int i = 0; i < n; ++i) {
+    const double frac = n == 1 ? 0.0 : static_cast<double>(i) / (n - 1);
+    sizes.push_back(static_cast<int64_t>(
+        std::llround(static_cast<double>(lo) * std::pow(ratio, frac))));
+  }
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  return sizes;
+}
+
+}  // namespace ensemfdet

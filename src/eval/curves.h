@@ -1,0 +1,80 @@
+// Operating-curve assembly: the Precision-Recall and metric-vs-#detected
+// series that every evaluation figure (Figs 3-9) plots.
+//
+// Two sources of operating points:
+//   * VoteSweep     — ENSEMFDET: one point per voting threshold T = N..1
+//                     (descending T ⇒ ascending #detected, ascending recall)
+//   * ScoreSweep    — score-ranking baselines (SPOKEN, FBOX): one point per
+//                     requested detection-set size, taking the top-scoring
+//                     users
+// plus BlockSweep for FRAUDAR's discrete prefix-of-blocks points.
+#ifndef ENSEMFDET_EVAL_CURVES_H_
+#define ENSEMFDET_EVAL_CURVES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ensemble/vote_table.h"
+#include "eval/labels.h"
+#include "eval/metrics.h"
+
+namespace ensemfdet {
+
+/// One point on an operating curve.
+struct OperatingPoint {
+  /// The control value that produced this point: voting threshold T,
+  /// detection-set size, or block-prefix length, per the sweep used.
+  double control = 0.0;
+  int64_t num_detected = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Evaluates MVA at every threshold T in [1, max_threshold], descending T
+/// order (so points go from strictest to loosest). Skips duplicate
+/// consecutive points with identical num_detected.
+std::vector<OperatingPoint> VoteSweep(const VoteTable& votes,
+                                      const LabelSet& labels,
+                                      int32_t max_threshold);
+
+/// Ranks users by descending score (ties: ascending id) and evaluates the
+/// top-`size` prefix for every size in `sizes`.
+std::vector<OperatingPoint> ScoreSweep(std::span<const double> scores,
+                                       const LabelSet& labels,
+                                       std::span<const int64_t> sizes);
+
+/// Evaluates growing unions of user blocks: point i covers blocks [0, i].
+/// This reproduces FRAUDAR's discrete polyline of §V-C1.
+std::vector<OperatingPoint> BlockSweep(
+    const std::vector<std::vector<UserId>>& user_blocks,
+    const LabelSet& labels);
+
+/// Area under the PR curve by trapezoidal rule over recall (points sorted
+/// by recall internally). Returns 0 for fewer than 2 distinct points.
+double PrCurveArea(std::span<const OperatingPoint> points);
+
+/// One point on an ROC curve (§I mentions heuristic methods' "zigzag ROC
+/// curve" — this lets benches draw both curve families).
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;   // recall
+  double false_positive_rate = 0.0;  // fp / (fp + tn)
+};
+
+/// Full ROC curve of a per-user score ranking: one point per distinct
+/// score value (descending), plus the (0,0) start. O(n log n).
+std::vector<RocPoint> RocCurve(std::span<const double> scores,
+                               const LabelSet& labels);
+
+/// Area under the ROC curve by trapezoid over FPR; 0.5 = chance.
+double RocAuc(std::span<const RocPoint> points);
+
+/// Convenience: n geometrically spaced sizes in [lo, hi] (deduplicated,
+/// ascending) for ScoreSweep.
+std::vector<int64_t> GeometricSizes(int64_t lo, int64_t hi, int n);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_EVAL_CURVES_H_

@@ -1,0 +1,40 @@
+#include "eval/labels.h"
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+LabelSet::LabelSet(int64_t num_users)
+    : fraud_(static_cast<size_t>(num_users), false) {}
+
+LabelSet::LabelSet(int64_t num_users, std::span<const UserId> fraud_users)
+    : LabelSet(num_users) {
+  for (UserId u : fraud_users) MarkFraud(u);
+}
+
+void LabelSet::MarkFraud(UserId u) {
+  ENSEMFDET_CHECK(u < fraud_.size()) << "user id out of range";
+  if (!fraud_[u]) {
+    fraud_[u] = true;
+    ++num_fraud_;
+  }
+}
+
+void LabelSet::ClearFraud(UserId u) {
+  ENSEMFDET_CHECK(u < fraud_.size()) << "user id out of range";
+  if (fraud_[u]) {
+    fraud_[u] = false;
+    --num_fraud_;
+  }
+}
+
+std::vector<UserId> LabelSet::FraudUsers() const {
+  std::vector<UserId> out;
+  out.reserve(static_cast<size_t>(num_fraud_));
+  for (size_t u = 0; u < fraud_.size(); ++u) {
+    if (fraud_[u]) out.push_back(static_cast<UserId>(u));
+  }
+  return out;
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,45 @@
+#include "eval/metrics.h"
+
+#include <vector>
+
+namespace ensemfdet {
+
+Confusion CountConfusion(std::span<const UserId> detected,
+                         const LabelSet& labels) {
+  std::vector<bool> flagged(static_cast<size_t>(labels.num_users()), false);
+  for (UserId u : detected) flagged[u] = true;
+
+  Confusion c;
+  for (int64_t i = 0; i < labels.num_users(); ++i) {
+    const UserId u = static_cast<UserId>(i);
+    const bool is_fraud = labels.IsFraud(u);
+    if (flagged[u]) {
+      is_fraud ? ++c.true_positives : ++c.false_positives;
+    } else {
+      is_fraud ? ++c.false_negatives : ++c.true_negatives;
+    }
+  }
+  return c;
+}
+
+double Precision(const Confusion& c) {
+  const int64_t denom = c.true_positives + c.false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(c.true_positives) /
+                          static_cast<double>(denom);
+}
+
+double Recall(const Confusion& c) {
+  const int64_t denom = c.true_positives + c.false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(c.true_positives) /
+                          static_cast<double>(denom);
+}
+
+double F1Score(const Confusion& c) {
+  const double p = Precision(c);
+  const double r = Recall(c);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,78 @@
+#include "eval/report_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ensemfdet {
+
+Status SaveVotesCsv(const EnsemFDetReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "user_id,votes,weighted_votes\n";
+  char line[96];
+  for (int64_t u = 0; u < report.votes.num_users(); ++u) {
+    const int32_t votes = report.votes.user_votes(static_cast<UserId>(u));
+    if (votes == 0) continue;
+    const double weighted =
+        static_cast<size_t>(u) < report.weighted_user_votes.size()
+            ? report.weighted_user_votes[static_cast<size_t>(u)]
+            : 0.0;
+    std::snprintf(line, sizeof(line), "%" PRId64 ",%d,%.17g\n", u, votes,
+                  weighted);
+    out << line;
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status SaveOperatingCurveCsv(std::span<const OperatingPoint> points,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "control,num_detected,precision,recall,f1\n";
+  char line[160];
+  for (const OperatingPoint& p : points) {
+    std::snprintf(line, sizeof(line), "%.17g,%" PRId64 ",%.17g,%.17g,%.17g\n",
+                  p.control, p.num_detected, p.precision, p.recall, p.f1);
+    out << line;
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<VoteRecord>> LoadVotesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "user_id,votes,weighted_votes") {
+    return Status::IOError(path + ": missing votes CSV header");
+  }
+  std::vector<VoteRecord> records;
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    VoteRecord record;
+    long long user = 0;
+    int votes = 0;
+    double weighted = 0.0;
+    if (std::sscanf(line.c_str(), "%lld,%d,%lf", &user, &votes, &weighted) !=
+            3 ||
+        user < 0) {
+      return Status::IOError(path + ":" + std::to_string(line_no) +
+                             ": malformed votes row");
+    }
+    record.user = static_cast<UserId>(user);
+    record.votes = votes;
+    record.weighted_votes = weighted;
+    records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace ensemfdet

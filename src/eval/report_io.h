@@ -1,0 +1,34 @@
+// Persistence of detection outputs: vote tables and operating curves as
+// CSV files, so deployments can hand results to downstream review tooling
+// and notebooks without relinking against the library.
+#ifndef ENSEMFDET_EVAL_REPORT_IO_H_
+#define ENSEMFDET_EVAL_REPORT_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ensemble/ensemfdet.h"
+#include "eval/curves.h"
+
+namespace ensemfdet {
+
+/// Writes `user_id,votes,weighted_votes` rows (only users with ≥ 1 vote;
+/// header included) to `path`.
+Status SaveVotesCsv(const EnsemFDetReport& report, const std::string& path);
+
+/// Writes `control,num_detected,precision,recall,f1` rows to `path`.
+Status SaveOperatingCurveCsv(std::span<const OperatingPoint> points,
+                             const std::string& path);
+
+/// Reads a votes CSV produced by SaveVotesCsv; returns (user id, votes,
+/// weighted votes) triples in file order.
+struct VoteRecord {
+  UserId user = 0;
+  int32_t votes = 0;
+  double weighted_votes = 0.0;
+};
+Result<std::vector<VoteRecord>> LoadVotesCsv(const std::string& path);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_EVAL_REPORT_IO_H_

@@ -1,0 +1,31 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+
+namespace ensemfdet {
+
+double BipartiteGraph::user_weighted_degree(UserId u) const {
+  if (weights_.empty()) return static_cast<double>(user_degree(u));
+  double sum = 0.0;
+  for (EdgeId e : user_edges(u)) sum += weights_[static_cast<size_t>(e)];
+  return sum;
+}
+
+double BipartiteGraph::merchant_weighted_degree(MerchantId v) const {
+  if (weights_.empty()) return static_cast<double>(merchant_degree(v));
+  double sum = 0.0;
+  for (EdgeId e : merchant_edges(v)) sum += weights_[static_cast<size_t>(e)];
+  return sum;
+}
+
+bool BipartiteGraph::HasEdge(UserId u, MerchantId v) const {
+  if (u >= num_users_ || v >= num_merchants_) return false;
+  auto span = user_edges(u);
+  // user_adj_ is sorted by merchant id within each user's range.
+  auto it = std::lower_bound(
+      span.begin(), span.end(), v,
+      [this](EdgeId e, MerchantId m) { return edge(e).merchant < m; });
+  return it != span.end() && edge(*it).merchant == v;
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,111 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+GraphBuilder::GraphBuilder(int64_t num_users, int64_t num_merchants)
+    : num_users_(num_users), num_merchants_(num_merchants) {
+  ENSEMFDET_CHECK(num_users >= 0 && num_merchants >= 0);
+  ENSEMFDET_CHECK(num_users <= UINT32_MAX && num_merchants <= UINT32_MAX)
+      << "node counts must fit 32-bit ids";
+}
+
+void GraphBuilder::AddEdge(UserId user, MerchantId merchant, double weight) {
+  pending_.push_back({user, merchant, weight});
+}
+
+void GraphBuilder::Reserve(int64_t num_edges) {
+  pending_.reserve(static_cast<size_t>(num_edges));
+}
+
+Result<BipartiteGraph> GraphBuilder::Build(DuplicatePolicy policy) {
+  // Validate before any expensive work.
+  for (const PendingEdge& pe : pending_) {
+    if (pe.user >= num_users_) {
+      return Status::InvalidArgument("user id " + std::to_string(pe.user) +
+                                     " out of range [0, " +
+                                     std::to_string(num_users_) + ")");
+    }
+    if (pe.merchant >= num_merchants_) {
+      return Status::InvalidArgument(
+          "merchant id " + std::to_string(pe.merchant) + " out of range [0, " +
+          std::to_string(num_merchants_) + ")");
+    }
+    if (!std::isfinite(pe.weight) || pe.weight <= 0.0) {
+      return Status::InvalidArgument("edge weight must be finite and > 0");
+    }
+  }
+
+  // Sort by (user, merchant) so duplicates are adjacent and the user-side
+  // CSR comes out with sorted neighbor lists.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingEdge& a, const PendingEdge& b) {
+              if (a.user != b.user) return a.user < b.user;
+              return a.merchant < b.merchant;
+            });
+
+  BipartiteGraph g;
+  g.num_users_ = num_users_;
+  g.num_merchants_ = num_merchants_;
+  g.edges_.reserve(pending_.size());
+  bool any_nonunit_weight = false;
+  std::vector<double> weights;
+  weights.reserve(pending_.size());
+
+  for (size_t i = 0; i < pending_.size();) {
+    const PendingEdge& first = pending_[i];
+    double weight = first.weight;
+    size_t j = i + 1;
+    while (j < pending_.size() && pending_[j].user == first.user &&
+           pending_[j].merchant == first.merchant) {
+      if (policy == DuplicatePolicy::kSumWeights) weight += pending_[j].weight;
+      ++j;
+    }
+    g.edges_.push_back({first.user, first.merchant});
+    weights.push_back(weight);
+    if (weight != 1.0) any_nonunit_weight = true;
+    i = j;
+  }
+  if (any_nonunit_weight) g.weights_ = std::move(weights);
+
+  const int64_t num_edges = static_cast<int64_t>(g.edges_.size());
+
+  // User-side CSR: edges are already user-sorted, offsets by counting.
+  g.user_offsets_.assign(static_cast<size_t>(num_users_) + 1, 0);
+  for (const Edge& e : g.edges_) ++g.user_offsets_[e.user + 1];
+  for (int64_t u = 0; u < num_users_; ++u) {
+    g.user_offsets_[static_cast<size_t>(u) + 1] +=
+        g.user_offsets_[static_cast<size_t>(u)];
+  }
+  g.user_adj_.resize(static_cast<size_t>(num_edges));
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    g.user_adj_[static_cast<size_t>(e)] = e;  // already grouped and sorted
+  }
+
+  // Merchant-side CSR via counting sort by merchant; within a merchant the
+  // edge ids arrive in ascending user order because edges_ is user-sorted.
+  g.merchant_offsets_.assign(static_cast<size_t>(num_merchants_) + 1, 0);
+  for (const Edge& e : g.edges_) ++g.merchant_offsets_[e.merchant + 1];
+  for (int64_t v = 0; v < num_merchants_; ++v) {
+    g.merchant_offsets_[static_cast<size_t>(v) + 1] +=
+        g.merchant_offsets_[static_cast<size_t>(v)];
+  }
+  g.merchant_adj_.resize(static_cast<size_t>(num_edges));
+  std::vector<int64_t> cursor(g.merchant_offsets_.begin(),
+                              g.merchant_offsets_.end() - 1);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    MerchantId v = g.edges_[static_cast<size_t>(e)].merchant;
+    g.merchant_adj_[static_cast<size_t>(cursor[v]++)] = e;
+  }
+
+  pending_.clear();
+  pending_.shrink_to_fit();
+  return g;
+}
+
+}  // namespace ensemfdet

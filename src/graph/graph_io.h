@@ -1,0 +1,28 @@
+// Edge-list persistence for bipartite graphs.
+//
+// Format: TSV, one `user<TAB>merchant[<TAB>weight]` line per edge. Lines
+// starting with '#' are comments; the first comment written by
+// SaveEdgeListTsv records node counts so loading round-trips isolated
+// nodes: `# bipartite <num_users> <num_merchants>`. Without that header,
+// node counts are inferred as max id + 1.
+#ifndef ENSEMFDET_GRAPH_GRAPH_IO_H_
+#define ENSEMFDET_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace ensemfdet {
+
+/// Writes the graph to `path`, including the node-count header comment and
+/// per-edge weights when present.
+Status SaveEdgeListTsv(const BipartiteGraph& graph, const std::string& path);
+
+/// Reads a graph from `path`. Duplicate edges are merged with
+/// DuplicatePolicy::kSumWeights.
+Result<BipartiteGraph> LoadEdgeListTsv(const std::string& path);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_GRAPH_GRAPH_IO_H_

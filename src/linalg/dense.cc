@@ -1,0 +1,54 @@
+#include "linalg/dense.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  ENSEMFDET_DCHECK(x.size() == y.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double Norm2(std::span<const double> x) { return std::sqrt(Dot(x, x)); }
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  ENSEMFDET_DCHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+DenseMatrix GramMatrix(const DenseMatrix& a) {
+  const int64_t l = a.cols();
+  DenseMatrix g(l, l);
+  for (int64_t i = 0; i < l; ++i) {
+    for (int64_t j = i; j < l; ++j) {
+      double d = Dot(a.col(i), a.col(j));
+      g(i, j) = d;
+      g(j, i) = d;
+    }
+  }
+  return g;
+}
+
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& w) {
+  ENSEMFDET_CHECK(a.cols() == w.rows());
+  DenseMatrix b(a.rows(), w.cols());
+  for (int64_t j = 0; j < w.cols(); ++j) {
+    auto out = b.col(j);
+    for (int64_t k = 0; k < a.cols(); ++k) {
+      double wkj = w(k, j);
+      if (wkj == 0.0) continue;
+      Axpy(wkj, a.col(k), out);
+    }
+  }
+  return b;
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,72 @@
+// Small dense linear-algebra kernels backing the truncated SVD.
+//
+// DenseMatrix is COLUMN-major: every algorithm here (Gram-Schmidt, subspace
+// iteration, projections) operates on whole columns, so columns are kept
+// contiguous. Matrices are tall-and-skinny (n × l with l ≲ 64), so O(n·l)
+// storage is fine.
+#ifndef ENSEMFDET_LINALG_DENSE_H_
+#define ENSEMFDET_LINALG_DENSE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ensemfdet {
+
+/// Column-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  /// Zero-initialized rows × cols matrix.
+  DenseMatrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0) {}
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double& operator()(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(c * rows_ + r)];
+  }
+  double operator()(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(c * rows_ + r)];
+  }
+
+  /// Contiguous view of column c.
+  std::span<double> col(int64_t c) {
+    return {data_.data() + c * rows_, static_cast<size_t>(rows_)};
+  }
+  std::span<const double> col(int64_t c) const {
+    return {data_.data() + c * rows_, static_cast<size_t>(rows_)};
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// <x, y> for equal-length spans.
+double Dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm.
+double Norm2(std::span<const double> x);
+
+/// y += alpha * x.
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void Scale(double alpha, std::span<double> x);
+
+/// C = Aᵀ·A for column-major A (cols×cols symmetric Gram matrix).
+DenseMatrix GramMatrix(const DenseMatrix& a);
+
+/// B = A·W where W is small (A.cols × W.cols).
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& w);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_LINALG_DENSE_H_

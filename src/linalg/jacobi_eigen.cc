@@ -1,0 +1,105 @@
+#include "linalg/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+namespace {
+
+double OffDiagonalFrobenius(const DenseMatrix& s) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < s.rows(); ++i) {
+    for (int64_t j = 0; j < s.cols(); ++j) {
+      if (i != j) sum += s(i, j) * s(i, j);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double FrobeniusNorm(const DenseMatrix& s) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < s.rows(); ++i) {
+    for (int64_t j = 0; j < s.cols(); ++j) sum += s(i, j) * s(i, j);
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+SymmetricEigen SymmetricEigenDecompose(DenseMatrix s) {
+  const int64_t n = s.rows();
+  ENSEMFDET_CHECK(s.cols() == n) << "matrix must be square";
+#ifndef NDEBUG
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      ENSEMFDET_DCHECK(std::abs(s(i, j) - s(j, i)) <=
+                       1e-9 * (1.0 + std::abs(s(i, j))))
+          << "matrix must be symmetric";
+    }
+  }
+#endif
+
+  DenseMatrix v(n, n);
+  for (int64_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  const double norm = FrobeniusNorm(s);
+  const double tolerance = 1e-14 * (norm > 0.0 ? norm : 1.0);
+  constexpr int kMaxSweeps = 60;
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (OffDiagonalFrobenius(s) <= tolerance) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double apq = s(p, q);
+        if (std::abs(apq) <= tolerance / (n * n + 1)) continue;
+        double app = s(p, p), aqq = s(q, q);
+        // Classic stable rotation computation (Golub & Van Loan §8.5).
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double sn = t * c;
+
+        // Apply Jᵀ·S·J on rows/cols p,q.
+        for (int64_t k = 0; k < n; ++k) {
+          double skp = s(k, p), skq = s(k, q);
+          s(k, p) = c * skp - sn * skq;
+          s(k, q) = sn * skp + c * skq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double spk = s(p, k), sqk = s(q, k);
+          s(p, k) = c * spk - sn * sqk;
+          s(q, k) = sn * spk + c * sqk;
+        }
+        // Accumulate eigenvectors: V = V·J.
+        for (int64_t k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - sn * vkq;
+          v(k, q) = sn * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort descending by eigenvalue.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&s](int64_t a, int64_t b) { return s(a, a) > s(b, b); });
+
+  SymmetricEigen result;
+  result.values.resize(static_cast<size_t>(n));
+  result.vectors = DenseMatrix(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t src = order[static_cast<size_t>(i)];
+    result.values[static_cast<size_t>(i)] = s(src, src);
+    for (int64_t k = 0; k < n; ++k) result.vectors(k, i) = v(k, src);
+  }
+  return result;
+}
+
+}  // namespace ensemfdet

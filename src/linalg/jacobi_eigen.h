@@ -1,0 +1,29 @@
+// Cyclic Jacobi eigensolver for small dense symmetric matrices — the final
+// l×l diagonalization step of the truncated SVD (l ≲ 64, so the O(l³) per
+// sweep cost is irrelevant and Jacobi's unconditional stability wins).
+#ifndef ENSEMFDET_LINALG_JACOBI_EIGEN_H_
+#define ENSEMFDET_LINALG_JACOBI_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/dense.h"
+
+namespace ensemfdet {
+
+/// Eigendecomposition S = V·diag(values)·Vᵀ of a symmetric matrix.
+struct SymmetricEigen {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column i of `vectors` is the unit eigenvector for values[i].
+  DenseMatrix vectors;
+};
+
+/// Diagonalizes symmetric `s` by cyclic Jacobi rotations. Off-diagonal mass
+/// is reduced below 1e-14·‖S‖_F (or 60 sweeps, whichever first — in
+/// practice ≤ 10 sweeps). `s` must be square and symmetric; asymmetry is a
+/// caller bug and is CHECKed in debug builds.
+SymmetricEigen SymmetricEigenDecompose(DenseMatrix s);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_LINALG_JACOBI_EIGEN_H_

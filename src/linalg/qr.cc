@@ -1,0 +1,54 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+namespace {
+
+constexpr double kRankTolerance = 1e-12;
+
+// One modified-Gram-Schmidt sweep of column c against columns [0, c).
+void ProjectOut(DenseMatrix* m, int64_t c) {
+  auto target = m->col(c);
+  for (int64_t j = 0; j < c; ++j) {
+    double coeff = Dot(m->col(j), target);
+    Axpy(-coeff, m->col(j), target);
+  }
+}
+
+}  // namespace
+
+int OrthonormalizeColumns(DenseMatrix* m, Rng* rng) {
+  ENSEMFDET_CHECK(m != nullptr && rng != nullptr);
+  ENSEMFDET_CHECK(m->rows() >= m->cols())
+      << "cannot orthonormalize " << m->cols() << " columns in dimension "
+      << m->rows();
+  int redrawn = 0;
+  for (int64_t c = 0; c < m->cols(); ++c) {
+    // Two MGS sweeps ("twice is enough" — Kahan/Parlett) keep loss of
+    // orthogonality at the roundoff level even for ill-conditioned inputs.
+    ProjectOut(m, c);
+    ProjectOut(m, c);
+    double norm = Norm2(m->col(c));
+    int attempts = 0;
+    while (norm < kRankTolerance) {
+      // Column lies (numerically) in the span of its predecessors: replace
+      // with random data to restore full rank.
+      ENSEMFDET_CHECK(++attempts < 64) << "orthonormalization cannot make "
+                                          "progress; matrix dimension too "
+                                          "small for requested rank?";
+      for (double& v : m->col(c)) v = rng->NextGaussian();
+      ProjectOut(m, c);
+      ProjectOut(m, c);
+      norm = Norm2(m->col(c));
+      if (norm >= kRankTolerance) ++redrawn;
+    }
+    Scale(1.0 / norm, m->col(c));
+  }
+  return redrawn;
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,22 @@
+// Column orthonormalization via modified Gram-Schmidt with
+// re-orthogonalization — the "Q" step of the randomized subspace iteration
+// in svd.cc.
+#ifndef ENSEMFDET_LINALG_QR_H_
+#define ENSEMFDET_LINALG_QR_H_
+
+#include "common/rng.h"
+#include "linalg/dense.h"
+
+namespace ensemfdet {
+
+/// Orthonormalizes the columns of `m` in place (modified Gram-Schmidt, two
+/// passes for numerical robustness). Columns that become numerically zero
+/// (rank deficiency) are replaced with fresh random Gaussian vectors and
+/// re-orthogonalized, so the output always has full column rank; `rng`
+/// supplies that randomness. Returns the number of columns that had to be
+/// re-randomized.
+int OrthonormalizeColumns(DenseMatrix* m, Rng* rng);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_LINALG_QR_H_

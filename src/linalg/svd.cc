@@ -1,0 +1,79 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/qr.h"
+
+namespace ensemfdet {
+
+Result<TruncatedSvd> ComputeTruncatedSvd(const CsrMatrix& a, int k,
+                                         const SvdOptions& options) {
+  if (k < 1) return Status::InvalidArgument("SVD rank k must be >= 1");
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SVD of an empty matrix");
+  }
+  const int64_t max_rank = std::min(a.rows(), a.cols());
+  const int kept = static_cast<int>(std::min<int64_t>(k, max_rank));
+  const int l = static_cast<int>(
+      std::min<int64_t>(kept + std::max(0, options.oversample), max_rank));
+
+  Rng rng(options.seed);
+
+  // Random start block on the column side (V-side), n × l.
+  DenseMatrix v(a.cols(), l);
+  for (int64_t c = 0; c < l; ++c) {
+    for (double& x : v.col(c)) x = rng.NextGaussian();
+  }
+  OrthonormalizeColumns(&v, &rng);
+
+  // Subspace iteration: alternate U ← orth(A·V), V ← orth(Aᵀ·U).
+  DenseMatrix u;
+  const int rounds = std::max(1, options.power_iterations);
+  for (int it = 0; it < rounds; ++it) {
+    u = a.MultiplyDense(v);
+    OrthonormalizeColumns(&u, &rng);
+    v = a.MultiplyTransposeDense(u);
+    OrthonormalizeColumns(&v, &rng);
+  }
+
+  // Rayleigh-Ritz on the converged V block: B = A·V (m×l), Gram G = BᵀB has
+  // eigenpairs (σ², w); then σ·u = B·w and v = V·w.
+  DenseMatrix b = a.MultiplyDense(v);
+  SymmetricEigen eigen = SymmetricEigenDecompose(GramMatrix(b));
+
+  TruncatedSvd out;
+  out.sigma.resize(static_cast<size_t>(kept));
+  out.u = DenseMatrix(a.rows(), kept);
+  out.v = DenseMatrix(a.cols(), kept);
+
+  DenseMatrix w(l, kept);
+  for (int j = 0; j < kept; ++j) {
+    for (int64_t i = 0; i < l; ++i) w(i, j) = eigen.vectors(i, j);
+  }
+  DenseMatrix u_scaled = MatMul(b, w);  // columns are σ_j·u_j
+  DenseMatrix v_rot = MatMul(v, w);     // columns are v_j
+
+  for (int j = 0; j < kept; ++j) {
+    double lambda = std::max(0.0, eigen.values[static_cast<size_t>(j)]);
+    double sigma = std::sqrt(lambda);
+    out.sigma[static_cast<size_t>(j)] = sigma;
+    auto src_v = v_rot.col(j);
+    std::copy(src_v.begin(), src_v.end(), out.v.col(j).begin());
+    auto src_u = u_scaled.col(j);
+    auto dst_u = out.u.col(j);
+    if (sigma > 1e-12) {
+      for (size_t i = 0; i < src_u.size(); ++i) dst_u[i] = src_u[i] / sigma;
+    } else {
+      // Null direction: any unit vector completes the basis; zero keeps
+      // downstream projections harmless.
+      std::fill(dst_u.begin(), dst_u.end(), 0.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,22 @@
+#include "sampling/one_side_node_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+namespace ensemfdet {
+
+SubgraphView OneSideNodeSampler::Sample(const BipartiteGraph& graph,
+                                        Rng* rng) const {
+  const int64_t population =
+      side_ == Side::kUser ? graph.num_users() : graph.num_merchants();
+  int64_t target = static_cast<int64_t>(
+      std::floor(ratio_ * static_cast<double>(population)));
+  if (population > 0 && target == 0) target = 1;
+
+  std::vector<uint64_t> drawn = rng->SampleWithoutReplacement(
+      static_cast<uint64_t>(population), static_cast<uint64_t>(target));
+  std::vector<uint32_t> nodes(drawn.begin(), drawn.end());
+  return OneSideInducedSubgraph(graph, side_, nodes);
+}
+
+}  // namespace ensemfdet

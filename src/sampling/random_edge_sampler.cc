@@ -1,0 +1,25 @@
+#include "sampling/random_edge_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+namespace ensemfdet {
+
+SubgraphView RandomEdgeSampler::Sample(const BipartiteGraph& graph,
+                                       Rng* rng) const {
+  const int64_t num_edges = graph.num_edges();
+  // ⌊S·|E|⌋, but never 0 on a nonempty graph — an empty sample would make
+  // the ensemble member a silent no-op.
+  int64_t target = static_cast<int64_t>(
+      std::floor(ratio_ * static_cast<double>(num_edges)));
+  if (num_edges > 0 && target == 0) target = 1;
+
+  std::vector<uint64_t> drawn = rng->SampleWithoutReplacement(
+      static_cast<uint64_t>(num_edges), static_cast<uint64_t>(target));
+  std::vector<EdgeId> edges(drawn.begin(), drawn.end());
+
+  const double scale = reweight_ ? 1.0 / ratio_ : 1.0;
+  return SubgraphFromEdges(graph, edges, scale);
+}
+
+}  // namespace ensemfdet

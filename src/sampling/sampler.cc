@@ -1,0 +1,53 @@
+#include "sampling/sampler.h"
+
+#include "sampling/one_side_node_sampler.h"
+#include "sampling/random_edge_sampler.h"
+#include "sampling/two_side_node_sampler.h"
+
+namespace ensemfdet {
+
+const char* SampleMethodName(SampleMethod method) {
+  switch (method) {
+    case SampleMethod::kRandomEdge:
+      return "random_edge";
+    case SampleMethod::kOneSideUser:
+      return "one_side_user";
+    case SampleMethod::kOneSideMerchant:
+      return "one_side_merchant";
+    case SampleMethod::kTwoSide:
+      return "two_side";
+  }
+  return "unknown";
+}
+
+Result<SampleMethod> ParseSampleMethod(const std::string& name) {
+  if (name == "random_edge") return SampleMethod::kRandomEdge;
+  if (name == "one_side_user") return SampleMethod::kOneSideUser;
+  if (name == "one_side_merchant") return SampleMethod::kOneSideMerchant;
+  if (name == "two_side") return SampleMethod::kTwoSide;
+  return Status::NotFound("unknown sample method: " + name);
+}
+
+Result<std::unique_ptr<Sampler>> MakeSampler(SampleMethod method, double ratio,
+                                             bool reweight_edges) {
+  if (!(ratio > 0.0) || ratio > 1.0) {
+    return Status::InvalidArgument("sample ratio must be in (0, 1], got " +
+                                   std::to_string(ratio));
+  }
+  switch (method) {
+    case SampleMethod::kRandomEdge:
+      return std::unique_ptr<Sampler>(
+          new RandomEdgeSampler(ratio, reweight_edges));
+    case SampleMethod::kOneSideUser:
+      return std::unique_ptr<Sampler>(
+          new OneSideNodeSampler(Side::kUser, ratio));
+    case SampleMethod::kOneSideMerchant:
+      return std::unique_ptr<Sampler>(
+          new OneSideNodeSampler(Side::kMerchant, ratio));
+    case SampleMethod::kTwoSide:
+      return std::unique_ptr<Sampler>(new TwoSideNodeSampler(ratio));
+  }
+  return Status::InvalidArgument("unknown sample method enum value");
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,65 @@
+// Structural sampling of bipartite graphs (paper §IV-A).
+//
+// A Sampler draws a subgraph G_s^i from G; ENSEMFDET draws N of them and
+// runs FDET on each. Three methods are provided, matching the paper:
+//
+//   RES  Random Edge Sampling      — S·|E| edges uniformly w/o replacement
+//   ONS  One-side Node Sampling    — S·|side| nodes of one side, keeping
+//                                    every incident edge (full matrix rows)
+//   TNS  Two-sides Node Sampling   — S·|U| users AND S·|V| merchants,
+//                                    keeping the cross-section (≈S² edges)
+//
+// Sampled graphs carry local→parent id maps (SubgraphView) so votes can be
+// aggregated in the parent id space.
+#ifndef ENSEMFDET_SAMPLING_SAMPLER_H_
+#define ENSEMFDET_SAMPLING_SAMPLER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+#include "graph/subgraph.h"
+
+namespace ensemfdet {
+
+/// Which of the paper's sampling methods to apply.
+enum class SampleMethod {
+  kRandomEdge,       ///< RES
+  kOneSideUser,      ///< ONS sampling the user (PIN) side
+  kOneSideMerchant,  ///< ONS sampling the merchant side
+  kTwoSide,          ///< TNS
+};
+
+/// Stable lower_snake name ("random_edge", "one_side_user", ...).
+const char* SampleMethodName(SampleMethod method);
+
+/// Inverse of SampleMethodName; NotFound for unknown names.
+Result<SampleMethod> ParseSampleMethod(const std::string& name);
+
+/// Strategy interface: draws one sampled subgraph per call. Implementations
+/// are stateless w.r.t. the graph; all randomness comes from `rng`, so
+/// distinct Rng::Split streams give independent ensemble members.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// The sample ratio S in (0, 1].
+  virtual double ratio() const = 0;
+  virtual SampleMethod method() const = 0;
+
+  /// Draws a subgraph of `graph` using randomness from `rng`.
+  virtual SubgraphView Sample(const BipartiteGraph& graph, Rng* rng) const = 0;
+};
+
+/// Factory covering all paper methods.
+/// `ratio` must be in (0, 1]. `reweight_edges` applies Theorem 1's 1/p
+/// edge-weight scaling for RES so that φ of the sample estimates φ of the
+/// parent (only meaningful for kRandomEdge; ignored otherwise).
+Result<std::unique_ptr<Sampler>> MakeSampler(SampleMethod method, double ratio,
+                                             bool reweight_edges = false);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_SAMPLING_SAMPLER_H_

@@ -1,0 +1,48 @@
+#include "sampling/sampling_theory.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+double NodeSampleInclusionProbability(double p_v) {
+  ENSEMFDET_CHECK(p_v >= 0.0 && p_v <= 1.0);
+  return p_v;
+}
+
+double EdgeSampleInclusionProbability(double p_e, int64_t q) {
+  ENSEMFDET_CHECK(p_e >= 0.0 && p_e <= 1.0);
+  ENSEMFDET_CHECK(q >= 0);
+  if (q == 0) return 0.0;  // isolated nodes can never join an edge sample
+  return 1.0 - std::pow(1.0 - p_e, static_cast<double>(q));
+}
+
+std::vector<double> ExpectedSampledDegreeCountsNS(
+    const std::vector<int64_t>& degree_histogram, double p_v) {
+  std::vector<double> expected(degree_histogram.size(), 0.0);
+  for (size_t q = 0; q < degree_histogram.size(); ++q) {
+    expected[q] = static_cast<double>(degree_histogram[q]) *
+                  NodeSampleInclusionProbability(p_v);
+  }
+  return expected;
+}
+
+std::vector<double> ExpectedSampledDegreeCountsES(
+    const std::vector<int64_t>& degree_histogram, double p_e) {
+  std::vector<double> expected(degree_histogram.size(), 0.0);
+  for (size_t q = 0; q < degree_histogram.size(); ++q) {
+    expected[q] =
+        static_cast<double>(degree_histogram[q]) *
+        EdgeSampleInclusionProbability(p_e, static_cast<int64_t>(q));
+  }
+  return expected;
+}
+
+double LemmaOneCrossoverDegree(double p_v, double p_e) {
+  ENSEMFDET_CHECK(p_v > 0.0 && p_v < 1.0);
+  ENSEMFDET_CHECK(p_e > 0.0 && p_e < 1.0);
+  return std::log(1.0 - p_v) / std::log(1.0 - p_e);
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,41 @@
+// Closed-form expectations from the paper's sampling analysis (Equation 3
+// and Lemma 1), used by tests to validate the samplers and by
+// bench_micro_sampling to print the theory-vs-empirical comparison.
+//
+//   E_NS[d_q] = f_D(q) · p_v          (node sampling)
+//   E_ES[d_q] = f_D(q) · (1-(1-p_e)^q) (edge sampling)
+//
+// Lemma 1: for q > log(1-p_v)/log(1-p_e), ES samples degree-q nodes at a
+// higher rate than NS.
+#ifndef ENSEMFDET_SAMPLING_SAMPLING_THEORY_H_
+#define ENSEMFDET_SAMPLING_SAMPLING_THEORY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ensemfdet {
+
+/// Probability that a degree-q node appears in a node sample with
+/// per-node probability `p_v` (constant in q).
+double NodeSampleInclusionProbability(double p_v);
+
+/// Probability that a degree-q node appears in an edge sample with
+/// per-edge probability `p_e`: 1 - (1-p_e)^q.
+double EdgeSampleInclusionProbability(double p_e, int64_t q);
+
+/// E_NS[d_q] for every degree q given the histogram f_D (element q =
+/// #nodes of degree q).
+std::vector<double> ExpectedSampledDegreeCountsNS(
+    const std::vector<int64_t>& degree_histogram, double p_v);
+
+/// E_ES[d_q] likewise.
+std::vector<double> ExpectedSampledDegreeCountsES(
+    const std::vector<int64_t>& degree_histogram, double p_e);
+
+/// Lemma 1 crossover: smallest real q* with E_ES > E_NS for q > q*,
+/// i.e. log(1-p_v)/log(1-p_e). Requires p_v, p_e in (0,1).
+double LemmaOneCrossoverDegree(double p_v, double p_e);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_SAMPLING_SAMPLING_THEORY_H_

@@ -1,0 +1,24 @@
+#include "sampling/two_side_node_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+namespace ensemfdet {
+
+SubgraphView TwoSideNodeSampler::Sample(const BipartiteGraph& graph,
+                                        Rng* rng) const {
+  auto draw = [&](int64_t population) {
+    int64_t target = static_cast<int64_t>(
+        std::floor(ratio_ * static_cast<double>(population)));
+    if (population > 0 && target == 0) target = 1;
+    return rng->SampleWithoutReplacement(static_cast<uint64_t>(population),
+                                         static_cast<uint64_t>(target));
+  };
+  std::vector<uint64_t> users64 = draw(graph.num_users());
+  std::vector<uint64_t> merchants64 = draw(graph.num_merchants());
+  std::vector<UserId> users(users64.begin(), users64.end());
+  std::vector<MerchantId> merchants(merchants64.begin(), merchants64.end());
+  return InducedSubgraph(graph, users, merchants);
+}
+
+}  // namespace ensemfdet

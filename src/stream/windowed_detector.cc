@@ -1,0 +1,81 @@
+#include "stream/windowed_detector.h"
+
+#include <limits>
+#include <string>
+
+#include "graph/graph_builder.h"
+
+namespace ensemfdet {
+
+WindowedDetector::WindowedDetector(WindowedDetectorConfig config,
+                                   ThreadPool* pool)
+    : config_(std::move(config)),
+      pool_(pool),
+      newest_(std::numeric_limits<int64_t>::min()),
+      last_detection_(std::numeric_limits<int64_t>::min()) {}
+
+void WindowedDetector::EvictExpired() {
+  const int64_t cutoff = newest_ - config_.window;
+  while (!window_.empty() && window_.front().timestamp < cutoff) {
+    window_.pop_front();
+  }
+}
+
+Result<BipartiteGraph> WindowedDetector::BuildWindowGraph() const {
+  GraphBuilder builder(config_.num_users, config_.num_merchants);
+  builder.Reserve(static_cast<int64_t>(window_.size()));
+  for (const Transaction& tx : window_) {
+    builder.AddEdge(tx.user, tx.merchant);
+  }
+  return builder.Build(DuplicatePolicy::kKeepFirst);
+}
+
+Result<std::optional<EnsemFDetReport>> WindowedDetector::Ingest(
+    const Transaction& tx) {
+  if (config_.window <= 0 || config_.detection_interval <= 0) {
+    return Status::InvalidArgument(
+        "window and detection_interval must be positive");
+  }
+  if (tx.user >= config_.num_users) {
+    return Status::InvalidArgument("user id " + std::to_string(tx.user) +
+                                   " outside configured universe");
+  }
+  if (tx.merchant >= config_.num_merchants) {
+    return Status::InvalidArgument(
+        "merchant id " + std::to_string(tx.merchant) +
+        " outside configured universe");
+  }
+  if (newest_ != std::numeric_limits<int64_t>::min() &&
+      tx.timestamp < newest_) {
+    return Status::FailedPrecondition(
+        "out-of-order timestamp " + std::to_string(tx.timestamp) +
+        " after " + std::to_string(newest_));
+  }
+
+  newest_ = tx.timestamp;
+  window_.push_back(tx);
+  EvictExpired();
+
+  if (last_detection_ == std::numeric_limits<int64_t>::min()) {
+    // The stream's clock starts at the first event; first detection fires
+    // one full interval later.
+    last_detection_ = tx.timestamp;
+    return std::optional<EnsemFDetReport>(std::nullopt);
+  }
+  if (tx.timestamp - last_detection_ < config_.detection_interval) {
+    return std::optional<EnsemFDetReport>(std::nullopt);
+  }
+  last_detection_ = tx.timestamp;
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport report, DetectNow());
+  return std::optional<EnsemFDetReport>(std::move(report));
+}
+
+Result<EnsemFDetReport> WindowedDetector::DetectNow() {
+  ENSEMFDET_ASSIGN_OR_RETURN(BipartiteGraph graph, BuildWindowGraph());
+  EnsemFDetConfig cfg = config_.ensemble;
+  // Each run draws fresh ensemble randomness; deterministic per run index.
+  cfg.seed = config_.ensemble.seed + (detection_count_++) * 0x9e3779b9ULL;
+  return EnsemFDet(cfg).Run(graph, pool_);
+}
+
+}  // namespace ensemfdet

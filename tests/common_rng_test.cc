@@ -1,0 +1,200 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ensemfdet {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndMixing) {
+  uint64_t s1 = 1, s2 = 1;
+  EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  uint64_t s3 = 2;
+  EXPECT_NE(SplitMix64(&s1), SplitMix64(&s3));
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, ZeroSeedWorks) {
+  Rng r(0);
+  // Must not be the degenerate all-zero xoshiro state.
+  uint64_t x = r.NextUint64();
+  uint64_t y = r.NextUint64();
+  EXPECT_FALSE(x == 0 && y == 0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng r(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng r(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[r.NextBounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.10);
+  }
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng r(6);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += r.NextDouble();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng r(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.NextBernoulli(0.0));
+    EXPECT_TRUE(r.NextBernoulli(1.0));
+    EXPECT_FALSE(r.NextBernoulli(-0.5));
+    EXPECT_TRUE(r.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng r(9);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += r.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng r(10);
+  constexpr int kDraws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = r.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.02);
+}
+
+TEST(RngTest, SplitChildrenIndependentOfDrawOrder) {
+  Rng parent(42);
+  Rng c0a = parent.Split(0);
+  parent.NextUint64();  // consuming parent output must not affect children
+  Rng c0b = Rng(42).Split(0);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c0a.NextUint64(), c0b.NextUint64());
+}
+
+TEST(RngTest, SplitDistinctIndicesDistinctStreams) {
+  Rng parent(42);
+  Rng a = parent.Split(0);
+  Rng b = parent.Split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng r(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> original = v;
+  r.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng r(12);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  r.Shuffle(&v);
+  bool any_moved = false;
+  for (int i = 0; i < 100; ++i) any_moved |= (v[i] != i);
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng r(13);
+  std::vector<int> empty;
+  r.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  r.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(SampleWithoutReplacementTest, ExactCountAndDistinct) {
+  Rng r(14);
+  auto sample = r.SampleWithoutReplacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (uint64_t x : sample) EXPECT_LT(x, 1000u);
+}
+
+TEST(SampleWithoutReplacementTest, FullPopulationIsPermutation) {
+  Rng r(15);
+  auto sample = r.SampleWithoutReplacement(50, 50);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(SampleWithoutReplacementTest, ZeroSample) {
+  Rng r(16);
+  EXPECT_TRUE(r.SampleWithoutReplacement(10, 0).empty());
+}
+
+TEST(SampleWithoutReplacementTest, UniformInclusion) {
+  // Each item of [0, 20) should appear in a 10-of-20 sample about half the
+  // time.
+  constexpr int kTrials = 20000;
+  std::vector<int> counts(20, 0);
+  Rng r(17);
+  for (int t = 0; t < kTrials; ++t) {
+    for (uint64_t x : r.SampleWithoutReplacement(20, 10)) ++counts[x];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.5, 0.03);
+  }
+}
+
+TEST(SampleWithoutReplacementDeathTest, RejectsOversizedSample) {
+  Rng r(18);
+  EXPECT_DEATH((void)r.SampleWithoutReplacement(5, 6), "sample size");
+}
+
+}  // namespace
+}  // namespace ensemfdet

@@ -1,0 +1,153 @@
+#include "common/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ensemfdet {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactoryMatchesDefault) {
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::NotFound("c"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("d"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::IOError("e"), StatusCode::kIOError, "IOError"},
+      {Status::FailedPrecondition("f"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::NotImplemented("g"), StatusCode::kNotImplemented,
+       "NotImplemented"},
+      {Status::Internal("h"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.ToString(),
+              std::string(c.name) + ": " + c.status.message());
+  }
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::IOError("file vanished");
+  EXPECT_EQ(s.message(), "file vanished");
+  EXPECT_EQ(s.ToString(), "IOError: file vanished");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r(std::string("payload"));
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, ValueOrDieReturnsValue) {
+  Result<std::string> r(std::string("ok"));
+  EXPECT_EQ(r.ValueOrDie(), "ok");
+}
+
+TEST(ResultTest, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r->push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+Status FailingOperation() { return Status::IOError("disk"); }
+Status PassingOperation() { return Status::OK(); }
+
+Status UseReturnNotOk(bool fail) {
+  ENSEMFDET_RETURN_NOT_OK(fail ? FailingOperation() : PassingOperation());
+  return Status::AlreadyExists("reached end");
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UseReturnNotOk(true).code(), StatusCode::kIOError);
+  EXPECT_EQ(UseReturnNotOk(false).code(), StatusCode::kAlreadyExists);
+}
+
+Result<int> ProduceInt(bool fail) {
+  if (fail) return Status::OutOfRange("bad");
+  return 7;
+}
+
+Status UseAssignOrReturn(bool fail, int* out) {
+  ENSEMFDET_ASSIGN_OR_RETURN(int v, ProduceInt(fail));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(MacrosTest, AssignOrReturnBindsValue) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(MacrosTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  Status s = UseAssignOrReturn(true, &out);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(ResultDeathTest, ValueOrDieAbortsOnError) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "boom");
+}
+
+}  // namespace
+}  // namespace ensemfdet

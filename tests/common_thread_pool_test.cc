@@ -1,0 +1,140 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ensemfdet {
+namespace {
+
+TEST(ThreadPoolTest, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsFallsBackToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitVoidTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto fut = pool.Submit([&counter] { counter.fetch_add(1); });
+  fut.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([]() -> int { throw std::runtime_error("bad"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, [&hits](int64_t i) { hits[i].fetch_add(1); });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10, 20, [&sum](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.ParallelFor(5, 5, [&hits](int64_t) { hits.fetch_add(1); });
+  pool.ParallelFor(7, 3, [&hits](int64_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 0);
+}
+
+TEST(ParallelForTest, SingleItem) {
+  ThreadPool pool(3);
+  std::atomic<int> hits{0};
+  pool.ParallelFor(0, 1, [&hits](int64_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ParallelForTest, ExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [](int64_t i) {
+                                  if (i == 37) {
+                                    throw std::runtime_error("item 37");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, SequentialConsistencyOfResults) {
+  // Writing to disjoint slots must produce identical results regardless of
+  // thread count.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<int64_t> out(1000);
+    pool.ParallelFor(0, 1000, [&out](int64_t i) { out[i] = i * i; });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(DefaultThreadPoolTest, IsSingletonWithThreads) {
+  ThreadPool& a = DefaultThreadPool();
+  ThreadPool& b = DefaultThreadPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace ensemfdet

@@ -1,0 +1,128 @@
+// Tests for the small common utilities: env config, timers, table output.
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/table_writer.h"
+#include "common/timer.h"
+
+namespace ensemfdet {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("ENSEMFDET_TEST_VAR"); }
+};
+
+TEST_F(EnvTest, StringFallbackWhenUnset) {
+  EXPECT_EQ(GetEnvString("ENSEMFDET_TEST_VAR", "fallback"), "fallback");
+}
+
+TEST_F(EnvTest, StringReadsValue) {
+  setenv("ENSEMFDET_TEST_VAR", "hello", 1);
+  EXPECT_EQ(GetEnvString("ENSEMFDET_TEST_VAR", "fallback"), "hello");
+}
+
+TEST_F(EnvTest, EmptyStringTreatedAsUnset) {
+  setenv("ENSEMFDET_TEST_VAR", "", 1);
+  EXPECT_EQ(GetEnvString("ENSEMFDET_TEST_VAR", "fb"), "fb");
+  EXPECT_EQ(GetEnvInt("ENSEMFDET_TEST_VAR", 3), 3);
+}
+
+TEST_F(EnvTest, IntParsesAndFallsBack) {
+  setenv("ENSEMFDET_TEST_VAR", "123", 1);
+  EXPECT_EQ(GetEnvInt("ENSEMFDET_TEST_VAR", 0), 123);
+  setenv("ENSEMFDET_TEST_VAR", "-7", 1);
+  EXPECT_EQ(GetEnvInt("ENSEMFDET_TEST_VAR", 0), -7);
+  setenv("ENSEMFDET_TEST_VAR", "12abc", 1);
+  EXPECT_EQ(GetEnvInt("ENSEMFDET_TEST_VAR", 9), 9);
+}
+
+TEST_F(EnvTest, Int64Parses) {
+  setenv("ENSEMFDET_TEST_VAR", "8589934592", 1);  // 2^33
+  EXPECT_EQ(GetEnvInt64("ENSEMFDET_TEST_VAR", 0), 8589934592LL);
+}
+
+TEST_F(EnvTest, DoubleParsesAndFallsBack) {
+  setenv("ENSEMFDET_TEST_VAR", "0.125", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("ENSEMFDET_TEST_VAR", 1.0), 0.125);
+  setenv("ENSEMFDET_TEST_VAR", "nope", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("ENSEMFDET_TEST_VAR", 2.5), 2.5);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LE(timer.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(FormatDurationTest, PicksUnits) {
+  EXPECT_EQ(FormatDuration(0.0000005), "0.5 us");
+  EXPECT_EQ(FormatDuration(0.0123), "12.3 ms");
+  EXPECT_EQ(FormatDuration(3.25), "3.250 sec");
+}
+
+TEST(TableWriterTest, CsvRoundTrip) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"x", "y"});
+  std::ostringstream os;
+  t.WriteCsv(&os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\nx,y\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableWriterTest, CsvEscapesSpecials) {
+  TableWriter t({"col"});
+  t.AddRow({"has,comma"});
+  t.AddRow({"has\"quote"});
+  std::ostringstream os;
+  t.WriteCsv(&os);
+  EXPECT_EQ(os.str(), "col\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TableWriterTest, MarkdownAligned) {
+  TableWriter t({"name", "n"});
+  t.AddRow({"short", "1"});
+  t.AddRow({"a-much-longer-name", "22"});
+  std::ostringstream os;
+  t.WriteMarkdown(&os);
+  const std::string md = os.str();
+  EXPECT_NE(md.find("| name"), std::string::npos);
+  EXPECT_NE(md.find("|---"), std::string::npos);
+  EXPECT_NE(md.find("| a-much-longer-name |"), std::string::npos);
+}
+
+TEST(TableWriterDeathTest, RowArityMismatchAborts) {
+  TableWriter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "cells");
+}
+
+TEST(FormatDoubleTest, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(0.123456, 4), "0.1235");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(FormatCountTest, ThousandsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1023846), "1,023,846");
+  EXPECT_EQ(FormatCount(-4500), "-4,500");
+}
+
+}  // namespace
+}  // namespace ensemfdet

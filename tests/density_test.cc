@@ -1,0 +1,119 @@
+#include "detect/density.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace ensemfdet {
+namespace {
+
+constexpr double kC = 5.0;
+
+double Weight(double degree) { return 1.0 / std::log(kC + degree); }
+
+TEST(MerchantColumnWeightTest, MatchesFormula) {
+  DensityConfig cfg;
+  EXPECT_DOUBLE_EQ(MerchantColumnWeight(0.0, cfg), 1.0 / std::log(5.0));
+  EXPECT_DOUBLE_EQ(MerchantColumnWeight(10.0, cfg), 1.0 / std::log(15.0));
+}
+
+TEST(MerchantColumnWeightTest, DecreasingInDegree) {
+  DensityConfig cfg;
+  double prev = MerchantColumnWeight(0.0, cfg);
+  for (int d = 1; d <= 100; ++d) {
+    double w = MerchantColumnWeight(static_cast<double>(d), cfg);
+    EXPECT_LT(w, prev);
+    EXPECT_GT(w, 0.0);
+    prev = w;
+  }
+}
+
+TEST(DensityScoreTest, EmptyGraphZero) {
+  GraphBuilder b(0, 0);
+  auto g = b.Build().ValueOrDie();
+  EXPECT_DOUBLE_EQ(DensityScore(g, {}), 0.0);
+}
+
+TEST(DensityScoreTest, EdgelessGraphZero) {
+  GraphBuilder b(4, 4);
+  auto g = b.Build().ValueOrDie();
+  EXPECT_DOUBLE_EQ(DensityScore(g, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SuspiciousnessMass(g, {}), 0.0);
+}
+
+TEST(DensityScoreTest, SingleEdge) {
+  GraphBuilder b(1, 1);
+  b.AddEdge(0, 0);
+  auto g = b.Build().ValueOrDie();
+  // One merchant of degree 1: mass = 1/log(6); 2 nodes.
+  EXPECT_NEAR(SuspiciousnessMass(g, {}), Weight(1.0), 1e-12);
+  EXPECT_NEAR(DensityScore(g, {}), Weight(1.0) / 2.0, 1e-12);
+}
+
+TEST(DensityScoreTest, CompleteBipartiteBlock) {
+  const int m = 6, n = 3;
+  GraphBuilder b(m, n);
+  for (UserId u = 0; u < m; ++u) {
+    for (MerchantId v = 0; v < n; ++v) b.AddEdge(u, v);
+  }
+  auto g = b.Build().ValueOrDie();
+  // Each merchant has degree m; mass = n·m·weight(m); nodes = m+n.
+  const double expected_mass = n * m * Weight(m);
+  EXPECT_NEAR(SuspiciousnessMass(g, {}), expected_mass, 1e-12);
+  EXPECT_NEAR(DensityScore(g, {}), expected_mass / (m + n), 1e-12);
+}
+
+TEST(DensityScoreTest, EdgeWeightsScaleMass) {
+  GraphBuilder b1(1, 1), b2(1, 1);
+  b1.AddEdge(0, 0, 1.0);
+  b2.AddEdge(0, 0, 4.0);
+  auto g1 = b1.Build(DuplicatePolicy::kSumWeights).ValueOrDie();
+  auto g2 = b2.Build(DuplicatePolicy::kSumWeights).ValueOrDie();
+  EXPECT_NEAR(SuspiciousnessMass(g2, {}), 4.0 * SuspiciousnessMass(g1, {}),
+              1e-12);
+}
+
+TEST(DensityScoreTest, CamouflageResistance) {
+  // A fraud block connected to a popular merchant contributes almost no
+  // extra mass: weight(d) decays in d. Compare the marginal mass of one
+  // edge to a degree-200 merchant vs a degree-2 merchant.
+  DensityConfig cfg;
+  EXPECT_LT(MerchantColumnWeight(200, cfg),
+            0.4 * MerchantColumnWeight(2, cfg));
+}
+
+TEST(DensityScoreTest, DenseBlockBeatsSparseGraphOfSameSize) {
+  // 5×5 complete block vs 5×5 matching (one edge per node pair).
+  GraphBuilder dense(5, 5), sparse(5, 5);
+  for (UserId u = 0; u < 5; ++u) {
+    for (MerchantId v = 0; v < 5; ++v) dense.AddEdge(u, v);
+    sparse.AddEdge(u, static_cast<MerchantId>(u));
+  }
+  auto gd = dense.Build().ValueOrDie();
+  auto gs = sparse.Build().ValueOrDie();
+  EXPECT_GT(DensityScore(gd, {}), DensityScore(gs, {}));
+}
+
+TEST(DensityScoreTest, LargerLogOffsetLowersScore) {
+  GraphBuilder b(2, 2);
+  b.AddEdge(0, 0);
+  b.AddEdge(1, 1);
+  auto g = b.Build().ValueOrDie();
+  DensityConfig c5{.log_offset = 5.0};
+  DensityConfig c50{.log_offset = 50.0};
+  EXPECT_GT(DensityScore(g, c5), DensityScore(g, c50));
+}
+
+TEST(DensityScoreTest, IsolatedNodesDiluteScore) {
+  GraphBuilder with(3, 1), without(1, 1);
+  with.AddEdge(0, 0);
+  without.AddEdge(0, 0);
+  auto gw = with.Build().ValueOrDie();
+  auto go = without.Build().ValueOrDie();
+  EXPECT_LT(DensityScore(gw, {}), DensityScore(go, {}));
+}
+
+}  // namespace
+}  // namespace ensemfdet

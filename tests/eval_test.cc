@@ -1,0 +1,236 @@
+// Tests for labels, confusion metrics, and operating-curve assembly.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ensemble/vote_table.h"
+#include "eval/curves.h"
+#include "eval/labels.h"
+#include "eval/metrics.h"
+
+namespace ensemfdet {
+namespace {
+
+TEST(LabelSetTest, MarksAndCounts) {
+  LabelSet labels(10);
+  EXPECT_EQ(labels.num_users(), 10);
+  EXPECT_EQ(labels.num_fraud(), 0);
+  labels.MarkFraud(3);
+  labels.MarkFraud(7);
+  labels.MarkFraud(3);  // idempotent
+  EXPECT_EQ(labels.num_fraud(), 2);
+  EXPECT_TRUE(labels.IsFraud(3));
+  EXPECT_FALSE(labels.IsFraud(4));
+  EXPECT_EQ(labels.FraudUsers(), (std::vector<UserId>{3, 7}));
+}
+
+TEST(LabelSetTest, ClearFraud) {
+  LabelSet labels(5);
+  labels.MarkFraud(1);
+  labels.ClearFraud(1);
+  labels.ClearFraud(1);  // idempotent
+  EXPECT_EQ(labels.num_fraud(), 0);
+  EXPECT_FALSE(labels.IsFraud(1));
+}
+
+TEST(LabelSetTest, SpanConstructor) {
+  std::vector<UserId> fraud{2, 4};
+  LabelSet labels(6, fraud);
+  EXPECT_EQ(labels.num_fraud(), 2);
+  EXPECT_TRUE(labels.IsFraud(2));
+  EXPECT_TRUE(labels.IsFraud(4));
+}
+
+TEST(ConfusionTest, AllQuadrants) {
+  LabelSet labels(6, std::vector<UserId>{0, 1, 2});
+  std::vector<UserId> detected{0, 1, 3};  // 2 tp, 1 fp, fraud 2 missed
+  Confusion c = CountConfusion(detected, labels);
+  EXPECT_EQ(c.true_positives, 2);
+  EXPECT_EQ(c.false_positives, 1);
+  EXPECT_EQ(c.false_negatives, 1);
+  EXPECT_EQ(c.true_negatives, 2);
+  EXPECT_EQ(c.num_detected(), 3);
+}
+
+TEST(ConfusionTest, DuplicateDetectionsIgnored) {
+  LabelSet labels(3, std::vector<UserId>{0});
+  std::vector<UserId> detected{0, 0, 0};
+  Confusion c = CountConfusion(detected, labels);
+  EXPECT_EQ(c.true_positives, 1);
+  EXPECT_EQ(c.num_detected(), 1);
+}
+
+TEST(MetricsTest, PerfectDetection) {
+  LabelSet labels(4, std::vector<UserId>{1, 2});
+  std::vector<UserId> detected{1, 2};
+  Confusion c = CountConfusion(detected, labels);
+  EXPECT_DOUBLE_EQ(Precision(c), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(c), 1.0);
+}
+
+TEST(MetricsTest, EmptyDetectionZeroPrecisionRecall) {
+  LabelSet labels(4, std::vector<UserId>{1});
+  Confusion c = CountConfusion({}, labels);
+  EXPECT_DOUBLE_EQ(Precision(c), 0.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(c), 0.0);
+}
+
+TEST(MetricsTest, NoPositivesInLabels) {
+  LabelSet labels(4);
+  std::vector<UserId> detected{0};
+  Confusion c = CountConfusion(detected, labels);
+  EXPECT_DOUBLE_EQ(Precision(c), 0.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 0.0);
+}
+
+TEST(MetricsTest, KnownF1) {
+  // P = 0.5, R = 0.25 → F1 = 2·0.5·0.25/0.75 = 1/3.
+  LabelSet labels(10, std::vector<UserId>{0, 1, 2, 3});
+  std::vector<UserId> detected{0, 9};
+  Confusion c = CountConfusion(detected, labels);
+  EXPECT_DOUBLE_EQ(Precision(c), 0.5);
+  EXPECT_DOUBLE_EQ(Recall(c), 0.25);
+  EXPECT_NEAR(F1Score(c), 1.0 / 3.0, 1e-12);
+}
+
+VoteTable MakeVotes() {
+  // users 0..4; votes 5,4,3,2,1; user 5 gets 0.
+  VoteTable votes(6, 1);
+  std::vector<MerchantId> none;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<UserId> voters;
+    for (UserId u = 0; u < 5; ++u) {
+      if (static_cast<int>(u) <= 4 - round) voters.push_back(u);
+    }
+    votes.AddVotes(voters, none);
+  }
+  return votes;
+}
+
+TEST(VoteSweepTest, DescendingThresholdAscendingDetections) {
+  VoteTable votes = MakeVotes();
+  LabelSet labels(6, std::vector<UserId>{0, 1});
+  auto points = VoteSweep(votes, labels, 5);
+  ASSERT_EQ(points.size(), 5u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].num_detected, points[i].num_detected);
+    EXPECT_GE(points[i - 1].control, points[i].control);
+  }
+  // Strictest point: only user 0 (votes=5) detected; it is fraud.
+  EXPECT_EQ(points[0].num_detected, 1);
+  EXPECT_DOUBLE_EQ(points[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].recall, 0.5);
+}
+
+TEST(VoteSweepTest, RecallMonotoneNonDecreasing) {
+  VoteTable votes = MakeVotes();
+  LabelSet labels(6, std::vector<UserId>{0, 3});
+  auto points = VoteSweep(votes, labels, 5);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].recall, points[i - 1].recall);
+  }
+}
+
+TEST(VoteSweepTest, SkipsDuplicateDetectionCounts) {
+  VoteTable votes(3, 1);
+  std::vector<MerchantId> none;
+  std::vector<UserId> all{0, 1, 2};
+  votes.AddVotes(all, none);  // everyone has exactly 1 vote
+  LabelSet labels(3, std::vector<UserId>{0});
+  auto points = VoteSweep(votes, labels, 5);
+  // T=5..2 all detect 0 users (one point), T=1 detects 3 (second point).
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].num_detected, 0);
+  EXPECT_EQ(points[1].num_detected, 3);
+}
+
+TEST(ScoreSweepTest, TopPrefixEvaluation) {
+  // scores rank users 3 > 1 > 0 > 2; fraud = {3, 0}.
+  std::vector<double> scores{0.3, 0.8, 0.1, 0.9};
+  LabelSet labels(4, std::vector<UserId>{3, 0});
+  std::vector<int64_t> sizes{1, 2, 4};
+  auto points = ScoreSweep(scores, labels, sizes);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].num_detected, 1);  // {3}: tp
+  EXPECT_DOUBLE_EQ(points[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].recall, 0.5);
+  EXPECT_EQ(points[1].num_detected, 2);  // {3,1}: 1 tp 1 fp
+  EXPECT_DOUBLE_EQ(points[1].precision, 0.5);
+  EXPECT_EQ(points[2].num_detected, 4);
+  EXPECT_DOUBLE_EQ(points[2].recall, 1.0);
+}
+
+TEST(ScoreSweepTest, TieBreaksByAscendingId) {
+  std::vector<double> scores{0.5, 0.5, 0.5};
+  LabelSet labels(3, std::vector<UserId>{0});
+  std::vector<int64_t> sizes{1};
+  auto points = ScoreSweep(scores, labels, sizes);
+  // Prefix of size 1 must be user 0 (smallest id at tied score) → tp.
+  EXPECT_DOUBLE_EQ(points[0].precision, 1.0);
+}
+
+TEST(ScoreSweepTest, OversizedRequestClamped) {
+  std::vector<double> scores{0.1, 0.2};
+  LabelSet labels(2, std::vector<UserId>{1});
+  std::vector<int64_t> sizes{100};
+  auto points = ScoreSweep(scores, labels, sizes);
+  EXPECT_EQ(points[0].num_detected, 2);
+}
+
+TEST(BlockSweepTest, CumulativeUnionPoints) {
+  LabelSet labels(10, std::vector<UserId>{0, 1, 2, 3});
+  std::vector<std::vector<UserId>> blocks{{0, 1}, {1, 2, 9}, {8}};
+  auto points = BlockSweep(blocks, labels);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].num_detected, 2);  // {0,1}
+  EXPECT_DOUBLE_EQ(points[0].precision, 1.0);
+  EXPECT_EQ(points[1].num_detected, 4);  // {0,1,2,9}
+  EXPECT_DOUBLE_EQ(points[1].precision, 0.75);
+  EXPECT_EQ(points[2].num_detected, 5);  // +{8}
+  EXPECT_DOUBLE_EQ(points[2].recall, 0.75);
+}
+
+TEST(PrCurveAreaTest, RectangleArea) {
+  std::vector<OperatingPoint> pts(2);
+  pts[0].recall = 0.0;
+  pts[0].precision = 1.0;
+  pts[1].recall = 1.0;
+  pts[1].precision = 1.0;
+  EXPECT_DOUBLE_EQ(PrCurveArea(pts), 1.0);
+}
+
+TEST(PrCurveAreaTest, TriangleArea) {
+  std::vector<OperatingPoint> pts(2);
+  pts[0].recall = 0.0;
+  pts[0].precision = 1.0;
+  pts[1].recall = 1.0;
+  pts[1].precision = 0.0;
+  EXPECT_DOUBLE_EQ(PrCurveArea(pts), 0.5);
+}
+
+TEST(PrCurveAreaTest, FewPointsZero) {
+  EXPECT_DOUBLE_EQ(PrCurveArea({}), 0.0);
+  std::vector<OperatingPoint> one(1);
+  EXPECT_DOUBLE_EQ(PrCurveArea(one), 0.0);
+}
+
+TEST(GeometricSizesTest, SpansRangeAscendingUnique) {
+  auto sizes = GeometricSizes(10, 10000, 7);
+  ASSERT_GE(sizes.size(), 2u);
+  EXPECT_EQ(sizes.front(), 10);
+  EXPECT_EQ(sizes.back(), 10000);
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GT(sizes[i], sizes[i - 1]);
+  }
+}
+
+TEST(GeometricSizesTest, DegenerateRange) {
+  auto sizes = GeometricSizes(5, 5, 4);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 5);
+}
+
+}  // namespace
+}  // namespace ensemfdet

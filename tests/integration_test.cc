@@ -1,0 +1,208 @@
+// End-to-end pipeline tests: datagen → (ensemble | baselines) → eval.
+// These assert the paper's qualitative claims hold on planted-truth data.
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/fbox.h"
+#include "graph/graph_io.h"
+#include "baselines/fraudar.h"
+#include "baselines/spoken.h"
+#include "common/thread_pool.h"
+#include "datagen/presets.h"
+#include "ensemble/ensemfdet.h"
+#include "eval/curves.h"
+#include "eval/metrics.h"
+
+namespace ensemfdet {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(
+        GenerateJdPreset(JdPreset::kDataset1, 0.01, 2024).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static const Dataset& data() { return *dataset_; }
+
+  // The paper's S=0.1 assumes full-scale fraud groups (~2,400 users); at
+  // this 1% test scale groups are ~24 users, so a larger ratio keeps each
+  // sampled group coherent.
+  static EnsemFDetConfig DefaultConfig() {
+    EnsemFDetConfig cfg;
+    cfg.num_samples = 20;
+    cfg.ratio = 0.25;
+    cfg.seed = 9;
+    cfg.fdet.max_blocks = 20;
+    return cfg;
+  }
+
+  static Dataset* dataset_;
+};
+
+Dataset* PipelineTest::dataset_ = nullptr;
+
+TEST_F(PipelineTest, EnsembleBeatsRandomByWideMargin) {
+  ThreadPool pool(4);
+  auto report = EnsemFDet(DefaultConfig()).Run(data().graph, &pool)
+                    .ValueOrDie();
+  auto points = VoteSweep(report.votes, data().blacklist, 20);
+  ASSERT_FALSE(points.empty());
+  // Base rate of blacklisted users.
+  const double base_rate =
+      static_cast<double>(data().blacklist.num_fraud()) /
+      static_cast<double>(data().graph.num_users());
+  double best_precision = 0.0;
+  for (const auto& p : points) {
+    if (p.num_detected >= 20) {
+      best_precision = std::max(best_precision, p.precision);
+    }
+  }
+  EXPECT_GT(best_precision, 4.0 * base_rate)
+      << "ensemble precision should far exceed the " << base_rate
+      << " base rate";
+}
+
+TEST_F(PipelineTest, EnsembleRecoversMostPlantedUsers) {
+  ThreadPool pool(4);
+  auto report = EnsemFDet(DefaultConfig()).Run(data().graph, &pool)
+                    .ValueOrDie();
+  // At the loosest threshold, planted-truth recall (not blacklist recall)
+  // should be substantial: most planted users get at least one vote.
+  auto detected = report.AcceptedUsers(1);
+  LabelSet planted(data().graph.num_users(), data().planted_fraud_users);
+  Confusion c = CountConfusion(detected, planted);
+  EXPECT_GT(Recall(c), 0.5);
+}
+
+TEST_F(PipelineTest, VoteSweepRecallMonotone) {
+  ThreadPool pool(4);
+  auto report = EnsemFDet(DefaultConfig()).Run(data().graph, &pool)
+                    .ValueOrDie();
+  auto points = VoteSweep(report.votes, data().blacklist, 20);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].recall, points[i - 1].recall - 1e-12);
+    EXPECT_GE(points[i].num_detected, points[i - 1].num_detected);
+  }
+}
+
+TEST_F(PipelineTest, SmoothOperatingCurveVsFraudarPolyline) {
+  // The paper's practicability claim: ENSEMFDET exposes many more distinct
+  // operating points than FRAUDAR's per-block polyline.
+  ThreadPool pool(4);
+  EnsemFDetConfig cfg = DefaultConfig();
+  cfg.num_samples = 40;
+  auto report = EnsemFDet(cfg).Run(data().graph, &pool).ValueOrDie();
+  auto ens_points = VoteSweep(report.votes, data().blacklist, 40);
+
+  FraudarConfig fraudar_cfg;
+  fraudar_cfg.num_blocks = 10;
+  auto fraudar = RunFraudar(data().graph, fraudar_cfg).ValueOrDie();
+  auto fraudar_points = BlockSweep(fraudar.UserBlocks(), data().blacklist);
+
+  EXPECT_GT(ens_points.size(), 2 * fraudar_points.size());
+}
+
+TEST_F(PipelineTest, FraudarAndEnsembleBothDetectFraud) {
+  ThreadPool pool(4);
+  auto report = EnsemFDet(DefaultConfig()).Run(data().graph, &pool)
+                    .ValueOrDie();
+  FraudarConfig fraudar_cfg;
+  fraudar_cfg.num_blocks = 10;
+  auto fraudar = RunFraudar(data().graph, fraudar_cfg).ValueOrDie();
+
+  LabelSet planted(data().graph.num_users(), data().planted_fraud_users);
+  Confusion fr = CountConfusion(fraudar.DetectedUsers(), planted);
+  EXPECT_GT(F1Score(fr), 0.1) << "FRAUDAR should find planted structure";
+
+  // Pick the vote threshold whose detection count is closest to FRAUDAR's.
+  auto points = VoteSweep(report.votes, data().blacklist, 20);
+  ASSERT_FALSE(points.empty());
+  const int64_t target = fr.num_detected();
+  const OperatingPoint* closest = &points[0];
+  for (const auto& p : points) {
+    if (std::abs(p.num_detected - target) <
+        std::abs(closest->num_detected - target)) {
+      closest = &p;
+    }
+  }
+  // Blacklist-relative F1 at matched detection budget should be in the same
+  // ballpark as FRAUDAR's blacklist F1 (paper: "similar performance").
+  Confusion fr_blacklist =
+      CountConfusion(fraudar.DetectedUsers(), data().blacklist);
+  EXPECT_GT(closest->f1, 0.5 * F1Score(fr_blacklist));
+}
+
+TEST_F(PipelineTest, SpectralBaselinesProduceUsableRankings) {
+  SpokenConfig spoken_cfg;
+  spoken_cfg.num_components = 10;
+  auto spoken = RunSpoken(data().graph, spoken_cfg).ValueOrDie();
+  FboxConfig fbox_cfg;
+  fbox_cfg.num_components = 10;
+  auto fbox = RunFbox(data().graph, fbox_cfg).ValueOrDie();
+
+  LabelSet planted(data().graph.num_users(), data().planted_fraud_users);
+  auto sizes = GeometricSizes(
+      50, std::max<int64_t>(51, data().graph.num_users() / 4), 10);
+  auto spoken_points = ScoreSweep(spoken.user_scores, planted, sizes);
+  auto fbox_points = ScoreSweep(fbox.user_scores, planted, sizes);
+
+  const double base_rate =
+      static_cast<double>(planted.num_fraud()) /
+      static_cast<double>(data().graph.num_users());
+  double spoken_best = 0.0, fbox_best = 0.0;
+  for (const auto& p : spoken_points) {
+    spoken_best = std::max(spoken_best, p.precision);
+  }
+  for (const auto& p : fbox_points) {
+    fbox_best = std::max(fbox_best, p.precision);
+  }
+  // SPOKEN must beat chance: planted blocks dominate the top singular
+  // directions. FBOX is expected to be weak here — the paper itself
+  // reports FBOX "almost completely invalidated on the No.1 Dataset"
+  // because the fraud blocks are large enough to appear in the top
+  // components (FBOX only catches attacks that evade them) — so we only
+  // require a usable, finite ranking from it.
+  EXPECT_GT(spoken_best, 2.0 * base_rate);
+  EXPECT_GT(fbox_best, 0.0);
+  for (const auto& p : fbox_points) {
+    EXPECT_GE(p.recall, 0.0);
+    EXPECT_LE(p.recall, 1.0);
+  }
+}
+
+TEST_F(PipelineTest, TruncationKeepsBlockCountSmall) {
+  // Paper §V-C3: all auto-truncated runs stayed below 15 blocks.
+  ThreadPool pool(4);
+  EnsemFDetConfig cfg = DefaultConfig();
+  cfg.fdet.max_blocks = 40;
+  auto report = EnsemFDet(cfg).Run(data().graph, &pool).ValueOrDie();
+  for (const auto& m : report.members) {
+    EXPECT_LE(m.num_blocks, 15) << "auto truncation should stop early";
+  }
+}
+
+TEST_F(PipelineTest, GraphSaveLoadPreservesDetection) {
+  // Persistence round-trip must not change votes.
+  const std::string path = testing::TempDir() + "/pipeline_graph.tsv";
+  ASSERT_TRUE(SaveEdgeListTsv(data().graph, path).ok());
+  auto loaded = LoadEdgeListTsv(path).ValueOrDie();
+  EnsemFDetConfig cfg = DefaultConfig();
+  cfg.num_samples = 5;
+  auto a = EnsemFDet(cfg).Run(data().graph).ValueOrDie();
+  auto b = EnsemFDet(cfg).Run(loaded).ValueOrDie();
+  for (int64_t u = 0; u < data().graph.num_users(); ++u) {
+    ASSERT_EQ(a.votes.user_votes(static_cast<UserId>(u)),
+              b.votes.user_votes(static_cast<UserId>(u)));
+  }
+}
+
+}  // namespace
+}  // namespace ensemfdet

@@ -1,0 +1,125 @@
+#include "linalg/dense.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ensemfdet {
+namespace {
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(3, 2);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 2; ++j) EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, ElementReadWrite) {
+  DenseMatrix m(2, 2);
+  m(0, 1) = 3.5;
+  m(1, 0) = -1.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(m(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(DenseMatrixTest, ColumnsAreContiguous) {
+  DenseMatrix m(3, 2);
+  m(0, 1) = 1.0;
+  m(1, 1) = 2.0;
+  m(2, 1) = 3.0;
+  auto c = m.col(1);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+  c[2] = 7.0;  // mutable view writes through
+  EXPECT_DOUBLE_EQ(m(2, 1), 7.0);
+}
+
+TEST(VectorOpsTest, Dot) {
+  std::vector<double> x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 32.0);
+}
+
+TEST(VectorOpsTest, DotEmpty) {
+  std::vector<double> x, y;
+  EXPECT_DOUBLE_EQ(Dot(x, y), 0.0);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(Norm2(x), 5.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> x{1, 2}, y{10, 20};
+  Axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOpsTest, Scale) {
+  std::vector<double> x{1, -2, 3};
+  Scale(-0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], -1.5);
+}
+
+TEST(GramMatrixTest, SymmetricAndCorrect) {
+  DenseMatrix a(3, 2);
+  // col0 = (1,0,1), col1 = (2,1,0)
+  a(0, 0) = 1;
+  a(2, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 1) = 1;
+  DenseMatrix g = GramMatrix(a);
+  ASSERT_EQ(g.rows(), 2);
+  ASSERT_EQ(g.cols(), 2);
+  EXPECT_DOUBLE_EQ(g(0, 0), 2.0);   // ‖col0‖²
+  EXPECT_DOUBLE_EQ(g(1, 1), 5.0);   // ‖col1‖²
+  EXPECT_DOUBLE_EQ(g(0, 1), 2.0);   // <col0, col1>
+  EXPECT_DOUBLE_EQ(g(1, 0), g(0, 1));
+}
+
+TEST(MatMulTest, KnownProduct) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  DenseMatrix w(2, 1);
+  w(0, 0) = 1;
+  w(1, 0) = -1;
+  DenseMatrix b = MatMul(a, w);
+  ASSERT_EQ(b.rows(), 2);
+  ASSERT_EQ(b.cols(), 1);
+  EXPECT_DOUBLE_EQ(b(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(b(1, 0), -1.0);
+}
+
+TEST(MatMulTest, IdentityPreserves) {
+  DenseMatrix a(3, 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) a(i, j) = i * 3.0 + j;
+  }
+  DenseMatrix eye(3, 3);
+  for (int64_t i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  DenseMatrix b = MatMul(a, eye);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(b(i, j), a(i, j));
+  }
+}
+
+TEST(MatMulDeathTest, DimensionMismatchAborts) {
+  DenseMatrix a(2, 3);
+  DenseMatrix w(2, 2);  // a.cols() != w.rows()
+  EXPECT_DEATH((void)MatMul(a, w), "Check failed");
+}
+
+}  // namespace
+}  // namespace ensemfdet

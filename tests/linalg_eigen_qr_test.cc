@@ -1,0 +1,199 @@
+// Tests for modified Gram-Schmidt orthonormalization and the cyclic Jacobi
+// symmetric eigensolver.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/qr.h"
+
+namespace ensemfdet {
+namespace {
+
+void ExpectOrthonormalColumns(const DenseMatrix& m, double tol = 1e-10) {
+  for (int64_t i = 0; i < m.cols(); ++i) {
+    for (int64_t j = i; j < m.cols(); ++j) {
+      const double d = Dot(m.col(i), m.col(j));
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, tol) << "columns " << i << "," << j;
+    }
+  }
+}
+
+TEST(QrTest, OrthonormalizesRandomMatrix) {
+  Rng rng(1);
+  DenseMatrix m(50, 8);
+  for (int64_t c = 0; c < 8; ++c) {
+    for (double& x : m.col(c)) x = rng.NextGaussian();
+  }
+  int redrawn = OrthonormalizeColumns(&m, &rng);
+  EXPECT_EQ(redrawn, 0);
+  ExpectOrthonormalColumns(m);
+}
+
+TEST(QrTest, PreservesColumnSpanOfFirstColumn) {
+  Rng rng(2);
+  DenseMatrix m(10, 2);
+  for (double& x : m.col(0)) x = rng.NextGaussian();
+  for (double& x : m.col(1)) x = rng.NextGaussian();
+  std::vector<double> original(m.col(0).begin(), m.col(0).end());
+  OrthonormalizeColumns(&m, &rng);
+  // First column is only normalized: must stay parallel to the original.
+  const double norm = Norm2(original);
+  double cosine = Dot(m.col(0), original) / norm;
+  EXPECT_NEAR(std::abs(cosine), 1.0, 1e-12);
+}
+
+TEST(QrTest, RankDeficientColumnsRedrawn) {
+  Rng rng(3);
+  DenseMatrix m(10, 3);
+  for (double& x : m.col(0)) x = rng.NextGaussian();
+  // Columns 1, 2 duplicate column 0: rank 1 input.
+  for (int64_t c = 1; c < 3; ++c) {
+    for (int64_t r = 0; r < 10; ++r) m(r, c) = m(r, 0);
+  }
+  int redrawn = OrthonormalizeColumns(&m, &rng);
+  EXPECT_EQ(redrawn, 2);
+  ExpectOrthonormalColumns(m);
+}
+
+TEST(QrTest, ZeroMatrixFullyRedrawn) {
+  Rng rng(4);
+  DenseMatrix m(6, 3);
+  int redrawn = OrthonormalizeColumns(&m, &rng);
+  EXPECT_EQ(redrawn, 3);
+  ExpectOrthonormalColumns(m);
+}
+
+TEST(QrTest, IllConditionedStillOrthonormal) {
+  Rng rng(5);
+  DenseMatrix m(40, 4);
+  for (double& x : m.col(0)) x = rng.NextGaussian();
+  // Nearly dependent columns: col_i = col0 + tiny noise.
+  for (int64_t c = 1; c < 4; ++c) {
+    for (int64_t r = 0; r < 40; ++r) {
+      m(r, c) = m(r, 0) + 1e-9 * rng.NextGaussian();
+    }
+  }
+  OrthonormalizeColumns(&m, &rng);
+  ExpectOrthonormalColumns(m, 1e-8);
+}
+
+TEST(QrDeathTest, MoreColumnsThanRowsAborts) {
+  Rng rng(6);
+  DenseMatrix m(2, 5);
+  EXPECT_DEATH((void)OrthonormalizeColumns(&m, &rng), "orthonormalize");
+}
+
+TEST(JacobiTest, DiagonalMatrix) {
+  DenseMatrix s(3, 3);
+  s(0, 0) = 1.0;
+  s(1, 1) = 5.0;
+  s(2, 2) = 3.0;
+  SymmetricEigen e = SymmetricEigenDecompose(s);
+  ASSERT_EQ(e.values.size(), 3u);
+  EXPECT_NEAR(e.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+  DenseMatrix s(2, 2);
+  s(0, 0) = 2;
+  s(0, 1) = 1;
+  s(1, 0) = 1;
+  s(1, 1) = 2;
+  SymmetricEigen e = SymmetricEigenDecompose(s);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), inv_sqrt2, 1e-10);
+  EXPECT_NEAR(std::abs(e.vectors(1, 0)), inv_sqrt2, 1e-10);
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  Rng rng(7);
+  const int n = 12;
+  DenseMatrix s(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double v = rng.NextGaussian();
+      s(i, j) = v;
+      s(j, i) = v;
+    }
+  }
+  DenseMatrix original = s;
+  SymmetricEigen e = SymmetricEigenDecompose(s);
+
+  // Rebuild S = V Λ Vᵀ and compare entrywise.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double rebuilt = 0.0;
+      for (int t = 0; t < n; ++t) {
+        rebuilt += e.values[static_cast<size_t>(t)] * e.vectors(i, t) *
+                   e.vectors(j, t);
+      }
+      EXPECT_NEAR(rebuilt, original(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(JacobiTest, EigenvectorsOrthonormal) {
+  Rng rng(8);
+  const int n = 10;
+  DenseMatrix s(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double v = rng.NextDouble();
+      s(i, j) = v;
+      s(j, i) = v;
+    }
+  }
+  SymmetricEigen e = SymmetricEigenDecompose(s);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      EXPECT_NEAR(Dot(e.vectors.col(i), e.vectors.col(j)),
+                  i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(JacobiTest, ValuesDescending) {
+  Rng rng(9);
+  const int n = 15;
+  DenseMatrix s(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double v = rng.NextGaussian();
+      s(i, j) = v;
+      s(j, i) = v;
+    }
+  }
+  SymmetricEigen e = SymmetricEigenDecompose(s);
+  for (size_t i = 1; i < e.values.size(); ++i) {
+    EXPECT_GE(e.values[i - 1], e.values[i] - 1e-12);
+  }
+}
+
+TEST(JacobiTest, PsdGramHasNonNegativeEigenvalues) {
+  Rng rng(10);
+  DenseMatrix a(20, 6);
+  for (int64_t c = 0; c < 6; ++c) {
+    for (double& x : a.col(c)) x = rng.NextGaussian();
+  }
+  SymmetricEigen e = SymmetricEigenDecompose(GramMatrix(a));
+  for (double v : e.values) EXPECT_GE(v, -1e-9);
+}
+
+TEST(JacobiTest, OneByOne) {
+  DenseMatrix s(1, 1);
+  s(0, 0) = -4.0;
+  SymmetricEigen e = SymmetricEigenDecompose(s);
+  ASSERT_EQ(e.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.values[0], -4.0);
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ensemfdet

@@ -1,0 +1,272 @@
+// Tests for the sparse CSR matrix and truncated SVD.
+#include "linalg/svd.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+#include "linalg/sparse_matrix.h"
+
+namespace ensemfdet {
+namespace {
+
+CsrMatrix FromDense(const std::vector<std::vector<double>>& rows) {
+  std::vector<int64_t> ri, ci;
+  std::vector<double> vals;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (rows[r][c] != 0.0) {
+        ri.push_back(static_cast<int64_t>(r));
+        ci.push_back(static_cast<int64_t>(c));
+        vals.push_back(rows[r][c]);
+      }
+    }
+  }
+  return CsrMatrix(static_cast<int64_t>(rows.size()),
+                   static_cast<int64_t>(rows[0].size()), ri, ci, vals);
+}
+
+TEST(CsrMatrixTest, BasicShapeAndNnz) {
+  CsrMatrix m = FromDense({{1, 0, 2}, {0, 3, 0}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);
+}
+
+TEST(CsrMatrixTest, DuplicateTripletsSummed) {
+  std::vector<int64_t> ri{0, 0}, ci{1, 1};
+  std::vector<double> vals{2.0, 3.0};
+  CsrMatrix m(1, 2, ri, ci, vals);
+  EXPECT_EQ(m.nnz(), 1);
+  std::vector<double> x{0, 1}, y(1);
+  m.Multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+}
+
+TEST(CsrMatrixTest, MultiplyKnown) {
+  CsrMatrix m = FromDense({{1, 2}, {3, 4}, {5, 6}});
+  std::vector<double> x{1, -1}, y(3);
+  m.Multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(CsrMatrixTest, MultiplyTransposeKnown) {
+  CsrMatrix m = FromDense({{1, 2}, {3, 4}, {5, 6}});
+  std::vector<double> x{1, 1, 1}, y(2);
+  m.MultiplyTranspose(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+}
+
+TEST(CsrMatrixTest, TransposeConsistentWithMultiply) {
+  // <A x, y> == <x, Aᵀ y> for random vectors.
+  Rng rng(3);
+  std::vector<int64_t> ri, ci;
+  std::vector<double> vals;
+  for (int i = 0; i < 200; ++i) {
+    ri.push_back(static_cast<int64_t>(rng.NextBounded(20)));
+    ci.push_back(static_cast<int64_t>(rng.NextBounded(15)));
+    vals.push_back(rng.NextGaussian());
+  }
+  CsrMatrix m(20, 15, ri, ci, vals);
+  std::vector<double> x(15), y(20);
+  for (double& v : x) v = rng.NextGaussian();
+  for (double& v : y) v = rng.NextGaussian();
+  std::vector<double> ax(20), aty(15);
+  m.Multiply(x, ax);
+  m.MultiplyTranspose(y, aty);
+  double lhs = 0, rhs = 0;
+  for (int i = 0; i < 20; ++i) lhs += ax[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+  for (int i = 0; i < 15; ++i) rhs += x[static_cast<size_t>(i)] * aty[static_cast<size_t>(i)];
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(CsrMatrixTest, RowNorms) {
+  CsrMatrix m = FromDense({{3, 4}, {0, 0}, {1, 0}});
+  auto norms = m.RowNorms();
+  ASSERT_EQ(norms.size(), 3u);
+  EXPECT_DOUBLE_EQ(norms[0], 5.0);
+  EXPECT_DOUBLE_EQ(norms[1], 0.0);
+  EXPECT_DOUBLE_EQ(norms[2], 1.0);
+}
+
+TEST(CsrMatrixTest, FrobeniusNormSquared) {
+  CsrMatrix m = FromDense({{1, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNormSquared(), 9.0);
+}
+
+TEST(CsrMatrixTest, DenseMultiplyMatchesVectorMultiply) {
+  CsrMatrix m = FromDense({{1, 0, 2}, {0, 1, 1}});
+  DenseMatrix x(3, 2);
+  x(0, 0) = 1;
+  x(1, 0) = 2;
+  x(2, 0) = 3;
+  x(0, 1) = -1;
+  DenseMatrix b = m.MultiplyDense(x);
+  std::vector<double> y(2);
+  m.Multiply(x.col(0), y);
+  EXPECT_DOUBLE_EQ(b(0, 0), y[0]);
+  EXPECT_DOUBLE_EQ(b(1, 0), y[1]);
+  EXPECT_DOUBLE_EQ(b(0, 1), -1.0);
+}
+
+TEST(AdjacencyMatrixTest, FromGraph) {
+  GraphBuilder builder(2, 3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2, 2.0);
+  auto g = builder.Build(DuplicatePolicy::kSumWeights).ValueOrDie();
+  CsrMatrix m = AdjacencyMatrix(g);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 2);
+  std::vector<double> x{0, 0, 1}, y(2);
+  m.Multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+// --- Truncated SVD --------------------------------------------------------
+
+TEST(SvdTest, RejectsBadRank) {
+  CsrMatrix m = FromDense({{1}});
+  EXPECT_FALSE(ComputeTruncatedSvd(m, 0).ok());
+  EXPECT_FALSE(ComputeTruncatedSvd(m, -2).ok());
+}
+
+TEST(SvdTest, RejectsEmptyMatrix) {
+  CsrMatrix m;
+  EXPECT_FALSE(ComputeTruncatedSvd(m, 1).ok());
+}
+
+TEST(SvdTest, RankOneMatrixExact) {
+  // A = 3 · u vᵀ with u = e1, v = (0.6, 0.8): σ1 = 3, σ2 = 0.
+  CsrMatrix m = FromDense({{1.8, 2.4}, {0, 0}});
+  auto svd = ComputeTruncatedSvd(m, 2).ValueOrDie();
+  ASSERT_EQ(svd.k(), 2);
+  EXPECT_NEAR(svd.sigma[0], 3.0, 1e-8);
+  EXPECT_NEAR(svd.sigma[1], 0.0, 1e-8);
+  EXPECT_NEAR(std::abs(svd.u(0, 0)), 1.0, 1e-8);
+  EXPECT_NEAR(std::abs(svd.v(0, 0)), 0.6, 1e-8);
+  EXPECT_NEAR(std::abs(svd.v(1, 0)), 0.8, 1e-8);
+}
+
+TEST(SvdTest, DiagonalSingularValues) {
+  CsrMatrix m = FromDense({{5, 0, 0}, {0, 2, 0}, {0, 0, 7}});
+  auto svd = ComputeTruncatedSvd(m, 3).ValueOrDie();
+  ASSERT_EQ(svd.k(), 3);
+  EXPECT_NEAR(svd.sigma[0], 7.0, 1e-8);
+  EXPECT_NEAR(svd.sigma[1], 5.0, 1e-8);
+  EXPECT_NEAR(svd.sigma[2], 2.0, 1e-8);
+}
+
+TEST(SvdTest, KCappedAtMinDimension) {
+  CsrMatrix m = FromDense({{1, 2, 3}});  // 1×3 → max rank 1
+  auto svd = ComputeTruncatedSvd(m, 5).ValueOrDie();
+  EXPECT_EQ(svd.k(), 1);
+  EXPECT_NEAR(svd.sigma[0], std::sqrt(14.0), 1e-8);
+}
+
+TEST(SvdTest, SingularVectorsOrthonormal) {
+  Rng rng(11);
+  std::vector<int64_t> ri, ci;
+  std::vector<double> vals;
+  for (int i = 0; i < 400; ++i) {
+    ri.push_back(static_cast<int64_t>(rng.NextBounded(40)));
+    ci.push_back(static_cast<int64_t>(rng.NextBounded(30)));
+    vals.push_back(1.0);
+  }
+  CsrMatrix m(40, 30, ri, ci, vals);
+  auto svd = ComputeTruncatedSvd(m, 5).ValueOrDie();
+  for (int i = 0; i < svd.k(); ++i) {
+    for (int j = i; j < svd.k(); ++j) {
+      EXPECT_NEAR(Dot(svd.u.col(i), svd.u.col(j)), i == j ? 1.0 : 0.0, 1e-6);
+      EXPECT_NEAR(Dot(svd.v.col(i), svd.v.col(j)), i == j ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(SvdTest, SigmaDescending) {
+  Rng rng(12);
+  std::vector<int64_t> ri, ci;
+  std::vector<double> vals;
+  for (int i = 0; i < 300; ++i) {
+    ri.push_back(static_cast<int64_t>(rng.NextBounded(25)));
+    ci.push_back(static_cast<int64_t>(rng.NextBounded(25)));
+    vals.push_back(rng.NextDouble());
+  }
+  CsrMatrix m(25, 25, ri, ci, vals);
+  auto svd = ComputeTruncatedSvd(m, 6).ValueOrDie();
+  for (int i = 1; i < svd.k(); ++i) {
+    EXPECT_GE(svd.sigma[static_cast<size_t>(i - 1)],
+              svd.sigma[static_cast<size_t>(i)] - 1e-10);
+  }
+}
+
+TEST(SvdTest, SingularTripletsSatisfyAvEqualsSigmaU) {
+  CsrMatrix m = FromDense({{2, 1, 0}, {1, 3, 1}, {0, 1, 4}, {1, 0, 1}});
+  auto svd = ComputeTruncatedSvd(m, 3).ValueOrDie();
+  for (int t = 0; t < svd.k(); ++t) {
+    std::vector<double> av(4);
+    m.Multiply(svd.v.col(t), av);
+    for (int64_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR(av[static_cast<size_t>(i)],
+                  svd.sigma[static_cast<size_t>(t)] * svd.u(i, t), 1e-7);
+    }
+  }
+}
+
+TEST(SvdTest, TopSingularVectorFindsPlantedDenseBlock) {
+  // Bipartite block structure: users 0-9 × merchants 0-4 fully connected,
+  // plus sparse noise elsewhere. The top left-singular vector's energy must
+  // concentrate on the block users.
+  GraphBuilder builder(30, 20);
+  for (UserId u = 0; u < 10; ++u) {
+    for (MerchantId v = 0; v < 5; ++v) builder.AddEdge(u, v);
+  }
+  Rng rng(13);
+  for (int i = 0; i < 15; ++i) {
+    builder.AddEdge(static_cast<UserId>(10 + rng.NextBounded(20)),
+                    static_cast<MerchantId>(5 + rng.NextBounded(15)));
+  }
+  auto g = builder.Build().ValueOrDie();
+  auto svd = ComputeTruncatedSvd(AdjacencyMatrix(g), 1).ValueOrDie();
+  double block_energy = 0.0, rest_energy = 0.0;
+  for (int64_t u = 0; u < 30; ++u) {
+    const double e = svd.u(u, 0) * svd.u(u, 0);
+    (u < 10 ? block_energy : rest_energy) += e;
+  }
+  EXPECT_GT(block_energy, 0.95);
+  EXPECT_LT(rest_energy, 0.05);
+}
+
+TEST(SvdTest, DeterministicForFixedSeed) {
+  CsrMatrix m = FromDense({{1, 2}, {3, 4}, {5, 6}});
+  SvdOptions options;
+  options.seed = 99;
+  auto a = ComputeTruncatedSvd(m, 2, options).ValueOrDie();
+  auto b = ComputeTruncatedSvd(m, 2, options).ValueOrDie();
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_DOUBLE_EQ(a.sigma[static_cast<size_t>(t)],
+                     b.sigma[static_cast<size_t>(t)]);
+  }
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(a.u(i, 0), b.u(i, 0));
+  }
+}
+
+TEST(SvdTest, FrobeniusCapturedByFullRank) {
+  // Σσ² == ‖A‖_F² when k = full rank.
+  CsrMatrix m = FromDense({{1, 2, 0}, {0, 1, 1}, {2, 0, 1}});
+  auto svd = ComputeTruncatedSvd(m, 3).ValueOrDie();
+  double sum_sq = 0.0;
+  for (double s : svd.sigma) sum_sq += s * s;
+  EXPECT_NEAR(sum_sq, m.FrobeniusNormSquared(), 1e-8);
+}
+
+}  // namespace
+}  // namespace ensemfdet

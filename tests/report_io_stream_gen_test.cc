@@ -1,0 +1,226 @@
+// Tests for report CSV persistence and the transaction-stream generator.
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/transaction_stream.h"
+#include "ensemble/ensemfdet.h"
+#include "eval/report_io.h"
+#include "graph/graph_builder.h"
+
+namespace ensemfdet {
+namespace {
+
+EnsemFDetReport MakeReport() {
+  GraphBuilder b(30, 10);
+  for (UserId u = 0; u < 6; ++u) {
+    for (MerchantId v = 0; v < 3; ++v) b.AddEdge(u, v);
+  }
+  for (UserId u = 6; u < 30; ++u) b.AddEdge(u, static_cast<MerchantId>(u % 10));
+  auto g = b.Build().ValueOrDie();
+  EnsemFDetConfig cfg;
+  cfg.num_samples = 8;
+  cfg.ratio = 0.5;
+  cfg.seed = 3;
+  return EnsemFDet(cfg).Run(g).ValueOrDie();
+}
+
+TEST(ReportIoTest, VotesRoundTrip) {
+  EnsemFDetReport report = MakeReport();
+  const std::string path = testing::TempDir() + "/votes.csv";
+  ASSERT_TRUE(SaveVotesCsv(report, path).ok());
+  auto records = LoadVotesCsv(path).ValueOrDie();
+  ASSERT_FALSE(records.empty());
+  for (const VoteRecord& r : records) {
+    EXPECT_EQ(r.votes, report.votes.user_votes(r.user));
+    EXPECT_DOUBLE_EQ(r.weighted_votes, report.weighted_user_votes[r.user]);
+    EXPECT_GT(r.votes, 0);  // zero-vote users are omitted
+  }
+  // Every voted user appears exactly once.
+  std::set<UserId> seen;
+  for (const VoteRecord& r : records) {
+    EXPECT_TRUE(seen.insert(r.user).second);
+  }
+  int64_t voted = 0;
+  for (int64_t u = 0; u < report.votes.num_users(); ++u) {
+    voted += report.votes.user_votes(static_cast<UserId>(u)) > 0;
+  }
+  EXPECT_EQ(static_cast<int64_t>(records.size()), voted);
+}
+
+TEST(ReportIoTest, LoadRejectsBadHeader) {
+  const std::string path = testing::TempDir() + "/bad_votes.csv";
+  {
+    std::ofstream out(path);
+    out << "wrong,header\n1,2,3\n";
+  }
+  EXPECT_FALSE(LoadVotesCsv(path).ok());
+}
+
+TEST(ReportIoTest, LoadRejectsMalformedRow) {
+  const std::string path = testing::TempDir() + "/mal_votes.csv";
+  {
+    std::ofstream out(path);
+    out << "user_id,votes,weighted_votes\nnot_a_number,2,3\n";
+  }
+  auto result = LoadVotesCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":2:"), std::string::npos);
+}
+
+TEST(ReportIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadVotesCsv(testing::TempDir() + "/nope.csv").ok());
+}
+
+TEST(ReportIoTest, OperatingCurveWritten) {
+  std::vector<OperatingPoint> points(2);
+  points[0] = {8.0, 10, 0.5, 0.25, 1.0 / 3.0};
+  points[1] = {4.0, 30, 0.3, 0.5, 0.375};
+  const std::string path = testing::TempDir() + "/curve.csv";
+  ASSERT_TRUE(SaveOperatingCurveCsv(points, path).ok());
+  std::ifstream in(path);
+  std::string header, row1, row2;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "control,num_detected,precision,recall,f1");
+  ASSERT_TRUE(std::getline(in, row1));
+  EXPECT_NE(row1.find("8,10,0.5,0.25"), std::string::npos);
+  ASSERT_TRUE(std::getline(in, row2));
+}
+
+TEST(ReportIoTest, SaveToUnwritablePathFails) {
+  EnsemFDetReport report = MakeReport();
+  EXPECT_FALSE(SaveVotesCsv(report, "/no_such_dir_xyz/v.csv").ok());
+  EXPECT_FALSE(
+      SaveOperatingCurveCsv({}, "/no_such_dir_xyz/c.csv").ok());
+}
+
+// --- Transaction stream ----------------------------------------------------
+
+Dataset StreamDataset() {
+  DataGenConfig config;
+  config.num_users = 400;
+  config.num_merchants = 120;
+  config.num_edges = 1500;
+  FraudGroupSpec g1;
+  g1.num_users = 30;
+  g1.num_merchants = 5;
+  g1.edges_per_user = 4.0;
+  config.fraud_groups.push_back(g1);
+  FraudGroupSpec g2 = g1;
+  g2.num_users = 20;
+  config.fraud_groups.push_back(g2);
+  config.seed = 42;
+  return GenerateDataset(config).ValueOrDie();
+}
+
+TEST(TransactionStreamTest, RejectsBadConfig) {
+  Dataset data = StreamDataset();
+  StreamTimelineConfig cfg;
+  cfg.horizon = 0;
+  EXPECT_FALSE(BuildTransactionStream(data, cfg).ok());
+  cfg.horizon = 100;
+  cfg.burst_duration = 200;
+  EXPECT_FALSE(BuildTransactionStream(data, cfg).ok());
+}
+
+TEST(TransactionStreamTest, OneEventPerEdgeSortedInHorizon) {
+  Dataset data = StreamDataset();
+  StreamTimelineConfig cfg;
+  auto events = BuildTransactionStream(data, cfg).ValueOrDie();
+  EXPECT_EQ(static_cast<int64_t>(events.size()), data.graph.num_edges());
+  int64_t prev = -1;
+  for (const Transaction& tx : events) {
+    EXPECT_GE(tx.timestamp, prev);
+    prev = tx.timestamp;
+    EXPECT_GE(tx.timestamp, 0);
+    EXPECT_LT(tx.timestamp, cfg.horizon);
+    EXPECT_TRUE(data.graph.HasEdge(tx.user, tx.merchant));
+  }
+}
+
+TEST(TransactionStreamTest, FraudEventsCompressedIntoBursts) {
+  Dataset data = StreamDataset();
+  StreamTimelineConfig cfg;
+  cfg.horizon = 86400;
+  cfg.burst_duration = 1000;
+  auto events = BuildTransactionStream(data, cfg).ValueOrDie();
+
+  // Per-group: all events from group users fall inside one 1000-wide
+  // window.
+  for (size_t g = 0; g < data.fraud_user_groups.size(); ++g) {
+    std::set<UserId> members(data.fraud_user_groups[g].begin(),
+                             data.fraud_user_groups[g].end());
+    int64_t lo = INT64_MAX, hi = INT64_MIN;
+    for (const Transaction& tx : events) {
+      if (!members.count(tx.user)) continue;
+      lo = std::min(lo, tx.timestamp);
+      hi = std::max(hi, tx.timestamp);
+    }
+    ASSERT_LE(lo, hi);
+    EXPECT_LE(hi - lo, cfg.burst_duration) << "group " << g;
+  }
+}
+
+TEST(TransactionStreamTest, GroupBurstsAreSeparated) {
+  Dataset data = StreamDataset();
+  StreamTimelineConfig cfg;
+  cfg.horizon = 86400;
+  cfg.burst_duration = 600;
+  auto events = BuildTransactionStream(data, cfg).ValueOrDie();
+  // Burst centres at 1/3 and 2/3 of the horizon → disjoint windows.
+  std::set<UserId> g0(data.fraud_user_groups[0].begin(),
+                      data.fraud_user_groups[0].end());
+  int64_t g0_max = INT64_MIN, g1_min = INT64_MAX;
+  std::set<UserId> g1(data.fraud_user_groups[1].begin(),
+                      data.fraud_user_groups[1].end());
+  for (const Transaction& tx : events) {
+    if (g0.count(tx.user)) g0_max = std::max(g0_max, tx.timestamp);
+    if (g1.count(tx.user)) g1_min = std::min(g1_min, tx.timestamp);
+  }
+  EXPECT_LT(g0_max, g1_min);
+}
+
+TEST(TransactionStreamTest, DeterministicInSeed) {
+  Dataset data = StreamDataset();
+  StreamTimelineConfig cfg;
+  auto a = BuildTransactionStream(data, cfg).ValueOrDie();
+  auto b = BuildTransactionStream(data, cfg).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].merchant, b[i].merchant);
+  }
+}
+
+TEST(TransactionStreamTest, FeedsWindowedDetectorEndToEnd) {
+  Dataset data = StreamDataset();
+  StreamTimelineConfig cfg;
+  cfg.horizon = 20000;
+  cfg.burst_duration = 1500;
+  auto events = BuildTransactionStream(data, cfg).ValueOrDie();
+
+  WindowedDetectorConfig wd;
+  wd.num_users = data.graph.num_users();
+  wd.num_merchants = data.graph.num_merchants();
+  wd.window = 3000;
+  wd.detection_interval = 2500;
+  wd.ensemble.num_samples = 6;
+  wd.ensemble.ratio = 0.4;
+  wd.ensemble.seed = 4;
+  WindowedDetector detector(wd);
+
+  int detections = 0;
+  for (const Transaction& tx : events) {
+    auto result = detector.Ingest(tx);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    detections += result->has_value();
+  }
+  EXPECT_GT(detections, 3);
+}
+
+}  // namespace
+}  // namespace ensemfdet

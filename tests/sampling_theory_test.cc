@@ -1,0 +1,132 @@
+// Validates Equation 3 and Lemma 1 of the paper, both in closed form and
+// empirically against the actual samplers.
+#include "sampling/sampling_theory.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+#include "sampling/sampler.h"
+
+namespace ensemfdet {
+namespace {
+
+TEST(InclusionProbabilityTest, NodeSamplingConstantInDegree) {
+  EXPECT_DOUBLE_EQ(NodeSampleInclusionProbability(0.3), 0.3);
+  EXPECT_DOUBLE_EQ(NodeSampleInclusionProbability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(NodeSampleInclusionProbability(1.0), 1.0);
+}
+
+TEST(InclusionProbabilityTest, EdgeSamplingGrowsWithDegree) {
+  const double pe = 0.1;
+  double prev = EdgeSampleInclusionProbability(pe, 0);
+  EXPECT_DOUBLE_EQ(prev, 0.0);
+  for (int64_t q = 1; q <= 50; ++q) {
+    double cur = EdgeSampleInclusionProbability(pe, q);
+    EXPECT_GT(cur, prev);
+    EXPECT_LE(cur, 1.0);
+    prev = cur;
+  }
+}
+
+TEST(InclusionProbabilityTest, EdgeSamplingClosedForm) {
+  EXPECT_NEAR(EdgeSampleInclusionProbability(0.5, 1), 0.5, 1e-12);
+  EXPECT_NEAR(EdgeSampleInclusionProbability(0.5, 2), 0.75, 1e-12);
+  EXPECT_NEAR(EdgeSampleInclusionProbability(0.2, 3),
+              1.0 - 0.8 * 0.8 * 0.8, 1e-12);
+}
+
+TEST(ExpectedCountsTest, NsScalesHistogramUniformly) {
+  std::vector<int64_t> hist{0, 10, 5, 2};
+  auto e = ExpectedSampledDegreeCountsNS(hist, 0.4);
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_DOUBLE_EQ(e[1], 4.0);
+  EXPECT_DOUBLE_EQ(e[2], 2.0);
+  EXPECT_DOUBLE_EQ(e[3], 0.8);
+}
+
+TEST(ExpectedCountsTest, EsWeightsHighDegreesMore) {
+  std::vector<int64_t> hist{0, 100, 100, 100};
+  auto e = ExpectedSampledDegreeCountsES(hist, 0.3);
+  // Same node count per degree, so expected counts must increase in q.
+  EXPECT_LT(e[1], e[2]);
+  EXPECT_LT(e[2], e[3]);
+}
+
+TEST(LemmaOneTest, CrossoverFormula) {
+  const double pv = 0.1, pe = 0.1;
+  // Equal probabilities → crossover at q = 1.
+  EXPECT_NEAR(LemmaOneCrossoverDegree(pv, pe), 1.0, 1e-12);
+}
+
+TEST(LemmaOneTest, EsBeatsNsAboveCrossoverExactly) {
+  const double pv = 0.3, pe = 0.05;
+  const double crossover = LemmaOneCrossoverDegree(pv, pe);
+  std::vector<int64_t> hist(60, 1000);
+  auto ens = ExpectedSampledDegreeCountsNS(hist, pv);
+  auto ees = ExpectedSampledDegreeCountsES(hist, pe);
+  for (int64_t q = 1; q < 60; ++q) {
+    if (static_cast<double>(q) > crossover + 1e-9) {
+      EXPECT_GT(ees[static_cast<size_t>(q)], ens[static_cast<size_t>(q)])
+          << "q=" << q << " crossover=" << crossover;
+    } else if (static_cast<double>(q) < crossover - 1e-9) {
+      EXPECT_LT(ees[static_cast<size_t>(q)], ens[static_cast<size_t>(q)])
+          << "q=" << q;
+    }
+  }
+}
+
+// Empirical check of Lemma 1 on a graph with both low- and high-degree
+// users: RES includes high-degree users more often than ONS at matched
+// ratios, and less often for degree-1 users when the crossover exceeds 1.
+TEST(LemmaOneTest, EmpiricalRatesMatchTheory) {
+  // 30 "heavy" users of degree 20, 300 "light" users of degree 1.
+  const int kHeavy = 30, kLight = 300;
+  GraphBuilder b(kHeavy + kLight, 40);
+  Rng build_rng(3);
+  for (UserId u = 0; u < kHeavy; ++u) {
+    auto picks = build_rng.SampleWithoutReplacement(40, 20);
+    for (uint64_t v : picks) b.AddEdge(u, static_cast<MerchantId>(v));
+  }
+  for (UserId u = kHeavy; u < kHeavy + kLight; ++u) {
+    b.AddEdge(u, static_cast<MerchantId>(build_rng.NextBounded(40)));
+  }
+  auto g = b.Build().ValueOrDie();
+
+  const double ratio = 0.1;
+  auto res = MakeSampler(SampleMethod::kRandomEdge, ratio).ValueOrDie();
+  auto ons = MakeSampler(SampleMethod::kOneSideUser, ratio).ValueOrDie();
+
+  constexpr int kTrials = 150;
+  double res_heavy = 0, ons_heavy = 0, res_light = 0, ons_light = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng r1(1000 + static_cast<uint64_t>(t));
+    Rng r2(5000 + static_cast<uint64_t>(t));
+    SubgraphView vres = res->Sample(g, &r1);
+    SubgraphView vons = ons->Sample(g, &r2);
+    for (UserId pu : vres.user_map) {
+      (pu < kHeavy ? res_heavy : res_light) += 1.0;
+    }
+    for (UserId pu : vons.user_map) {
+      (pu < kHeavy ? ons_heavy : ons_light) += 1.0;
+    }
+  }
+  // Heavy (q=20): P_ES = 1-(1-pe)^20 with pe≈0.1 → ≈0.88 ≫ P_NS = 0.1.
+  EXPECT_GT(res_heavy / (kTrials * kHeavy), 0.75);
+  EXPECT_NEAR(ons_heavy / (kTrials * kHeavy), 0.1, 0.05);
+  // Light (q=1): P_ES ≈ pe ≈ P_NS — rates comparable.
+  EXPECT_NEAR(res_light / (kTrials * kLight), 0.1, 0.05);
+  EXPECT_NEAR(ons_light / (kTrials * kLight), 0.1, 0.05);
+}
+
+TEST(LemmaOneDeathTest, RejectsDegenerateProbabilities) {
+  EXPECT_DEATH((void)LemmaOneCrossoverDegree(0.0, 0.1), "Check failed");
+  EXPECT_DEATH((void)LemmaOneCrossoverDegree(0.1, 1.0), "Check failed");
+}
+
+}  // namespace
+}  // namespace ensemfdet

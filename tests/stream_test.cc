@@ -1,0 +1,165 @@
+// Tests for the sliding-window streaming detector.
+#include "stream/windowed_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ensemfdet {
+namespace {
+
+WindowedDetectorConfig SmallStreamConfig() {
+  WindowedDetectorConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_merchants = 40;
+  cfg.window = 100;
+  cfg.detection_interval = 50;
+  cfg.ensemble.num_samples = 6;
+  cfg.ensemble.ratio = 0.4;
+  cfg.ensemble.seed = 5;
+  cfg.ensemble.fdet.max_blocks = 6;
+  return cfg;
+}
+
+TEST(WindowedDetectorTest, RejectsOutOfRangeIds) {
+  WindowedDetector detector(SmallStreamConfig());
+  auto bad_user = detector.Ingest({0, 1000, 0});
+  EXPECT_FALSE(bad_user.ok());
+  auto bad_merchant = detector.Ingest({0, 0, 1000});
+  EXPECT_FALSE(bad_merchant.ok());
+}
+
+TEST(WindowedDetectorTest, RejectsOutOfOrderTimestamps) {
+  WindowedDetector detector(SmallStreamConfig());
+  ASSERT_TRUE(detector.Ingest({10, 0, 0}).ok());
+  auto result = detector.Ingest({5, 1, 1});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WindowedDetectorTest, RejectsBadConfig) {
+  auto cfg = SmallStreamConfig();
+  cfg.window = 0;
+  WindowedDetector detector(cfg);
+  EXPECT_FALSE(detector.Ingest({0, 0, 0}).ok());
+}
+
+TEST(WindowedDetectorTest, EvictsExpiredEvents) {
+  WindowedDetector detector(SmallStreamConfig());  // window = 100
+  ASSERT_TRUE(detector.Ingest({0, 0, 0}).ok());
+  ASSERT_TRUE(detector.Ingest({40, 1, 1}).ok());
+  EXPECT_EQ(detector.window_size(), 2);
+  ASSERT_TRUE(detector.Ingest({141, 2, 2}).ok());  // evicts t=0 and t=40
+  EXPECT_EQ(detector.window_size(), 1);
+  EXPECT_EQ(detector.newest_timestamp(), 141);
+}
+
+TEST(WindowedDetectorTest, EqualTimestampsAccepted) {
+  WindowedDetector detector(SmallStreamConfig());
+  ASSERT_TRUE(detector.Ingest({7, 0, 0}).ok());
+  EXPECT_TRUE(detector.Ingest({7, 1, 1}).ok());
+  EXPECT_EQ(detector.window_size(), 2);
+}
+
+TEST(WindowedDetectorTest, DetectionFiresOnInterval) {
+  WindowedDetector detector(SmallStreamConfig());  // interval = 50
+  auto r1 = detector.Ingest({0, 0, 0});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1->has_value());  // clock starts, no detection yet
+  auto r2 = detector.Ingest({30, 1, 1});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->has_value());  // 30 < 50
+  auto r3 = detector.Ingest({55, 2, 2});
+  ASSERT_TRUE(r3.ok());
+  ASSERT_TRUE(r3->has_value());  // 55 >= 50 → detection
+  EXPECT_EQ((*r3)->num_samples, 6);
+  // Interval resets: next detection only after another 50.
+  auto r4 = detector.Ingest({80, 3, 3});
+  ASSERT_TRUE(r4.ok());
+  EXPECT_FALSE(r4->has_value());
+  auto r5 = detector.Ingest({106, 4, 4});
+  ASSERT_TRUE(r5.ok());
+  EXPECT_TRUE(r5->has_value());
+}
+
+TEST(WindowedDetectorTest, DetectNowCoversCurrentWindowOnly) {
+  WindowedDetector detector(SmallStreamConfig());
+  // A dense ring inside the window.
+  int64_t t = 0;
+  for (UserId u = 0; u < 8; ++u) {
+    for (MerchantId v = 0; v < 3; ++v) {
+      ASSERT_TRUE(detector.Ingest({t++, u, v}).ok());
+    }
+  }
+  auto report = detector.DetectNow();
+  ASSERT_TRUE(report.ok());
+  // Ring users collect votes.
+  int64_t ring_votes = 0;
+  for (UserId u = 0; u < 8; ++u) ring_votes += report->votes.user_votes(u);
+  EXPECT_GT(ring_votes, 0);
+}
+
+TEST(WindowedDetectorTest, OldFraudForgottenAfterWindowSlides) {
+  auto cfg = SmallStreamConfig();
+  cfg.window = 50;
+  cfg.detection_interval = 1000000;  // only manual DetectNow
+  WindowedDetector detector(cfg);
+  // Dense ring at t=0..23.
+  int64_t t = 0;
+  for (UserId u = 0; u < 8; ++u) {
+    for (MerchantId v = 0; v < 3; ++v) {
+      ASSERT_TRUE(detector.Ingest({t++, u, v}).ok());
+    }
+  }
+  // Quiet background far in the future pushes the ring out of the window.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(detector
+                    .Ingest({500 + i, static_cast<UserId>(50 + i),
+                             static_cast<MerchantId>(20 + (i % 5))})
+                    .ok());
+  }
+  auto report = detector.DetectNow().ValueOrDie();
+  for (UserId u = 0; u < 8; ++u) {
+    EXPECT_EQ(report.votes.user_votes(u), 0)
+        << "expired ring user still voted";
+  }
+}
+
+TEST(WindowedDetectorTest, StreamingFindsInjectedBurst) {
+  // Background trickle, then a burst ring; the post-burst detection must
+  // rank ring users above background.
+  auto cfg = SmallStreamConfig();
+  cfg.window = 200;
+  cfg.detection_interval = 100;
+  cfg.ensemble.num_samples = 10;
+  WindowedDetector detector(cfg);
+
+  Rng rng(8);
+  int64_t t = 0;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(detector
+                    .Ingest({t, static_cast<UserId>(20 + rng.NextBounded(80)),
+                             static_cast<MerchantId>(10 + rng.NextBounded(30))})
+                    .ok());
+    t += 1;
+  }
+  // Burst: users 0-9 × merchants 0-2 in a tight interval.
+  for (UserId u = 0; u < 10; ++u) {
+    for (MerchantId v = 0; v < 3; ++v) {
+      ASSERT_TRUE(detector.Ingest({t, u, v}).ok());
+      t += 1;
+    }
+  }
+  auto report = detector.DetectNow().ValueOrDie();
+  double ring = 0.0, background = 0.0;
+  for (UserId u = 0; u < 10; ++u) ring += report.votes.user_votes(u);
+  for (UserId u = 20; u < 100; ++u) {
+    background += report.votes.user_votes(u);
+  }
+  ring /= 10.0;
+  background /= 80.0;
+  EXPECT_GT(ring, background) << "burst ring should out-vote background";
+}
+
+}  // namespace
+}  // namespace ensemfdet

@@ -1,0 +1,110 @@
+#include "ensemble/vote_table.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ensemfdet {
+namespace {
+
+TEST(VoteTableTest, StartsAtZero) {
+  VoteTable t(5, 3);
+  EXPECT_EQ(t.num_users(), 5);
+  EXPECT_EQ(t.num_merchants(), 3);
+  for (UserId u = 0; u < 5; ++u) EXPECT_EQ(t.user_votes(u), 0);
+  for (MerchantId v = 0; v < 3; ++v) EXPECT_EQ(t.merchant_votes(v), 0);
+  EXPECT_EQ(t.max_user_votes(), 0);
+}
+
+TEST(VoteTableTest, AccumulatesVotes) {
+  VoteTable t(4, 2);
+  std::vector<UserId> u1{0, 2};
+  std::vector<MerchantId> m1{1};
+  t.AddVotes(u1, m1);
+  std::vector<UserId> u2{2, 3};
+  std::vector<MerchantId> m2{0, 1};
+  t.AddVotes(u2, m2);
+  EXPECT_EQ(t.user_votes(0), 1);
+  EXPECT_EQ(t.user_votes(1), 0);
+  EXPECT_EQ(t.user_votes(2), 2);
+  EXPECT_EQ(t.user_votes(3), 1);
+  EXPECT_EQ(t.merchant_votes(0), 1);
+  EXPECT_EQ(t.merchant_votes(1), 2);
+  EXPECT_EQ(t.max_user_votes(), 2);
+}
+
+TEST(VoteTableTest, AcceptedUsersThreshold) {
+  VoteTable t(4, 1);
+  std::vector<MerchantId> none;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<UserId> voters{0};
+    if (round < 2) voters.push_back(1);
+    if (round < 1) voters.push_back(2);
+    t.AddVotes(voters, none);
+  }
+  // votes: u0=3, u1=2, u2=1, u3=0
+  EXPECT_EQ(t.AcceptedUsers(1), (std::vector<UserId>{0, 1, 2}));
+  EXPECT_EQ(t.AcceptedUsers(2), (std::vector<UserId>{0, 1}));
+  EXPECT_EQ(t.AcceptedUsers(3), (std::vector<UserId>{0}));
+  EXPECT_TRUE(t.AcceptedUsers(4).empty());
+}
+
+TEST(VoteTableTest, AcceptedMonotoneInThreshold) {
+  // MVA property: raising T can only shrink the accepted set.
+  VoteTable t(10, 1);
+  std::vector<MerchantId> none;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<UserId> voters;
+    for (UserId u = 0; u < 10; ++u) {
+      if ((u + round) % 3 == 0) voters.push_back(u);
+    }
+    t.AddVotes(voters, none);
+  }
+  size_t prev = t.AcceptedUsers(1).size();
+  for (int32_t threshold = 2; threshold <= 6; ++threshold) {
+    size_t cur = t.AcceptedUsers(threshold).size();
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(VoteTableTest, CountMatchesAcceptedSize) {
+  VoteTable t(6, 1);
+  std::vector<MerchantId> none;
+  std::vector<UserId> a{0, 1, 2};
+  std::vector<UserId> b{2, 3};
+  t.AddVotes(a, none);
+  t.AddVotes(b, none);
+  for (int32_t threshold = 0; threshold <= 3; ++threshold) {
+    EXPECT_EQ(t.CountAcceptedUsers(threshold),
+              static_cast<int64_t>(t.AcceptedUsers(threshold).size()));
+  }
+}
+
+TEST(VoteTableTest, AcceptedMerchants) {
+  VoteTable t(1, 4);
+  std::vector<UserId> none;
+  std::vector<MerchantId> m{0, 3};
+  t.AddVotes(none, m);
+  t.AddVotes(none, m);
+  std::vector<MerchantId> m2{3};
+  t.AddVotes(none, m2);
+  EXPECT_EQ(t.AcceptedMerchants(2), (std::vector<MerchantId>{0, 3}));
+  EXPECT_EQ(t.AcceptedMerchants(3), (std::vector<MerchantId>{3}));
+}
+
+TEST(VoteTableTest, ThresholdZeroAcceptsEveryone) {
+  VoteTable t(3, 2);
+  EXPECT_EQ(t.AcceptedUsers(0).size(), 3u);
+  EXPECT_EQ(t.AcceptedMerchants(0).size(), 2u);
+}
+
+TEST(VoteTableTest, DefaultConstructedEmpty) {
+  VoteTable t;
+  EXPECT_EQ(t.num_users(), 0);
+  EXPECT_EQ(t.num_merchants(), 0);
+  EXPECT_TRUE(t.AcceptedUsers(1).empty());
+}
+
+}  // namespace
+}  // namespace ensemfdet
