@@ -1,11 +1,15 @@
-// Quickstart: build a tiny "who buy-from where" graph by hand, run
-// ENSEMFDET, and print the suspicious users at a few voting thresholds.
+// Quickstart: build a tiny "who buy-from where" graph by hand, publish it
+// to the service layer, run ENSEMFDET through a DetectionService job, and
+// print the suspicious users at a few voting thresholds.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/quickstart
 //
 // The graph has one obvious fraud ring (users 0-7 bulk-buying at merchants
 // 0-2) inside light legitimate traffic; the ring should collect near-N
-// votes while ordinary shoppers collect almost none.
+// votes while ordinary shoppers collect almost none. Going through
+// GraphRegistry + DetectionService (instead of calling EnsemFDet::Run
+// directly) exercises the serving path: the second Detect() below is
+// answered from the ResultCache without recomputation.
 #include <cstdio>
 
 #include "core/ensemfdet.h"
@@ -35,34 +39,59 @@ int main() {
                  graph_result.status().ToString().c_str());
     return 1;
   }
-  const BipartiteGraph& graph = *graph_result;
-  std::printf("graph: %lld users, %lld merchants, %lld edges\n\n",
-              static_cast<long long>(graph.num_users()),
-              static_cast<long long>(graph.num_merchants()),
-              static_cast<long long>(graph.num_edges()));
 
-  // 2. Configure ENSEMFDET: N sampled graphs at ratio S, FDET with
-  //    automatic truncation, majority voting at the end.
-  EnsemFDetConfig config;
-  config.method = SampleMethod::kRandomEdge;
-  config.num_samples = 20;  // N
-  config.ratio = 0.3;       // S
-  config.seed = 7;
-  config.fdet.max_blocks = 10;
-
-  EnsemFDet detector(config);
-  auto report_result = detector.Run(graph, &DefaultThreadPool());
-  if (!report_result.ok()) {
-    std::fprintf(stderr, "detection failed: %s\n",
-                 report_result.status().ToString().c_str());
+  // 2. Publish the graph and stand up the service: a registry of named
+  //    snapshots plus an async job scheduler over the shared pool.
+  GraphRegistry registry;
+  DetectionService service(&registry, &DefaultThreadPool());
+  auto snapshot =
+      registry.Publish("quickstart", std::move(graph_result).value());
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 snapshot.status().ToString().c_str());
     return 1;
   }
-  const EnsemFDetReport& report = *report_result;
-  std::printf("ran %d ensemble members in %s (repetition rate R = %.1f)\n\n",
-              report.num_samples, FormatDuration(report.total_seconds).c_str(),
-              config.RepetitionRate());
+  std::printf("graph: %lld users, %lld merchants, %lld edges "
+              "(fingerprint %016llx)\n\n",
+              static_cast<long long>(snapshot->graph->num_users()),
+              static_cast<long long>(snapshot->graph->num_merchants()),
+              static_cast<long long>(snapshot->graph->num_edges()),
+              static_cast<unsigned long long>(snapshot->fingerprint));
 
-  // 3. Apply MVA at a few thresholds T and show how the detected set
+  // 3. Configure ENSEMFDET: N sampled graphs at ratio S, FDET with
+  //    automatic truncation, majority voting at the end.
+  JobRequest request;
+  request.graph_name = "quickstart";
+  request.ensemble.method = SampleMethod::kRandomEdge;
+  request.ensemble.num_samples = 20;  // N
+  request.ensemble.ratio = 0.3;       // S
+  request.ensemble.seed = 7;
+  request.ensemble.fdet.max_blocks = 10;
+
+  auto job = service.Detect(request);
+  if (!job.ok()) {
+    std::fprintf(stderr, "detection failed: %s\n",
+                 job.status().ToString().c_str());
+    return 1;
+  }
+  const EnsemFDetReport& report = *(*job)->report;
+  std::printf("ran %d ensemble members in %s (repetition rate R = %.1f)\n",
+              report.num_samples, FormatDuration((*job)->seconds).c_str(),
+              request.ensemble.RepetitionRate());
+
+  // A repeated request over the unchanged snapshot is memoized: same
+  // report object, no recomputation.
+  auto again = service.Detect(request);
+  if (!again.ok()) {
+    std::fprintf(stderr, "repeat detection failed: %s\n",
+                 again.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("repeat request: %s\n\n",
+              (*again)->cache_hit ? "served from ResultCache"
+                                  : "recomputed (unexpected)");
+
+  // 4. Apply MVA at a few thresholds T and show how the detected set
   //    tightens as T rises.
   for (int32_t threshold : {4, 10, 16}) {
     auto suspicious = report.AcceptedUsers(threshold);

@@ -1,0 +1,40 @@
+#include "common/hash.h"
+
+namespace ensemfdet {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+// SplitMix64 finalizer (Stafford mix 13): bijective avalanche over 64 bits.
+uint64_t Avalanche(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+uint64_t Hash64(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = kFnvOffset ^ Avalanche(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  // Fold the length in so prefixes of zero bytes don't collide, then
+  // avalanche: raw FNV-1a mixes low bits poorly.
+  return Avalanche(h ^ (static_cast<uint64_t>(len) << 1));
+}
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  // 0x9e3779b97f4a7c15 = 2^64 / golden ratio, the canonical sequence salt.
+  h ^= Avalanche(v) + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+  return Avalanche(h);
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,52 @@
+// Stable 64-bit hashing for fingerprints and cache keys.
+//
+// The service layer identifies immutable graph snapshots and detection
+// configurations by content hash, so the hash must be *stable*: the same
+// bytes produce the same value on every run, platform, and build — unlike
+// std::hash, which libstdc++ is free to (and does) vary. The core is the
+// FNV-1a-with-avalanche construction: FNV-1a over the byte stream, then a
+// SplitMix64-style finalizer so single-bit input changes diffuse through
+// the whole output word.
+//
+// Collisions: 64 bits is plenty for the registry/cache population sizes a
+// service instance sees (birthday bound ≈ 2^32 entries); keys additionally
+// carry structural counts so accidental collisions cannot conflate graphs
+// of different shapes.
+#ifndef ENSEMFDET_COMMON_HASH_H_
+#define ENSEMFDET_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace ensemfdet {
+
+/// FNV-1a over `len` bytes, finalized with an avalanche mix. Stable across
+/// runs, platforms, and library versions (the value is part of the cache
+/// contract — change it only with a cache-format bump).
+uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// Boost-style combiner with full-width mixing: order-sensitive, so
+/// sequences hash differently under permutation.
+uint64_t HashCombine(uint64_t h, uint64_t v);
+
+/// Hashes a trivially-copyable value by its object representation. Only
+/// sensible for types without padding (integers, enums); floating-point
+/// values are normalized so +0.0 and -0.0 hash identically.
+template <typename T>
+uint64_t HashValue(T value, uint64_t seed = 0) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if constexpr (std::is_floating_point_v<T>) {
+    if (value == 0) value = 0;  // collapse -0.0 onto +0.0
+  }
+  return Hash64(&value, sizeof(value), seed);
+}
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_COMMON_HASH_H_

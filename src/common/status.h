@@ -24,6 +24,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kNotImplemented,
   kInternal,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -63,6 +64,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,13 +10,14 @@
 //   auto suspicious = report.AcceptedUsers(/*threshold=*/8);
 //
 // Layering (see DESIGN.md): common → graph/linalg → sampling/detect/eval →
-// ensemble/baselines/datagen. Including this header pulls in all of them;
-// fine-grained includes remain available for users who want less.
+// ensemble/baselines/datagen → service. Including this header pulls in all
+// of them; fine-grained includes remain available for users who want less.
 #ifndef ENSEMFDET_CORE_ENSEMFDET_H_
 #define ENSEMFDET_CORE_ENSEMFDET_H_
 
 // Common runtime: Status/Result, RNG, thread pool, timing, table output.
 #include "common/env.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -66,5 +67,10 @@
 
 // Streaming detection.
 #include "stream/windowed_detector.h"
+
+// Service layer: graph registry, async detection jobs, result cache.
+#include "service/detection_service.h"
+#include "service/graph_registry.h"
+#include "service/result_cache.h"
 
 #endif  // ENSEMFDET_CORE_ENSEMFDET_H_

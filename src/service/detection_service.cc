@@ -1,0 +1,395 @@
+#include "service/detection_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "baselines/fbox.h"
+#include "baselines/fraudar.h"
+#include "baselines/hits.h"
+#include "baselines/spoken.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace ensemfdet {
+
+const char* DetectorKindName(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kEnsemFDet:
+      return "ensemfdet";
+    case DetectorKind::kFraudar:
+      return "fraudar";
+    case DetectorKind::kHits:
+      return "hits";
+    case DetectorKind::kSpoken:
+      return "spoken";
+    case DetectorKind::kFbox:
+      return "fbox";
+  }
+  return "unknown";
+}
+
+Result<DetectorKind> ParseDetectorKind(const std::string& name) {
+  for (DetectorKind kind :
+       {DetectorKind::kEnsemFDet, DetectorKind::kFraudar, DetectorKind::kHits,
+        DetectorKind::kSpoken, DetectorKind::kFbox}) {
+    if (name == DetectorKindName(kind)) return kind;
+  }
+  return Status::NotFound("unknown detector '" + name + "'");
+}
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+DetectionService::DetectionService(GraphRegistry* registry, ThreadPool* pool)
+    : DetectionService(registry, pool, Options()) {}
+
+DetectionService::DetectionService(GraphRegistry* registry, ThreadPool* pool,
+                                   Options options)
+    : registry_(registry),
+      pool_(pool),
+      options_([&options] {
+        options.max_pending_jobs = std::max<int64_t>(1, options.max_pending_jobs);
+        options.max_finished_jobs =
+            std::max<int64_t>(1, options.max_finished_jobs);
+        return options;
+      }()),
+      cache_(options_.cache_capacity) {
+  ENSEMFDET_CHECK(registry_ != nullptr) << "DetectionService needs a registry";
+}
+
+DetectionService::~DetectionService() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutting_down_ = true;
+  drained_cv_.wait(lock, [this] { return tasks_in_flight_ == 0; });
+}
+
+namespace {
+
+Status ValidateEnsembleConfig(const EnsemFDetConfig& config) {
+  if (config.num_samples < 1) {
+    return Status::InvalidArgument("ensemble num_samples must be >= 1");
+  }
+  if (!(config.ratio > 0.0) || config.ratio > 1.0) {
+    return Status::InvalidArgument("ensemble ratio must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<JobId> DetectionService::Submit(JobRequest request) {
+  ENSEMFDET_ASSIGN_OR_RETURN(std::shared_ptr<Job> job,
+                             SubmitJob(std::move(request)));
+  return job->id;
+}
+
+Result<std::shared_ptr<DetectionService::Job>> DetectionService::SubmitJob(
+    JobRequest request) {
+  // Validate and resolve the snapshot outside the service lock.
+  GraphSnapshot snapshot;
+  if (request.windowed.has_value()) {
+    const WindowedReplaySpec& spec = *request.windowed;
+    ENSEMFDET_RETURN_NOT_OK(ValidateEnsembleConfig(spec.config.ensemble));
+    for (size_t i = 1; i < spec.transactions.size(); ++i) {
+      if (spec.transactions[i].timestamp <
+          spec.transactions[i - 1].timestamp) {
+        return Status::InvalidArgument(
+            "windowed replay transactions must be non-decreasing in time");
+      }
+    }
+  } else {
+    if (request.detector == DetectorKind::kEnsemFDet) {
+      ENSEMFDET_RETURN_NOT_OK(ValidateEnsembleConfig(request.ensemble));
+    }
+    ENSEMFDET_ASSIGN_OR_RETURN(snapshot, registry_->Get(request.graph_name));
+  }
+
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->snapshot = std::move(snapshot);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition("service is shutting down");
+    }
+    if (pending_ >= options_.max_pending_jobs) {
+      return Status::ResourceExhausted(
+          "detection queue full (" +
+          std::to_string(options_.max_pending_jobs) +
+          " jobs pending); retry later");
+    }
+    job->id = next_id_++;
+    ++pending_;
+    ++tasks_in_flight_;
+    jobs_[job->id] = job;
+  }
+
+  if (pool_ != nullptr) {
+    pool_->Submit([this, job] { RunJob(job); });
+  } else {
+    RunJob(job);  // inline execution: Submit returns after completion
+  }
+  return job;
+}
+
+void DetectionService::RunJob(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job->state == JobState::kCancelled) {
+      // Cancel() already finalized the job; just retire the task.
+      if (--tasks_in_flight_ == 0) drained_cv_.notify_all();
+      return;
+    }
+    job->state = JobState::kRunning;
+  }
+
+  // A throw out of Execute (e.g. rethrown from ParallelFor) must become a
+  // failed job, not a lost task: the destructor waits on tasks_in_flight_.
+  Result<JobResult> outcome = [&]() -> Result<JobResult> {
+    try {
+      return Execute(*job);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("detection job threw: ") +
+                              e.what());
+    } catch (...) {
+      return Status::Internal("detection job threw a non-exception");
+    }
+  }();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outcome.ok()) {
+    auto result = std::make_shared<JobResult>(std::move(outcome).value());
+    result->id = job->id;
+    job->result = std::move(result);
+    FinishLocked(job, JobState::kDone);
+  } else {
+    job->error = outcome.status();
+    FinishLocked(job, JobState::kFailed);
+  }
+  if (--tasks_in_flight_ == 0) drained_cv_.notify_all();
+}
+
+// Called with mu_ held; moves the job to a terminal state, applies the
+// finished-job retention bound, and wakes waiters.
+void DetectionService::FinishLocked(const std::shared_ptr<Job>& job,
+                                    JobState state) {
+  job->state = state;
+  // Finished jobs only serve Poll/Wait (state/result/error): drop the
+  // graph snapshot and request payload now, so retention doesn't pin
+  // whole graphs or replay transaction logs in memory for up to
+  // max_finished_jobs completions.
+  job->snapshot.graph.reset();
+  job->request = JobRequest();
+  --pending_;
+  finished_order_.push_back(job->id);
+  while (static_cast<int64_t>(finished_order_.size()) >
+         options_.max_finished_jobs) {
+    jobs_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+  job_done_cv_.notify_all();
+}
+
+Result<JobResult> DetectionService::Execute(const Job& job) {
+  if (job.request.windowed.has_value()) return ExecuteWindowedReplay(job);
+  if (job.request.detector == DetectorKind::kEnsemFDet) {
+    return ExecuteEnsemble(job);
+  }
+  return ExecuteBaseline(job);
+}
+
+Result<JobResult> DetectionService::ExecuteEnsemble(const Job& job) {
+  JobResult result;
+  result.detector = DetectorKind::kEnsemFDet;
+  result.graph_name = job.snapshot.name;
+  result.graph_fingerprint = job.snapshot.fingerprint;
+  result.graph_version = job.snapshot.version;
+  result.config_hash = HashEnsemFDetConfig(job.request.ensemble);
+
+  if (job.request.use_cache) {
+    if (auto cached =
+            cache_.Lookup(result.graph_fingerprint, result.config_hash)) {
+      result.cache_hit = true;
+      result.report = std::move(cached);
+      return result;
+    }
+  }
+
+  WallTimer timer;
+  EnsemFDet detector(job.request.ensemble);
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport report,
+                             detector.Run(*job.snapshot.graph, pool_));
+  result.seconds = timer.ElapsedSeconds();
+  auto shared = std::make_shared<const EnsemFDetReport>(std::move(report));
+  if (job.request.use_cache) {
+    cache_.Insert(result.graph_fingerprint, result.config_hash, shared);
+  }
+  result.report = std::move(shared);
+  return result;
+}
+
+Result<JobResult> DetectionService::ExecuteBaseline(const Job& job) {
+  JobResult result;
+  result.detector = job.request.detector;
+  result.graph_name = job.snapshot.name;
+  result.graph_fingerprint = job.snapshot.fingerprint;
+  result.graph_version = job.snapshot.version;
+
+  const BipartiteGraph& graph = *job.snapshot.graph;
+  WallTimer timer;
+  switch (job.request.detector) {
+    case DetectorKind::kFraudar: {
+      ENSEMFDET_ASSIGN_OR_RETURN(FraudarResult fraudar, RunFraudar(graph, {}));
+      // Suspiciousness = φ of the densest detected block containing the
+      // user (blocks are disjoint, so "densest" is "its" block).
+      result.user_scores.assign(static_cast<size_t>(graph.num_users()), 0.0);
+      for (const DetectedBlock& block : fraudar.blocks) {
+        for (UserId u : block.users) {
+          result.user_scores[u] = std::max(result.user_scores[u], block.score);
+        }
+      }
+      break;
+    }
+    case DetectorKind::kHits: {
+      ENSEMFDET_ASSIGN_OR_RETURN(HitsResult hits, RunHits(graph, {}));
+      result.user_scores = std::move(hits.user_hub_scores);
+      break;
+    }
+    case DetectorKind::kSpoken: {
+      ENSEMFDET_ASSIGN_OR_RETURN(SpokenResult spoken, RunSpoken(graph, {}));
+      result.user_scores = std::move(spoken.user_scores);
+      break;
+    }
+    case DetectorKind::kFbox: {
+      ENSEMFDET_ASSIGN_OR_RETURN(FboxResult fbox, RunFbox(graph, {}));
+      result.user_scores = std::move(fbox.user_scores);
+      break;
+    }
+    case DetectorKind::kEnsemFDet:
+      return Status::Internal("ensemble job routed to ExecuteBaseline");
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<JobResult> DetectionService::ExecuteWindowedReplay(const Job& job) {
+  const WindowedReplaySpec& spec = *job.request.windowed;
+  JobResult result;
+  result.detector = DetectorKind::kEnsemFDet;
+  result.config_hash = HashEnsemFDetConfig(spec.config.ensemble);
+
+  WallTimer timer;
+  WindowedDetector detector(spec.config, pool_);
+  std::optional<EnsemFDetReport> last;
+  for (const Transaction& tx : spec.transactions) {
+    ENSEMFDET_ASSIGN_OR_RETURN(std::optional<EnsemFDetReport> fired,
+                               detector.Ingest(tx));
+    if (fired.has_value()) {
+      ++result.windowed_detections;
+      last = std::move(fired);
+    }
+  }
+  if (spec.final_detection || !last.has_value()) {
+    ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport final_report,
+                               detector.DetectNow());
+    last = std::move(final_report);
+  }
+  result.seconds = timer.ElapsedSeconds();
+  result.report = std::make_shared<const EnsemFDetReport>(*std::move(last));
+  return result;
+}
+
+Result<JobState> DetectionService::Poll(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job #" + std::to_string(id) +
+                            " (unknown or past retention)");
+  }
+  return it->second->state;
+}
+
+Result<std::shared_ptr<const JobResult>> DetectionService::Wait(JobId id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job #" + std::to_string(id) +
+                              " (unknown or past retention)");
+    }
+    job = it->second;
+  }
+  return WaitOnJob(job);
+}
+
+Result<std::shared_ptr<const JobResult>> DetectionService::WaitOnJob(
+    const std::shared_ptr<Job>& job) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    job_done_cv_.wait(lock, [&job] {
+      return job->state != JobState::kQueued &&
+             job->state != JobState::kRunning;
+    });
+  }
+  // Terminal states are never mutated again, so reading outside mu_ is
+  // safe once the wait observed one under the lock.
+  switch (job->state) {
+    case JobState::kDone:
+      return job->result;
+    case JobState::kFailed:
+      return job->error;
+    case JobState::kCancelled:
+      return Status::FailedPrecondition("job #" + std::to_string(job->id) +
+                                        " was cancelled");
+    default:
+      return Status::Internal("job in non-terminal state after wait");
+  }
+}
+
+Status DetectionService::Cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job #" + std::to_string(id) +
+                            " (unknown or past retention)");
+  }
+  const std::shared_ptr<Job>& job = it->second;
+  if (job->state != JobState::kQueued) {
+    return Status::FailedPrecondition(
+        "job #" + std::to_string(id) + " is " + JobStateName(job->state) +
+        "; only queued jobs can be cancelled");
+  }
+  FinishLocked(job, JobState::kCancelled);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const JobResult>> DetectionService::Detect(
+    JobRequest request) {
+  // Wait on the handle, not the id: retention may forget the id before we
+  // get to it, but it can never evict a Job we still hold.
+  ENSEMFDET_ASSIGN_OR_RETURN(std::shared_ptr<Job> job,
+                             SubmitJob(std::move(request)));
+  return WaitOnJob(job);
+}
+
+int64_t DetectionService::pending_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,213 @@
+// DetectionService: the async job front-end that turns the EnsemFDet
+// library into a servable engine.
+//
+// Callers Submit() detection requests against graphs published in a
+// GraphRegistry and get back a JobId immediately; the work itself is
+// scheduled onto a shared ThreadPool. Poll() is the non-blocking state
+// probe, Wait() blocks until completion, Cancel() withdraws a job that has
+// not started. One service instance multiplexes any number of concurrent
+// clients.
+//
+// Contracts (see DESIGN.md §Service layer):
+//
+//  * Snapshot isolation — the graph is resolved to a GraphSnapshot at
+//    Submit() time; re-publishing the name afterwards does not affect the
+//    job.
+//  * Backpressure — at most `Options::max_pending_jobs` jobs may be
+//    queued+running; Submit() beyond that fails fast with
+//    ResourceExhausted instead of queueing unboundedly.
+//  * Memoization — EnsemFDet jobs are keyed by (graph fingerprint, config
+//    hash) in a ResultCache; a repeat request over an unchanged graph
+//    completes without recomputation and is flagged `cache_hit`.
+//  * Determinism — results depend only on (snapshot, config): the
+//    ensemble splits its RNG per member, so reports are bit-identical at
+//    any pool width and any submission interleaving.
+//  * No pool deadlock — jobs run *on* pool workers and fan out on the
+//    same pool; ThreadPool::ParallelFor has the caller participate in its
+//    own chunks, so a full pool still makes progress.
+#ifndef ENSEMFDET_SERVICE_DETECTION_SERVICE_H_
+#define ENSEMFDET_SERVICE_DETECTION_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "ensemble/ensemfdet.h"
+#include "service/graph_registry.h"
+#include "service/result_cache.h"
+#include "stream/windowed_detector.h"
+
+namespace ensemfdet {
+
+/// Which detection engine a job runs.
+enum class DetectorKind {
+  kEnsemFDet,  ///< the paper's ensemble (cacheable)
+  kFraudar,    ///< FRAUDAR baseline
+  kHits,       ///< HITS baseline
+  kSpoken,     ///< SPOKEN baseline
+  kFbox,       ///< FBOX baseline
+};
+
+/// Stable lower_snake name ("ensemfdet", "fraudar", ...).
+const char* DetectorKindName(DetectorKind kind);
+
+/// Inverse of DetectorKindName; NotFound for unknown names.
+Result<DetectorKind> ParseDetectorKind(const std::string& name);
+
+/// Replay a timestamped transaction log through a WindowedDetector
+/// instead of detecting over a registry graph.
+struct WindowedReplaySpec {
+  WindowedDetectorConfig config;
+  std::vector<Transaction> transactions;
+  /// Also force a detection over the final window after the replay.
+  bool final_detection = true;
+};
+
+struct JobRequest {
+  /// Registry name of the graph to detect over (ignored for windowed
+  /// replay jobs).
+  std::string graph_name;
+  DetectorKind detector = DetectorKind::kEnsemFDet;
+  /// Per-job ensemble configuration (kEnsemFDet jobs).
+  EnsemFDetConfig ensemble;
+  /// Consult/populate the ResultCache (kEnsemFDet jobs only).
+  bool use_cache = true;
+  /// When set, the job is a windowed streaming replay; `detector` and
+  /// `graph_name` are ignored (the spec embeds its own ensemble config).
+  std::optional<WindowedReplaySpec> windowed;
+};
+
+using JobId = uint64_t;
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+/// "queued" / "running" / "done" / "failed" / "cancelled".
+const char* JobStateName(JobState state);
+
+/// What a completed job produced.
+struct JobResult {
+  JobId id = 0;
+  DetectorKind detector = DetectorKind::kEnsemFDet;
+  std::string graph_name;
+  uint64_t graph_fingerprint = 0;
+  uint64_t graph_version = 0;
+  /// HashEnsemFDetConfig of the job's config (kEnsemFDet jobs).
+  uint64_t config_hash = 0;
+  /// True iff the report came out of the ResultCache.
+  bool cache_hit = false;
+  /// Wall-clock spent producing the result (≈0 on cache hits).
+  double seconds = 0.0;
+
+  /// Ensemble report (kEnsemFDet and windowed-replay jobs).
+  std::shared_ptr<const EnsemFDetReport> report;
+  /// Per-user suspiciousness (baseline jobs): hub scores for HITS, SVD
+  /// scores for SPOKEN/FBOX, densest-containing-block φ for FRAUDAR.
+  std::vector<double> user_scores;
+  /// Number of boundary detections fired during a windowed replay.
+  int64_t windowed_detections = 0;
+};
+
+class DetectionService {
+ public:
+  struct Options {
+    /// Backpressure bound: max jobs queued+running at once (≥ 1).
+    int64_t max_pending_jobs = 64;
+    /// ResultCache capacity in reports.
+    size_t cache_capacity = 128;
+    /// Completed/failed/cancelled jobs retained for Poll/Wait before the
+    /// oldest are forgotten (≥ 1).
+    int64_t max_finished_jobs = 1024;
+  };
+
+  /// Neither `registry` nor `pool` is owned; both must outlive the
+  /// service. Pass pool = nullptr to run jobs inline on Submit() (useful
+  /// for single-threaded determinism tests).
+  DetectionService(GraphRegistry* registry, ThreadPool* pool);
+  DetectionService(GraphRegistry* registry, ThreadPool* pool,
+                   Options options);
+  /// Blocks until every in-flight job has drained.
+  ~DetectionService();
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// Validates and enqueues a job. Fails with ResourceExhausted when the
+  /// pending bound is hit, NotFound when the graph is not published,
+  /// InvalidArgument on a malformed request.
+  Result<JobId> Submit(JobRequest request);
+
+  /// Non-blocking state probe. NotFound for unknown/forgotten ids.
+  Result<JobState> Poll(JobId id) const;
+
+  /// Blocks until the job leaves the queue/running states. Returns the
+  /// result for kDone, the job's failure Status for kFailed, and
+  /// FailedPrecondition for kCancelled.
+  Result<std::shared_ptr<const JobResult>> Wait(JobId id);
+
+  /// Withdraws a queued job. FailedPrecondition if it already started or
+  /// finished; NotFound for unknown ids.
+  Status Cancel(JobId id);
+
+  /// Convenience: Submit + Wait.
+  Result<std::shared_ptr<const JobResult>> Detect(JobRequest request);
+
+  /// Jobs currently queued or running.
+  int64_t pending_jobs() const;
+
+  ResultCacheStats cache_stats() const { return cache_.stats(); }
+  ResultCache& cache() { return cache_; }
+  GraphRegistry& registry() { return *registry_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Job {
+    JobId id = 0;
+    JobRequest request;
+    GraphSnapshot snapshot;  // resolved at Submit time
+    JobState state = JobState::kQueued;
+    Status error;            // set when state == kFailed
+    std::shared_ptr<const JobResult> result;  // set when state == kDone
+  };
+
+  /// Submit, returning the job handle itself (Detect waits on the handle
+  /// directly so finished-job retention can never evict it mid-wait).
+  Result<std::shared_ptr<Job>> SubmitJob(JobRequest request);
+  /// Blocks until `job` reaches a terminal state and interprets it.
+  Result<std::shared_ptr<const JobResult>> WaitOnJob(
+      const std::shared_ptr<Job>& job);
+  /// Executes one job on the calling thread (a pool worker, or the
+  /// submitter when pool == nullptr).
+  void RunJob(const std::shared_ptr<Job>& job);
+  Result<JobResult> Execute(const Job& job);
+  Result<JobResult> ExecuteEnsemble(const Job& job);
+  Result<JobResult> ExecuteBaseline(const Job& job);
+  Result<JobResult> ExecuteWindowedReplay(const Job& job);
+  void FinishLocked(const std::shared_ptr<Job>& job, JobState state);
+
+  GraphRegistry* const registry_;
+  ThreadPool* const pool_;
+  const Options options_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable job_done_cv_;   // a job changed state
+  std::condition_variable drained_cv_;    // task_in_flight_ hit zero
+  JobId next_id_ = 1;
+  int64_t pending_ = 0;         // queued + running
+  int64_t tasks_in_flight_ = 0; // pool lambdas not yet returned
+  bool shutting_down_ = false;
+  std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
+  std::deque<JobId> finished_order_;  // retention FIFO
+};
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_SERVICE_DETECTION_SERVICE_H_

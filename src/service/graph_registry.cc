@@ -1,0 +1,91 @@
+#include "service/graph_registry.h"
+
+#include <utility>
+
+#include "common/hash.h"
+
+namespace ensemfdet {
+
+uint64_t FingerprintGraph(const BipartiteGraph& graph) {
+  // Shape first: distinct shapes can never collide regardless of content
+  // hashing, and isolated nodes (which edges can't see) still matter for
+  // vote-table sizing.
+  uint64_t h = HashValue<uint64_t>(0x656e73656d66u);  // domain tag
+  h = HashCombine(h, HashValue(graph.num_users()));
+  h = HashCombine(h, HashValue(graph.num_merchants()));
+  h = HashCombine(h, HashValue(graph.num_edges()));
+
+  // Edge endpoints: Edge is two packed uint32s (no padding), and edge ids
+  // are a canonical order (GraphBuilder sorts + dedups), so hashing the
+  // raw array is stable.
+  static_assert(sizeof(Edge) == 2 * sizeof(uint32_t));
+  auto edges = graph.edges();
+  h = HashCombine(h, Hash64(edges.data(), edges.size_bytes()));
+
+  if (graph.has_weights()) {
+    uint64_t wh = 0;
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      wh = HashCombine(wh, HashValue(graph.edge_weight(e)));
+    }
+    h = HashCombine(h, wh);
+  }
+  return h;
+}
+
+Result<GraphSnapshot> GraphRegistry::Publish(const std::string& name,
+                                             BipartiteGraph graph) {
+  return Publish(name,
+                 std::make_shared<const BipartiteGraph>(std::move(graph)));
+}
+
+Result<GraphSnapshot> GraphRegistry::Publish(
+    const std::string& name, std::shared_ptr<const BipartiteGraph> graph) {
+  if (name.empty()) {
+    return Status::InvalidArgument("registry: graph name must be non-empty");
+  }
+  if (graph == nullptr) {
+    return Status::InvalidArgument("registry: graph must be non-null");
+  }
+  // Fingerprint outside the lock: it scans every edge.
+  const uint64_t fingerprint = FingerprintGraph(*graph);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  entry.version += 1;
+  entry.fingerprint = fingerprint;
+  entry.graph = std::move(graph);
+  return GraphSnapshot{name, entry.version, entry.fingerprint, entry.graph};
+}
+
+Result<GraphSnapshot> GraphRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("registry: no graph named '" + name + "'");
+  }
+  const Entry& entry = it->second;
+  return GraphSnapshot{name, entry.version, entry.fingerprint, entry.graph};
+}
+
+Status GraphRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("registry: no graph named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> GraphRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+int64_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace ensemfdet

@@ -1,0 +1,83 @@
+// GraphRegistry: a thread-safe catalog of named, immutable BipartiteGraph
+// snapshots — the service layer's source of truth for "which graph does
+// this request mean".
+//
+// Publishing a graph under an existing name atomically replaces the entry
+// (version bumps, fingerprint recomputes); readers holding the previous
+// snapshot keep a valid shared_ptr, so in-flight detection jobs are
+// isolated from concurrent re-publishes (snapshot isolation). Fingerprints
+// are stable content hashes (common/hash.h) over node counts, edge
+// endpoints, and weights, and key the service's ResultCache.
+#ifndef ENSEMFDET_SERVICE_GRAPH_REGISTRY_H_
+#define ENSEMFDET_SERVICE_GRAPH_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace ensemfdet {
+
+/// Stable 64-bit content hash of a graph: covers |U|, |V|, every edge's
+/// endpoints in id order, and per-edge weights when present. Two graphs
+/// with equal fingerprints are (modulo hash collision) structurally
+/// identical, so detection results over them are interchangeable.
+uint64_t FingerprintGraph(const BipartiteGraph& graph);
+
+/// One published graph: shared, immutable, fingerprinted.
+struct GraphSnapshot {
+  std::string name;
+  /// Monotonically increasing per name, starting at 1.
+  uint64_t version = 0;
+  /// FingerprintGraph(*graph).
+  uint64_t fingerprint = 0;
+  std::shared_ptr<const BipartiteGraph> graph;
+};
+
+class GraphRegistry {
+ public:
+  GraphRegistry() = default;
+  GraphRegistry(const GraphRegistry&) = delete;
+  GraphRegistry& operator=(const GraphRegistry&) = delete;
+
+  /// Publishes `graph` under `name`, replacing any existing entry (the old
+  /// snapshot stays valid for holders). Returns the new snapshot.
+  /// Fails with InvalidArgument on an empty name.
+  Result<GraphSnapshot> Publish(const std::string& name,
+                                BipartiteGraph graph);
+
+  /// Publishes an already-shared graph without copying it.
+  Result<GraphSnapshot> Publish(const std::string& name,
+                                std::shared_ptr<const BipartiteGraph> graph);
+
+  /// Current snapshot for `name`; NotFound if absent.
+  Result<GraphSnapshot> Get(const std::string& name) const;
+
+  /// Removes `name`; NotFound if absent. Holders of snapshots are
+  /// unaffected.
+  Status Remove(const std::string& name);
+
+  /// Ascending list of published names.
+  std::vector<std::string> Names() const;
+
+  int64_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    uint64_t fingerprint = 0;
+    std::shared_ptr<const BipartiteGraph> graph;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_SERVICE_GRAPH_REGISTRY_H_

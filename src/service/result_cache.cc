@@ -1,0 +1,88 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace ensemfdet {
+
+uint64_t HashEnsemFDetConfig(const EnsemFDetConfig& config) {
+  uint64_t h = HashValue<uint64_t>(0x636f6e666967u);  // domain tag
+  h = HashCombine(h, HashValue(static_cast<int32_t>(config.method)));
+  h = HashCombine(h, HashValue(config.num_samples));
+  h = HashCombine(h, HashValue(config.ratio));
+  h = HashCombine(h, HashValue(config.reweight_edges));
+  h = HashCombine(h, HashValue(config.seed));
+  const FdetConfig& fdet = config.fdet;
+  h = HashCombine(h,
+                  HashValue(static_cast<int32_t>(fdet.density.weight_kind)));
+  h = HashCombine(h, HashValue(fdet.density.log_offset));
+  h = HashCombine(h, HashValue(static_cast<int32_t>(fdet.policy)));
+  h = HashCombine(h, HashValue(fdet.max_blocks));
+  h = HashCombine(h, HashValue(fdet.fixed_k));
+  h = HashCombine(h, HashValue(fdet.elbow_patience));
+  h = HashCombine(h, HashValue(fdet.min_block_score));
+  return h;
+}
+
+size_t ResultCache::KeyHash::operator()(const Key& k) const {
+  return static_cast<size_t>(
+      HashCombine(k.graph_fingerprint, k.config_hash));
+}
+
+ResultCache::ResultCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+std::shared_ptr<const EnsemFDetReport> ResultCache::Lookup(
+    uint64_t graph_fingerprint, uint64_t config_hash) {
+  const Key key{graph_fingerprint, config_hash};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->report;
+}
+
+void ResultCache::Insert(uint64_t graph_fingerprint, uint64_t config_hash,
+                         std::shared_ptr<const EnsemFDetReport> report) {
+  if (report == nullptr) return;
+  const Key key{graph_fingerprint, config_hash};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->report = std::move(report);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(report)});
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ensemfdet

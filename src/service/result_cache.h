@@ -1,0 +1,91 @@
+// ResultCache: memoization of ensemble detection over immutable graphs.
+//
+// EnsemFDet is deterministic in (graph, config): the same snapshot and the
+// same configuration always produce the same report. The cache exploits
+// that by keying completed EnsemFDetReports on
+//
+//     (graph fingerprint, config hash)
+//
+// so repeated detection requests over an unchanged graph are served from
+// memory instead of re-running N sample+FDET jobs — the amortize-repeated-
+// queries win that production fraud pipelines live on (dashboards and
+// reviewers re-request the same nightly graph many times).
+//
+// Eviction is LRU with a bounded entry count; reports are shared_ptr so an
+// evicted entry stays alive for holders. All methods are thread-safe.
+#ifndef ENSEMFDET_SERVICE_RESULT_CACHE_H_
+#define ENSEMFDET_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "ensemble/ensemfdet.h"
+
+namespace ensemfdet {
+
+/// Stable 64-bit hash over every field of an EnsemFDetConfig that affects
+/// detection output (method, N, S, reweighting, seed, and the full FDET /
+/// density configuration). Configs with equal hashes produce identical
+/// reports on the same graph.
+uint64_t HashEnsemFDetConfig(const EnsemFDetConfig& config);
+
+struct ResultCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+
+  int64_t lookups() const { return hits + misses; }
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = max retained reports (≥ 1).
+  explicit ResultCache(size_t capacity = 128);
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached report for (graph_fingerprint, config_hash), or
+  /// nullptr on miss. Counts a hit/miss and refreshes LRU order.
+  std::shared_ptr<const EnsemFDetReport> Lookup(uint64_t graph_fingerprint,
+                                                uint64_t config_hash);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry when over capacity.
+  void Insert(uint64_t graph_fingerprint, uint64_t config_hash,
+              std::shared_ptr<const EnsemFDetReport> report);
+
+  /// Drops every entry (stats are retained).
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  ResultCacheStats stats() const;
+
+ private:
+  struct Key {
+    uint64_t graph_fingerprint;
+    uint64_t config_hash;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const EnsemFDetReport> report;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,546 @@
+// ensemfdet_cli: the unified command-line front door to the detection
+// service layer. One binary, four subcommands:
+//
+//   generate     synthesize a Table-I-preset transaction graph as TSV
+//                (plus an optional blacklist file for `evaluate`)
+//   detect       run a detector over a TSV graph through DetectionService;
+//                --repeat shows the ResultCache absorbing repeat queries
+//   evaluate     detect + score against a blacklist (P/R/F1, PR-AUC)
+//   bench-smoke  end-to-end self-check of the service layer (used by CI)
+//
+// Everything goes through GraphRegistry + DetectionService — this tool is
+// both the operational CLI and a living integration test of the service
+// subsystem. Suspicious user ids go to stdout (pipe into review tooling);
+// diagnostics go to stderr.
+//
+//   $ ensemfdet_cli generate --preset=dataset1 --scale=0.01
+//         --out=/tmp/g.tsv --labels=/tmp/labels.tsv
+//   $ ensemfdet_cli detect --graph=/tmp/g.tsv --n=40 --t=8 --repeat=2
+//   $ ensemfdet_cli evaluate --graph=/tmp/g.tsv --labels=/tmp/labels.tsv
+//   $ ensemfdet_cli bench-smoke
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ensemfdet.h"
+
+using namespace ensemfdet;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal --key=value flag parsing.
+// ---------------------------------------------------------------------------
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";  // boolean flag
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key, const std::string& fallback) {
+    seen_.insert({key, true});
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) {
+    std::string v = GetString(key, "");
+    return v.empty() ? fallback : std::atoi(v.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) {
+    std::string v = GetString(key, "");
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+  uint64_t GetUint64(const std::string& key, uint64_t fallback) {
+    std::string v = GetString(key, "");
+    return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
+  }
+  bool GetBool(const std::string& key, bool fallback) {
+    std::string v = GetString(key, "");
+    if (v.empty()) return fallback;
+    return v == "true" || v == "1" || v == "yes";
+  }
+
+  /// True iff the user passed the flag (does not mark it consumed).
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Dies on flags that no Get* consulted — catches typos like --ratio
+  /// where the command reads --s.
+  void DieOnUnknown() const {
+    bool bad = false;
+    for (const auto& [key, value] : values_) {
+      if (!seen_.count(key)) {
+        std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+        bad = true;
+      }
+    }
+    if (bad) std::exit(2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> seen_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ensemfdet_cli <command> [--flag=value ...]\n"
+      "\n"
+      "commands:\n"
+      "  generate     --out=FILE [--labels=FILE] [--preset=dataset1|2|3]\n"
+      "               [--scale=0.01] [--seed=7]\n"
+      "  detect       --graph=FILE [--detector=ensemfdet|fraudar|hits|spoken|fbox]\n"
+      "               [--n=80] [--s=0.1] [--method=random_edge] [--t=N/10]\n"
+      "               [--seed=42] [--threads=0] [--repeat=1] [--no-cache]\n"
+      "               [--top=25]\n"
+      "  evaluate     --graph=FILE --labels=FILE [detect flags] [--curve]\n"
+      "  bench-smoke  [--scale=0.004] [--seed=7] [--threads=0]\n");
+  return 2;
+}
+
+// Blacklist file format: one fraud user id per line, '#' comments.
+Status SaveLabels(const LabelSet& labels, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# fraud user ids, one per line (" << labels.num_fraud() << " of "
+      << labels.num_users() << " users)\n";
+  for (UserId u : labels.FraudUsers()) out << u << "\n";
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<LabelSet> LoadLabels(const std::string& path, int64_t num_users) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<UserId> fraud;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    char* end = nullptr;
+    // strtoull happily wraps negatives ("-5" → 2^64-5), so reject any
+    // sign explicitly and range-check in the unsigned domain.
+    unsigned long long id = std::strtoull(line.c_str(), &end, 10);
+    if (end == line.c_str() || line[0] == '-' || line[0] == '+') {
+      return Status::IOError("unparsable label line: " + line);
+    }
+    if (id >= static_cast<unsigned long long>(num_users)) {
+      return Status::InvalidArgument("label id " + std::to_string(id) +
+                                     " out of range for " +
+                                     std::to_string(num_users) + " users");
+    }
+    fraud.push_back(static_cast<UserId>(id));
+  }
+  return LabelSet(num_users, fraud);
+}
+
+Result<JdPreset> ParsePreset(const std::string& name) {
+  for (JdPreset p : AllJdPresets()) {
+    if (name == JdPresetName(p)) return p;
+  }
+  return Status::NotFound("unknown preset '" + name +
+                          "' (want dataset1|dataset2|dataset3)");
+}
+
+ThreadPool* PoolFromFlag(int threads) {
+  static std::optional<ThreadPool> owned;
+  if (threads > 0) {
+    owned.emplace(threads);
+    return &*owned;
+  }
+  return &DefaultThreadPool();
+}
+
+// Shared by detect/evaluate: assemble the ensemble config from flags.
+EnsemFDetConfig EnsembleFromFlags(Flags& flags) {
+  EnsemFDetConfig config;
+  config.num_samples = flags.GetInt("n", 80);
+  config.ratio = flags.GetDouble("s", 0.1);
+  config.seed = flags.GetUint64("seed", 42);
+  std::string method = flags.GetString("method", "random_edge");
+  auto parsed = ParseSampleMethod(method);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    std::exit(2);
+  }
+  config.method = *parsed;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------------
+int CmdGenerate(Flags& flags) {
+  const std::string out = flags.GetString("out", "");
+  const std::string labels_path = flags.GetString("labels", "");
+  const std::string preset_name = flags.GetString("preset", "dataset1");
+  const double scale = flags.GetDouble("scale", 0.01);
+  const uint64_t seed = flags.GetUint64("seed", 7);
+  flags.DieOnUnknown();
+  if (out.empty()) {
+    std::fprintf(stderr, "error: generate requires --out=FILE\n");
+    return 2;
+  }
+
+  auto preset = ParsePreset(preset_name);
+  if (!preset.ok()) {
+    std::fprintf(stderr, "error: %s\n", preset.status().ToString().c_str());
+    return 2;
+  }
+  auto dataset = GenerateJdPreset(*preset, scale, seed);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Status st = SaveEdgeListTsv(dataset->graph, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[generate] %s scale=%.4g seed=%llu -> %s "
+               "(%lld users, %lld merchants, %lld edges, %lld blacklisted)\n",
+               preset_name.c_str(), scale, (unsigned long long)seed,
+               out.c_str(), (long long)dataset->graph.num_users(),
+               (long long)dataset->graph.num_merchants(),
+               (long long)dataset->graph.num_edges(),
+               (long long)dataset->blacklist.num_fraud());
+  if (!labels_path.empty()) {
+    st = SaveLabels(dataset->blacklist, labels_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[generate] blacklist -> %s\n", labels_path.c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// detect
+// ---------------------------------------------------------------------------
+struct DetectRun {
+  std::shared_ptr<const JobResult> result;
+  EnsemFDetConfig config;
+  DetectorKind detector = DetectorKind::kEnsemFDet;
+};
+
+// Loads --graph and publishes it under the name "cli"; fills `snapshot`.
+int LoadAndPublishGraph(Flags& flags, GraphRegistry& registry,
+                        GraphSnapshot* snapshot) {
+  const std::string path = flags.GetString("graph", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: requires --graph=FILE\n");
+    return 2;
+  }
+  auto graph = LoadEdgeListTsv(path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto published = registry.Publish("cli", std::move(graph).value());
+  if (!published.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 published.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[load] %s: %lld users x %lld merchants, %lld edges "
+               "(fingerprint %016llx)\n",
+               path.c_str(), (long long)published->graph->num_users(),
+               (long long)published->graph->num_merchants(),
+               (long long)published->graph->num_edges(),
+               (unsigned long long)published->fingerprint);
+  *snapshot = std::move(published).value();
+  return 0;
+}
+
+// Runs --repeat jobs over the published "cli" graph through the service.
+// On success, fills `run` with the last job's result.
+int RunDetectJobs(Flags& flags, DetectionService& service, DetectRun* run) {
+  auto detector = ParseDetectorKind(flags.GetString("detector", "ensemfdet"));
+  if (!detector.ok()) {
+    std::fprintf(stderr, "error: %s\n", detector.status().ToString().c_str());
+    return 2;
+  }
+  run->detector = *detector;
+  run->config = EnsembleFromFlags(flags);
+  if (run->detector != DetectorKind::kEnsemFDet) {
+    // Baselines run with their library-default configs, print a --top
+    // ranking instead of applying T, and never touch the cache; don't let
+    // any of those flags pass silently without effect.
+    for (const char* tuning : {"n", "s", "method", "seed", "t", "no-cache"}) {
+      if (flags.Has(tuning)) {
+        std::fprintf(stderr,
+                     "[warn] --%s has no effect with --detector=%s "
+                     "(baselines use library defaults)\n",
+                     tuning, DetectorKindName(run->detector));
+      }
+    }
+  }
+  const int repeat = flags.GetInt("repeat", 1);
+  if (repeat < 1) {
+    std::fprintf(stderr, "error: --repeat must be >= 1\n");
+    return 2;
+  }
+  const bool use_cache = !flags.GetBool("no-cache", false);
+
+  for (int i = 0; i < repeat; ++i) {
+    JobRequest request;
+    request.graph_name = "cli";
+    request.detector = run->detector;
+    request.ensemble = run->config;
+    request.use_cache = use_cache;
+    WallTimer timer;
+    auto result = service.Detect(std::move(request));
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[detect] run %d/%d: %s in %s%s\n", i + 1, repeat,
+                 DetectorKindName(run->detector),
+                 FormatDuration(timer.ElapsedSeconds()).c_str(),
+                 (*result)->cache_hit ? " (result cache hit)" : "");
+    run->result = std::move(result).value();
+  }
+  ResultCacheStats stats = service.cache_stats();
+  std::fprintf(stderr,
+               "[cache] %lld lookups: %lld hits, %lld misses, %lld entries\n",
+               (long long)stats.lookups(), (long long)stats.hits,
+               (long long)stats.misses, (long long)service.cache().size());
+  return 0;
+}
+
+int CmdDetect(Flags& flags) {
+  GraphRegistry registry;
+  ThreadPool* pool = PoolFromFlag(flags.GetInt("threads", 0));
+  DetectionService service(&registry, pool);
+
+  DetectRun run;
+  // Read flags consumed below before DieOnUnknown fires inside helpers.
+  const int t_flag = flags.GetInt("t", -1);
+  const int top = flags.GetInt("top", 25);
+  GraphSnapshot snapshot;
+  int rc = LoadAndPublishGraph(flags, registry, &snapshot);
+  if (rc == 0) rc = RunDetectJobs(flags, service, &run);
+  // Only typo-check flags on the success path: after a failure, flags the
+  // aborted stage never consumed would be misreported as unknown.
+  if (rc != 0) return rc;
+  flags.DieOnUnknown();
+
+  if (run.detector == DetectorKind::kEnsemFDet) {
+    const int threshold =
+        t_flag > 0 ? t_flag : std::max(1, run.config.num_samples / 10);
+    auto suspicious = run.result->report->AcceptedUsers(threshold);
+    std::fprintf(stderr, "[detect] N=%d S=%.3f T=%d -> %zu suspicious users\n",
+                 run.config.num_samples, run.config.ratio, threshold,
+                 suspicious.size());
+    for (UserId u : suspicious) std::printf("%u\n", u);
+  } else {
+    // Baselines produce a ranking; print the --top highest-scoring users.
+    const std::vector<double>& scores = run.result->user_scores;
+    std::vector<UserId> order(scores.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = (UserId)i;
+    std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+      if (scores[a] != scores[b]) return scores[a] > scores[b];
+      return a < b;
+    });
+    const size_t k = std::min<size_t>(top, order.size());
+    std::fprintf(stderr, "[detect] top %zu users by %s score\n", k,
+                 DetectorKindName(run.detector));
+    for (size_t i = 0; i < k; ++i) {
+      std::printf("%u\t%.6g\n", order[i], scores[order[i]]);
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// evaluate
+// ---------------------------------------------------------------------------
+int CmdEvaluate(Flags& flags) {
+  GraphRegistry registry;
+  ThreadPool* pool = PoolFromFlag(flags.GetInt("threads", 0));
+  DetectionService service(&registry, pool);
+
+  const std::string labels_path = flags.GetString("labels", "");
+  const int t_flag = flags.GetInt("t", -1);
+  const bool print_curve = flags.GetBool("curve", false);
+  if (labels_path.empty()) {
+    std::fprintf(stderr, "error: evaluate requires --labels=FILE\n");
+    return 2;
+  }
+
+  // Load the graph and validate the labels *before* detection: a bad
+  // --labels path must not cost a full ensemble run.
+  GraphSnapshot snapshot;
+  int rc = LoadAndPublishGraph(flags, registry, &snapshot);
+  if (rc != 0) return rc;
+  auto labels = LoadLabels(labels_path, snapshot.graph->num_users());
+  if (!labels.ok()) {
+    std::fprintf(stderr, "error: %s\n", labels.status().ToString().c_str());
+    return 1;
+  }
+
+  // Evaluation needs a vote table, so only the ensemble detector makes
+  // sense — reject others before paying for a detection run.
+  if (flags.GetString("detector", "ensemfdet") != "ensemfdet") {
+    std::fprintf(stderr, "error: evaluate supports --detector=ensemfdet\n");
+    return 2;
+  }
+
+  DetectRun run;
+  rc = RunDetectJobs(flags, service, &run);
+  if (rc != 0) return rc;
+  flags.DieOnUnknown();
+
+  const int threshold =
+      t_flag > 0 ? t_flag : std::max(1, run.config.num_samples / 10);
+  auto detected = run.result->report->AcceptedUsers(threshold);
+  Confusion c = CountConfusion(detected, *labels);
+  auto curve = VoteSweep(run.result->report->votes, *labels,
+                         run.config.num_samples);
+  std::printf("detector=ensemfdet N=%d S=%.3f T=%d\n", run.config.num_samples,
+              run.config.ratio, threshold);
+  std::printf("detected=%lld precision=%.4f recall=%.4f f1=%.4f "
+              "pr_auc=%.4f\n",
+              (long long)c.num_detected(), Precision(c), Recall(c),
+              F1Score(c), PrCurveArea(curve));
+  if (print_curve) {
+    std::printf("T,num_detected,precision,recall,f1\n");
+    for (const OperatingPoint& p : curve) {
+      std::printf("%g,%lld,%.4f,%.4f,%.4f\n", p.control,
+                  (long long)p.num_detected, p.precision, p.recall, p.f1);
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// bench-smoke: end-to-end self-check of the service layer.
+// ---------------------------------------------------------------------------
+#define SMOKE_CHECK(cond, what)                                   \
+  do {                                                            \
+    if (cond) {                                                   \
+      std::fprintf(stderr, "[smoke] ok: %s\n", what);             \
+    } else {                                                      \
+      std::fprintf(stderr, "[smoke] FAILED: %s\n", what);         \
+      return 1;                                                   \
+    }                                                             \
+  } while (0)
+
+int CmdBenchSmoke(Flags& flags) {
+  const double scale = flags.GetDouble("scale", 0.004);
+  const uint64_t seed = flags.GetUint64("seed", 7);
+  ThreadPool* pool = PoolFromFlag(flags.GetInt("threads", 0));
+  flags.DieOnUnknown();
+
+  WallTimer total;
+  auto dataset = GenerateJdPreset(JdPreset::kDataset1, scale, seed);
+  SMOKE_CHECK(dataset.ok(), "generate dataset1 preset");
+
+  GraphRegistry registry;
+  DetectionService service(&registry, pool);
+  auto snapshot = registry.Publish("smoke", dataset->graph);
+  SMOKE_CHECK(snapshot.ok(), "publish graph snapshot");
+
+  JobRequest request;
+  request.graph_name = "smoke";
+  request.ensemble.num_samples = 16;
+  request.ensemble.ratio = 0.15;
+  request.ensemble.seed = seed;
+
+  auto first = service.Detect(request);
+  SMOKE_CHECK(first.ok() && !(*first)->cache_hit, "cold ensemble detection");
+  auto second = service.Detect(request);
+  SMOKE_CHECK(second.ok() && (*second)->cache_hit,
+              "repeat request served from ResultCache");
+  SMOKE_CHECK((*second)->report.get() == (*first)->report.get(),
+              "cache returns the identical report object");
+
+  // Vote tables must be deterministic in the seed regardless of threads.
+  ThreadPool narrow(1);
+  GraphRegistry registry1;
+  DetectionService service1(&registry1, &narrow);
+  registry1.Publish("smoke", dataset->graph).ValueOrDie();
+  auto sequential = service1.Detect(request);
+  SMOKE_CHECK(sequential.ok(), "single-thread detection");
+  const auto& votes_a = (*first)->report->votes;
+  const auto& votes_b = (*sequential)->report->votes;
+  bool identical = votes_a.num_users() == votes_b.num_users();
+  for (UserId u = 0; identical && u < votes_a.num_users(); ++u) {
+    identical = votes_a.user_votes(u) == votes_b.user_votes(u);
+  }
+  SMOKE_CHECK(identical, "vote table identical at any thread count");
+
+  auto hits = service.Detect([&] {
+    JobRequest r;
+    r.graph_name = "smoke";
+    r.detector = DetectorKind::kHits;
+    return r;
+  }());
+  SMOKE_CHECK(hits.ok() && !(*hits)->user_scores.empty(),
+              "baseline (hits) job through the service");
+
+  // Windowed replay over a synthetic minute-long transaction burst.
+  JobRequest windowed;
+  WindowedReplaySpec spec;
+  spec.config.num_users = dataset->graph.num_users();
+  spec.config.num_merchants = dataset->graph.num_merchants();
+  spec.config.window = 600;
+  spec.config.detection_interval = 300;
+  spec.config.ensemble = request.ensemble;
+  int64_t ts = 0;
+  for (const Edge& e : dataset->graph.edges()) {
+    spec.transactions.push_back({ts, e.user, e.merchant});
+    if (spec.transactions.size() >= 2000) break;
+    ts += 1;
+  }
+  windowed.windowed = std::move(spec);
+  auto replay = service.Detect(std::move(windowed));
+  SMOKE_CHECK(replay.ok() && (*replay)->report != nullptr,
+              "windowed streaming replay job");
+
+  ResultCacheStats stats = service.cache_stats();
+  SMOKE_CHECK(stats.hits >= 1 && stats.misses >= 1, "cache stats counted");
+
+  std::fprintf(stderr, "[smoke] all checks passed in %s (pool=%d threads)\n",
+               FormatDuration(total.ElapsedSeconds()).c_str(),
+               pool->num_threads());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc - 2, argv + 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "detect") return CmdDetect(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "bench-smoke") return CmdBenchSmoke(flags);
+  if (command == "help" || command == "--help") return Usage();
+  std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+  return Usage();
+}
