@@ -1,0 +1,259 @@
+#include "perf_harness.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <limits>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "datagen/presets.h"
+#include "detect/csr_peeler.h"
+#include "detect/fdet.h"
+#include "detect/greedy_peeler.h"
+#include "ensemble/ensemfdet.h"
+#include "graph/csr_graph.h"
+
+namespace ensemfdet {
+namespace bench {
+
+namespace {
+
+// printf-append onto a std::string (JSON is assembled by hand; the schema
+// is small and pinned by bench/README.md + the CI validator).
+void AppendF(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[512];
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf, static_cast<size_t>(std::min<int>(
+                       n, static_cast<int>(sizeof(buf)) - 1)));
+}
+
+struct Timing {
+  std::string name;
+  double seconds_min = std::numeric_limits<double>::infinity();
+  double seconds_mean = 0.0;
+  int repeats = 0;
+};
+
+Timing Measure(const std::string& name, int repeats,
+               const std::function<void()>& fn) {
+  Timing t;
+  t.name = name;
+  t.repeats = repeats;
+  double total = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    WallTimer timer;
+    fn();
+    const double s = timer.ElapsedSeconds();
+    t.seconds_min = std::min(t.seconds_min, s);
+    total += s;
+  }
+  t.seconds_mean = repeats > 0 ? total / repeats : 0.0;
+  return t;
+}
+
+void AppendGraphJson(std::string* out, const PerfGraphSpec& spec,
+                     const BipartiteGraph& graph) {
+  AppendF(out,
+          "  \"graph\": {\"preset\": \"dataset1\", \"scale\": %.6g, "
+          "\"seed\": %llu, \"users\": %lld, \"merchants\": %lld, "
+          "\"edges\": %lld},\n",
+          spec.scale, static_cast<unsigned long long>(spec.seed),
+          static_cast<long long>(graph.num_users()),
+          static_cast<long long>(graph.num_merchants()),
+          static_cast<long long>(graph.num_edges()));
+}
+
+void AppendTimingsJson(std::string* out, const std::vector<Timing>& timings) {
+  out->append("  \"timings\": [\n");
+  for (size_t i = 0; i < timings.size(); ++i) {
+    AppendF(out,
+            "    {\"name\": \"%s\", \"seconds_min\": %.9g, "
+            "\"seconds_mean\": %.9g, \"repeats\": %d}%s\n",
+            timings[i].name.c_str(), timings[i].seconds_min,
+            timings[i].seconds_mean, timings[i].repeats,
+            i + 1 < timings.size() ? "," : "");
+  }
+  out->append("  ],\n");
+}
+
+bool SamePeel(const PeelResult& a, const PeelResult& b) {
+  return a.users == b.users && a.merchants == b.merchants &&
+         a.score == b.score;
+}
+
+bool SameFdet(const FdetResult& a, const FdetResult& b) {
+  if (a.all_scores != b.all_scores ||
+      a.truncation_index != b.truncation_index ||
+      a.blocks.size() != b.blocks.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.blocks.size(); ++i) {
+    if (a.blocks[i].users != b.blocks[i].users ||
+        a.blocks[i].merchants != b.blocks[i].merchants ||
+        a.blocks[i].score != b.blocks[i].score ||
+        a.blocks[i].edges != b.blocks[i].edges) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> RunPeelingBench(const PeelingBenchOptions& options) {
+  if (options.repeats < 1) {
+    return Status::InvalidArgument("repeats must be >= 1");
+  }
+  ENSEMFDET_ASSIGN_OR_RETURN(
+      Dataset dataset, GenerateJdPreset(JdPreset::kDataset1,
+                                        options.graph.scale,
+                                        options.graph.seed));
+  const BipartiteGraph& graph = dataset.graph;
+
+  FdetConfig fdet_config;
+  fdet_config.max_blocks = options.max_blocks;
+  const DensityConfig density;
+
+  // Untimed reference runs establish parity before anything is measured.
+  CsrGraph csr = CsrGraph::FromBipartite(graph);
+  const PeelResult adjacency_peel = PeelDensestBlock(graph, density);
+  const PeelResult csr_peel = PeelDensestBlockCsr(csr, density);
+  ENSEMFDET_ASSIGN_OR_RETURN(const FdetResult adjacency_fdet,
+                             RunFdetReference(graph, fdet_config));
+  ENSEMFDET_ASSIGN_OR_RETURN(const FdetResult csr_fdet,
+                             RunFdetCsr(csr, fdet_config));
+  const bool peel_identical = SamePeel(adjacency_peel, csr_peel);
+  const bool fdet_identical = SameFdet(adjacency_fdet, csr_fdet);
+  if (!peel_identical || !fdet_identical) {
+    return Status::Internal(
+        "CSR peeler diverged from the adjacency-list peeler on the bench "
+        "graph — refusing to emit BENCH_peeling.json");
+  }
+
+  std::vector<Timing> timings;
+  timings.push_back(Measure("csr_convert", options.repeats, [&] {
+    CsrGraph converted = CsrGraph::FromBipartite(graph);
+    (void)converted;
+  }));
+  timings.push_back(Measure("adjacency_single_peel", options.repeats, [&] {
+    PeelResult r = PeelDensestBlock(graph, density);
+    (void)r;
+  }));
+  timings.push_back(Measure("csr_single_peel", options.repeats, [&] {
+    PeelResult r = PeelDensestBlockCsr(csr, density);
+    (void)r;
+  }));
+  timings.push_back(Measure("adjacency_fdet", options.repeats, [&] {
+    FdetResult r = RunFdetReference(graph, fdet_config).ValueOrDie();
+    (void)r;
+  }));
+  timings.push_back(Measure("csr_fdet", options.repeats, [&] {
+    FdetResult r = RunFdetCsr(csr, fdet_config).ValueOrDie();
+    (void)r;
+  }));
+
+  const double peel_speedup = timings[1].seconds_min / timings[2].seconds_min;
+  const double fdet_speedup = timings[3].seconds_min / timings[4].seconds_min;
+
+  std::string out;
+  out.append("{\n");
+  out.append("  \"schema_version\": 1,\n");
+  out.append("  \"bench\": \"peeling\",\n");
+  AppendGraphJson(&out, options.graph, graph);
+  AppendF(&out, "  \"config\": {\"repeats\": %d, \"max_blocks\": %d},\n",
+          options.repeats, options.max_blocks);
+  AppendTimingsJson(&out, timings);
+  AppendF(&out,
+          "  \"speedup\": {\"csr_single_peel_vs_adjacency\": %.4g, "
+          "\"csr_fdet_vs_adjacency\": %.4g},\n",
+          peel_speedup, fdet_speedup);
+  AppendF(&out,
+          "  \"parity\": {\"single_peel_identical\": %s, "
+          "\"fdet_identical\": %s}\n",
+          peel_identical ? "true" : "false",
+          fdet_identical ? "true" : "false");
+  out.append("}\n");
+  return out;
+}
+
+Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options) {
+  if (options.repeats < 1) {
+    return Status::InvalidArgument("repeats must be >= 1");
+  }
+  ENSEMFDET_ASSIGN_OR_RETURN(
+      Dataset dataset, GenerateJdPreset(JdPreset::kDataset1,
+                                        options.graph.scale,
+                                        options.graph.seed));
+  const BipartiteGraph& graph = dataset.graph;
+
+  EnsemFDetConfig config;
+  config.num_samples = options.num_samples;
+  config.ratio = options.ratio;
+  config.seed = options.graph.seed;
+
+  ThreadPool* pool = &DefaultThreadPool();
+  std::optional<ThreadPool> owned;
+  if (options.threads > 0) {
+    owned.emplace(options.threads);
+    pool = &*owned;
+  }
+  EnsemFDet detector(config);
+
+  // Validate once untimed (and warm caches) before measuring.
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport warm,
+                             detector.Run(graph, pool));
+  (void)warm;
+
+  std::vector<Timing> timings;
+  timings.push_back(Measure("ensemble_run", options.repeats, [&] {
+    EnsemFDetReport r = detector.Run(graph, pool).ValueOrDie();
+    (void)r;
+  }));
+  timings.push_back(Measure("ensemble_run_1thread", options.repeats, [&] {
+    EnsemFDetReport r = detector.Run(graph, nullptr).ValueOrDie();
+    (void)r;
+  }));
+
+  const double members_per_second =
+      options.num_samples / timings[0].seconds_min;
+  const double parallel_speedup =
+      timings[1].seconds_min / timings[0].seconds_min;
+
+  std::string out;
+  out.append("{\n");
+  out.append("  \"schema_version\": 1,\n");
+  out.append("  \"bench\": \"ensemble\",\n");
+  AppendGraphJson(&out, options.graph, graph);
+  AppendF(&out,
+          "  \"config\": {\"repeats\": %d, \"num_samples\": %d, "
+          "\"ratio\": %.4g, \"threads\": %d},\n",
+          options.repeats, options.num_samples, options.ratio,
+          pool->num_threads());
+  AppendTimingsJson(&out, timings);
+  AppendF(&out,
+          "  \"throughput\": {\"members_per_second\": %.6g},\n"
+          "  \"parallel_speedup\": %.4g\n",
+          members_per_second, parallel_speedup);
+  out.append("}\n");
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << text;
+  out.flush();  // surface deferred write errors (disk full) before checking
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace bench
+}  // namespace ensemfdet

@@ -1,0 +1,64 @@
+// Perf-baseline harness: the single producer of the repo's BENCH_*.json
+// files (schema documented in bench/README.md).
+//
+// Three front doors share this code so the numbers can never drift apart:
+//   * bench/bench_peeling.cc      — standalone peeling bench binary
+//   * bench/bench_ensemble.cc     — standalone ensemble bench binary
+//   * tools/ensemfdet_cli.cc      — the `bench-report` subcommand CI runs
+//
+// Every measurement reports min/mean wall-clock over `repeats` runs
+// (min is the headline: least scheduler noise). The peeling bench also
+// *verifies* CSR-vs-adjacency parity on the bench graph and fails with
+// Internal if results diverge — a malformed or lying BENCH_peeling.json
+// can't be produced.
+#ifndef ENSEMFDET_BENCH_PERF_HARNESS_H_
+#define ENSEMFDET_BENCH_PERF_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ensemfdet {
+namespace bench {
+
+/// Workload shared by both benches: a Table-I dataset1 preset graph.
+struct PerfGraphSpec {
+  double scale = 0.02;
+  uint64_t seed = 7;
+};
+
+struct PeelingBenchOptions {
+  PerfGraphSpec graph;
+  /// Timed repetitions per measurement (min/mean reported).
+  int repeats = 5;
+  /// FDET block budget for the iterated-peeling measurements.
+  int max_blocks = 12;
+};
+
+struct EnsembleBenchOptions {
+  PerfGraphSpec graph;
+  int repeats = 3;
+  /// Ensemble size N and sampling ratio S.
+  int num_samples = 16;
+  double ratio = 0.1;
+  /// Thread pool width for the parallel measurement (0 = hardware).
+  int threads = 0;
+};
+
+/// Runs the peeling bench (adjacency vs CSR, single peel + full FDET) and
+/// returns the BENCH_peeling.json document. Fails with Internal if the
+/// CSR path's results are not identical to the adjacency path's.
+Result<std::string> RunPeelingBench(const PeelingBenchOptions& options);
+
+/// Runs the ensemble bench (N-member run, parallel vs single-thread) and
+/// returns the BENCH_ensemble.json document.
+Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options);
+
+/// Writes `text` to `path` (overwriting); IOError on failure.
+Status WriteTextFile(const std::string& path, const std::string& text);
+
+}  // namespace bench
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_BENCH_PERF_HARNESS_H_

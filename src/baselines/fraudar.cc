@@ -21,15 +21,32 @@ std::vector<UserId> FraudarResult::DetectedUsers() const {
   return out;
 }
 
-Result<FraudarResult> RunFraudar(const BipartiteGraph& graph,
-                                 const FraudarConfig& config) {
+namespace {
+
+FdetConfig FraudarFdetConfig(const FraudarConfig& config) {
   FdetConfig fdet;
   fdet.density = config.density;
   fdet.policy = TruncationPolicy::kFixedK;
   fdet.fixed_k = config.num_blocks;
   fdet.max_blocks = config.num_blocks;
-  ENSEMFDET_ASSIGN_OR_RETURN(FdetResult result, RunFdet(graph, fdet));
+  return fdet;
+}
 
+}  // namespace
+
+Result<FraudarResult> RunFraudar(const BipartiteGraph& graph,
+                                 const FraudarConfig& config) {
+  ENSEMFDET_ASSIGN_OR_RETURN(FdetResult result,
+                             RunFdet(graph, FraudarFdetConfig(config)));
+  FraudarResult out;
+  out.blocks = std::move(result.blocks);
+  return out;
+}
+
+Result<FraudarResult> RunFraudar(const CsrGraph& graph,
+                                 const FraudarConfig& config) {
+  ENSEMFDET_ASSIGN_OR_RETURN(FdetResult result,
+                             RunFdetCsr(graph, FraudarFdetConfig(config)));
   FraudarResult out;
   out.blocks = std::move(result.blocks);
   return out;

@@ -44,6 +44,12 @@ struct FraudarResult {
 Result<FraudarResult> RunFraudar(const BipartiteGraph& graph,
                                  const FraudarConfig& config);
 
+/// CSR overload: identical results over an already-converted graph (the
+/// service layer passes the snapshot's shared CsrGraph so baseline jobs
+/// skip the per-job conversion).
+Result<FraudarResult> RunFraudar(const CsrGraph& graph,
+                                 const FraudarConfig& config);
+
 }  // namespace ensemfdet
 
 #endif  // ENSEMFDET_BASELINES_FRAUDAR_H_

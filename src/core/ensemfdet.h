@@ -28,6 +28,7 @@
 // Bipartite graph substrate.
 #include "graph/bipartite_graph.h"
 #include "graph/components.h"
+#include "graph/csr_graph.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
@@ -38,7 +39,9 @@
 #include "sampling/sampler.h"
 #include "sampling/sampling_theory.h"
 
-// Detection core: density score φ, greedy peeling, FDET.
+// Detection core: density score φ, greedy peeling (adjacency + in-place
+// CSR), FDET.
+#include "detect/csr_peeler.h"
 #include "detect/density.h"
 #include "detect/fdet.h"
 #include "detect/greedy_peeler.h"

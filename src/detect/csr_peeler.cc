@@ -1,0 +1,255 @@
+#include "detect/csr_peeler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace ensemfdet {
+
+namespace detail {
+
+PeelHeap::PeelHeap(int64_t capacity)
+    : pos_(static_cast<size_t>(capacity), -1) {
+  heap_.reserve(static_cast<size_t>(capacity));
+}
+
+void PeelHeap::Place(size_t i, Entry e) {
+  heap_[i] = e;
+  pos_[static_cast<size_t>(e.id)] = static_cast<int64_t>(i);
+}
+
+void PeelHeap::Append(int64_t id, double key) {
+  ENSEMFDET_DCHECK(id >= 0 && id < static_cast<int64_t>(pos_.size()));
+  ENSEMFDET_DCHECK(pos_[static_cast<size_t>(id)] < 0);
+  heap_.push_back({key, id});
+  pos_[static_cast<size_t>(id)] =
+      static_cast<int64_t>(heap_.size()) - 1;
+}
+
+void PeelHeap::Heapify() {
+  if (heap_.size() < 2) return;
+  // Floyd: sift down every internal node, last first.
+  for (size_t i = heap_.size() / 2; i-- > 0;) {
+    SiftDown(i);
+  }
+}
+
+void PeelHeap::SiftUp(size_t i) {
+  Entry e = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Less(e, heap_[parent])) break;
+    Place(i, heap_[parent]);
+    i = parent;
+  }
+  Place(i, e);
+}
+
+void PeelHeap::SiftDown(size_t i) {
+  Entry e = heap_[i];
+  const size_t n = heap_.size();
+  for (;;) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Less(heap_[child + 1], heap_[child])) ++child;
+    if (!Less(heap_[child], e)) break;
+    Place(i, heap_[child]);
+    i = child;
+  }
+  Place(i, e);
+}
+
+int64_t PeelHeap::PopMin() {
+  ENSEMFDET_CHECK(!heap_.empty());
+  const int64_t id = heap_[0].id;
+  pos_[static_cast<size_t>(id)] = -1;
+  Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    Place(0, last);
+    SiftDown(0);
+  }
+  return id;
+}
+
+void PeelHeap::AddTo(int64_t id, double delta) {
+  ENSEMFDET_DCHECK(pos_[static_cast<size_t>(id)] >= 0);
+  ENSEMFDET_DCHECK(delta <= 0.0);
+  const size_t i = static_cast<size_t>(pos_[static_cast<size_t>(id)]);
+  // Same arithmetic as IndexedMinHeap::AddToKey: key ← key + delta.
+  heap_[i].key = heap_[i].key + delta;
+  SiftUp(i);
+}
+
+}  // namespace detail
+
+CsrPeeler::CsrPeeler(const CsrGraph& graph)
+    : graph_(&graph),
+      user_degree_(static_cast<size_t>(graph.num_users()), 0),
+      merchant_degree_(static_cast<size_t>(graph.num_merchants()), 0),
+      col_weight_(static_cast<size_t>(graph.num_merchants()), 0.0),
+      edge_mass_(static_cast<size_t>(graph.num_edges()), 0.0),
+      priority_(static_cast<size_t>(graph.num_nodes()), 0.0),
+      edge_alive_(static_cast<size_t>(graph.num_edges()), 0),
+      removed_(static_cast<size_t>(graph.num_nodes()), 0),
+      gone_(static_cast<size_t>(graph.num_nodes()), 0),
+      heap_(graph.num_nodes()) {}
+
+PeelResult CsrPeeler::Peel(std::span<const EdgeId> residual_edges,
+                           const DensityConfig& config, PeelNodeScope scope,
+                           bool keep_trace) {
+  PeelResult result;
+  const CsrGraph& graph = *graph_;
+  const int64_t num_users = graph.num_users();
+  const int64_t num_merchants = graph.num_merchants();
+  const int64_t total_nodes = num_users + num_merchants;
+  if (total_nodes == 0 || residual_edges.empty()) return result;
+
+  // Residual degrees + alive-edge mask.
+  std::fill(user_degree_.begin(), user_degree_.end(), 0);
+  std::fill(merchant_degree_.begin(), merchant_degree_.end(), 0);
+  for (EdgeId e : residual_edges) {
+    ENSEMFDET_DCHECK(e >= 0 && e < graph.num_edges());
+    edge_alive_[static_cast<size_t>(e)] = 1;
+    ++user_degree_[graph.edge_user(e)];
+    ++merchant_degree_[graph.edge_merchant(e)];
+  }
+
+  // Merchant column weights from residual degrees — exactly the
+  // entry-time degrees PeelDensestBlock sees on the compacted subgraph.
+  for (int64_t v = 0; v < num_merchants; ++v) {
+    col_weight_[static_cast<size_t>(v)] = MerchantColumnWeight(
+        static_cast<double>(merchant_degree_[static_cast<size_t>(v)]),
+        config);
+  }
+
+  // Per-edge suspiciousness mass, hoisted out of the pop loop: the same
+  // weight·col_weight products the adjacency peeler recomputes per visit,
+  // computed once each (identical values, so parity is unaffected).
+  for (EdgeId e : residual_edges) {
+    edge_mass_[static_cast<size_t>(e)] =
+        graph.edge_weight(e) * col_weight_[graph.edge_merchant(e)];
+  }
+
+  // Node priorities and total mass, accumulated in ascending-EdgeId order
+  // (== the compacted subgraph's edge-id order) so every floating-point
+  // sum matches the adjacency-list peeler bit for bit.
+  std::fill(priority_.begin(), priority_.end(), 0.0);
+  double mass = 0.0;
+  for (EdgeId e : residual_edges) {
+    const double w = edge_mass_[static_cast<size_t>(e)];
+    priority_[graph.edge_user(e)] += w;
+    priority_[static_cast<size_t>(num_users) + graph.edge_merchant(e)] += w;
+    mass += w;
+  }
+
+  // Populate the heap with every participating node. PopMin is a pure
+  // function of the (key, smaller-id) total order, so bulk Floyd build
+  // yields the exact pop sequence of the seed's one-by-one pushes.
+  ENSEMFDET_DCHECK(heap_.empty());
+  int64_t alive = 0;
+  for (int64_t id = 0; id < total_nodes; ++id) {
+    const bool incident =
+        id < num_users
+            ? user_degree_[static_cast<size_t>(id)] > 0
+            : merchant_degree_[static_cast<size_t>(id - num_users)] > 0;
+    if (scope == PeelNodeScope::kIncidentOnly && !incident) {
+      removed_[static_cast<size_t>(id)] = 1;  // unreachable, but tidy
+      continue;
+    }
+    heap_.Append(id, priority_[static_cast<size_t>(id)]);
+    removed_[static_cast<size_t>(id)] = 0;
+    ++alive;
+  }
+  heap_.Heapify();
+  const int64_t peel_steps = alive;
+
+  std::vector<int64_t> removal_order;
+  removal_order.reserve(static_cast<size_t>(peel_steps));
+  if (keep_trace) result.trace.reserve(static_cast<size_t>(peel_steps));
+
+  double best_phi = -1.0;
+  int64_t best_prefix = 0;  // number of removals before the best state
+
+  for (int64_t t = 0; t < peel_steps; ++t) {
+    const double phi =
+        alive > 0 ? std::max(0.0, mass) / static_cast<double>(alive) : 0.0;
+    if (keep_trace) result.trace.push_back(phi);
+    if (phi > best_phi) {
+      best_phi = phi;
+      best_prefix = t;
+    }
+
+    const int64_t victim = heap_.PopMin();
+    removed_[static_cast<size_t>(victim)] = 1;
+    --alive;
+    removal_order.push_back(victim);
+
+    if (victim < num_users) {
+      const UserId u = static_cast<UserId>(victim);
+      const EdgeId row_begin = graph.user_edge_begin(u);
+      const auto neighbors = graph.user_neighbors(u);
+      for (size_t k = 0; k < neighbors.size(); ++k) {
+        const EdgeId e = row_begin + static_cast<EdgeId>(k);
+        if (!edge_alive_[static_cast<size_t>(e)]) continue;
+        const int64_t other = num_users + neighbors[k];
+        if (removed_[static_cast<size_t>(other)]) continue;  // edge dead
+        const double w = edge_mass_[static_cast<size_t>(e)];
+        mass -= w;
+        heap_.AddTo(other, -w);
+      }
+    } else {
+      const MerchantId v = static_cast<MerchantId>(victim - num_users);
+      const auto edge_ids = graph.merchant_edge_ids(v);
+      const auto neighbors = graph.merchant_neighbors(v);
+      for (size_t k = 0; k < neighbors.size(); ++k) {
+        const EdgeId e = edge_ids[k];
+        if (!edge_alive_[static_cast<size_t>(e)]) continue;
+        const UserId u = neighbors[k];
+        if (removed_[u]) continue;
+        const double w = edge_mass_[static_cast<size_t>(e)];
+        mass -= w;
+        heap_.AddTo(u, -w);
+      }
+    }
+  }
+
+  // The best block is every participating node not removed in the first
+  // `best_prefix` deletions.
+  std::fill(gone_.begin(), gone_.end(), 0);
+  for (int64_t t = 0; t < best_prefix; ++t) {
+    gone_[static_cast<size_t>(removal_order[static_cast<size_t>(t)])] = 1;
+  }
+  for (int64_t u = 0; u < num_users; ++u) {
+    const bool participated = scope == PeelNodeScope::kAllNodes ||
+                              user_degree_[static_cast<size_t>(u)] > 0;
+    if (participated && !gone_[static_cast<size_t>(u)]) {
+      result.users.push_back(static_cast<UserId>(u));
+    }
+  }
+  for (int64_t v = 0; v < num_merchants; ++v) {
+    const bool participated = scope == PeelNodeScope::kAllNodes ||
+                              merchant_degree_[static_cast<size_t>(v)] > 0;
+    if (participated && !gone_[static_cast<size_t>(num_users + v)]) {
+      result.merchants.push_back(static_cast<MerchantId>(v));
+    }
+  }
+  result.score = best_phi;
+  if (keep_trace) result.removal_order = std::move(removal_order);
+
+  // Restore the invariant: alive mask zero, heap empty, ready for reuse.
+  for (EdgeId e : residual_edges) edge_alive_[static_cast<size_t>(e)] = 0;
+  ENSEMFDET_DCHECK(heap_.empty());
+  return result;
+}
+
+PeelResult PeelDensestBlockCsr(const CsrGraph& graph,
+                               const DensityConfig& config, bool keep_trace) {
+  CsrPeeler peeler(graph);
+  std::vector<EdgeId> all(static_cast<size_t>(graph.num_edges()));
+  std::iota(all.begin(), all.end(), EdgeId{0});
+  return peeler.Peel(all, config, PeelNodeScope::kAllNodes, keep_trace);
+}
+
+}  // namespace ensemfdet

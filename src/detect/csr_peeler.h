@@ -1,0 +1,142 @@
+// CSR-native greedy densest-block peeling (the FRAUDAR-style greedy of
+// paper Algorithm 1, lines 3-8) that peels **in place** over an immutable
+// CsrGraph plus an alive-edge set, instead of materializing a compacted
+// BipartiteGraph per call.
+//
+// This is what makes iterated FDET cheap: each block iteration used to
+// rebuild a subgraph (sort + two hash maps + two CSR constructions) just
+// to peel it once; CsrPeeler reuses one set of flat scratch arrays
+// (degrees, priorities, removal flags, an IndexedMinHeap) across
+// iterations and walks the shared neighbor arrays directly.
+//
+// Bit-exactness contract: for the same residual edge set, Peel() performs
+// the identical floating-point operations in the identical order as the
+// seed PeelDensestBlock over the compacted subgraph (same per-node
+// accumulation order, same heap insertion order, same smaller-id
+// tie-breaks under the order-isomorphic id relabeling), so scores, block
+// node sets, traces, and removal orders match the adjacency-list peeler
+// exactly. tests/csr_parity_test.cc pins this.
+#ifndef ENSEMFDET_DETECT_CSR_PEELER_H_
+#define ENSEMFDET_DETECT_CSR_PEELER_H_
+
+#include <span>
+#include <vector>
+
+#include "detect/density.h"
+#include "detect/greedy_peeler.h"
+#include "graph/csr_graph.h"
+
+namespace ensemfdet {
+
+namespace detail {
+
+// Indexed binary min-heap over (key, id) with Floyd bulk-build — the peel
+// loop's priority queue. Build is O(n) (instead of n·log n pushes) and
+// the entry array is reused across peels.
+//
+// Output-equivalence note: PopMin returns the *global* minimum under the
+// total order (key, then smaller id) of the alive entries, so the pop
+// sequence is a pure function of the key arithmetic — identical to
+// IndexedMinHeap's regardless of internal layout. AddTo applies
+// `key + delta` exactly like IndexedMinHeap::AddToKey, preserving
+// bit-exact parity with the seed peeler.
+class PeelHeap {
+ public:
+  /// Heap over ids [0, capacity), initially empty.
+  explicit PeelHeap(int64_t capacity);
+
+  bool empty() const { return heap_.empty(); }
+  int64_t size() const { return static_cast<int64_t>(heap_.size()); }
+
+  /// Appends an entry without restoring heap order; call Heapify() after
+  /// the last append and before any PopMin/AddTo.
+  void Append(int64_t id, double key);
+  /// Floyd heapify over everything appended so far; O(n).
+  void Heapify();
+
+  /// Removes and returns the smallest-(key, id) entry.
+  int64_t PopMin();
+
+  /// Adds `delta` (≤ 0 during peeling) to a contained id's key.
+  void AddTo(int64_t id, double delta);
+
+ private:
+  struct Entry {
+    double key;
+    int64_t id;
+  };
+  bool Less(const Entry& a, const Entry& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void Place(size_t i, Entry e);
+
+  std::vector<Entry> heap_;
+  std::vector<int64_t> pos_;  // id → heap index, -1 if absent
+};
+
+}  // namespace detail
+
+/// Which nodes take part in a peel (and therefore count in φ's
+/// denominator and appear in the removal order).
+enum class PeelNodeScope {
+  /// Every node of the graph, isolated ones included — the semantics of
+  /// the standalone adjacency-list PeelDensestBlock.
+  kAllNodes,
+  /// Only nodes incident to at least one residual edge — the semantics of
+  /// FDET's per-iteration compacted subgraphs (isolated nodes never make
+  /// it into a rebuilt subgraph).
+  kIncidentOnly,
+};
+
+/// Reusable in-place peeler over one immutable CsrGraph.
+///
+/// @note Thread-safety: the referenced CsrGraph is shared and immutable,
+///       but a CsrPeeler instance owns mutable scratch — use one instance
+///       per thread. Constructing one is O(|U| + |V| + |E|) in allocation;
+///       every Peel() reuses the buffers.
+class CsrPeeler {
+ public:
+  /// Borrows `graph`, which must outlive the peeler.
+  explicit CsrPeeler(const CsrGraph& graph);
+
+  /// Peels the subgraph formed by `residual_edges` (ascending EdgeIds,
+  /// duplicate-free) down to nothing, returning the argmax-φ prefix block
+  /// exactly like PeelDensestBlock. The residual set itself is not
+  /// modified; node ids in the result are the graph's own (no local
+  /// remapping).
+  ///
+  /// @pre  `residual_edges` is sorted ascending with no duplicates.
+  /// @post result.users / result.merchants are ascending; an empty
+  ///       residual (or empty graph) yields an empty block with score 0.
+  PeelResult Peel(std::span<const EdgeId> residual_edges,
+                  const DensityConfig& config, PeelNodeScope scope,
+                  bool keep_trace = false);
+
+ private:
+  const CsrGraph* graph_;
+  // Scratch reused across Peel() calls; edge_alive_ is all-zero between
+  // calls (reset from residual_edges on exit), the heap is empty.
+  std::vector<int64_t> user_degree_;
+  std::vector<int64_t> merchant_degree_;
+  std::vector<double> col_weight_;
+  std::vector<double> edge_mass_;  // per-edge weight·col_weight, by EdgeId
+  std::vector<double> priority_;
+  std::vector<uint8_t> edge_alive_;
+  std::vector<uint8_t> removed_;
+  std::vector<uint8_t> gone_;
+  detail::PeelHeap heap_;
+};
+
+/// One-shot CSR peel of the whole graph, kAllNodes scope: produces results
+/// bit-identical to `PeelDensestBlock(graph.ToBipartite(), ...)` (trace
+/// and removal order included).
+PeelResult PeelDensestBlockCsr(const CsrGraph& graph,
+                               const DensityConfig& config,
+                               bool keep_trace = false);
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_DETECT_CSR_PEELER_H_

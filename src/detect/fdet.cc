@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "detect/csr_peeler.h"
 #include "detect/greedy_peeler.h"
 #include "graph/subgraph.h"
 
@@ -19,6 +21,52 @@ template <typename T>
 bool SortedContains(const std::vector<T>& sorted, T value) {
   auto it = std::lower_bound(sorted.begin(), sorted.end(), value);
   return it != sorted.end() && *it == value;
+}
+
+// Shared front-door validation for every FDET entry point.
+Status ValidateFdetConfig(const FdetConfig& config) {
+  if (config.max_blocks < 1) {
+    return Status::InvalidArgument("max_blocks must be >= 1, got " +
+                                   std::to_string(config.max_blocks));
+  }
+  if (config.policy == TruncationPolicy::kFixedK && config.fixed_k < 1) {
+    return Status::InvalidArgument("fixed_k must be >= 1, got " +
+                                   std::to_string(config.fixed_k));
+  }
+  if (config.elbow_patience < 1) {
+    return Status::InvalidArgument("elbow_patience must be >= 1, got " +
+                                   std::to_string(config.elbow_patience));
+  }
+  if (config.density.weight_kind == ColumnWeightKind::kLogarithmic &&
+      config.density.log_offset <= 1.0) {
+    return Status::InvalidArgument(
+        "density log_offset must be > 1 for logarithmic weights");
+  }
+  if (config.density.weight_kind == ColumnWeightKind::kInverse &&
+      config.density.log_offset <= 0.0) {
+    return Status::InvalidArgument(
+        "density log_offset must be > 0 for inverse weights");
+  }
+  return Status::OK();
+}
+
+// Truncation shared by all entry points: keep blocks 1..k̂ of `explored`.
+FdetResult TruncateExplored(std::vector<DetectedBlock> explored,
+                            const FdetConfig& config) {
+  FdetResult result;
+  result.all_scores.reserve(explored.size());
+  for (const DetectedBlock& b : explored) result.all_scores.push_back(b.score);
+
+  int keep;
+  if (config.policy == TruncationPolicy::kFixedK) {
+    keep = std::min<int>(config.fixed_k, static_cast<int>(explored.size()));
+  } else {
+    keep = AutoTruncationIndex(result.all_scores);
+  }
+  explored.resize(static_cast<size_t>(keep));
+  result.blocks = std::move(explored);
+  result.truncation_index = keep;
+  return result;
 }
 
 }  // namespace
@@ -67,34 +115,98 @@ int AutoTruncationIndex(const std::vector<double>& scores) {
 
 Result<FdetResult> RunFdet(const BipartiteGraph& graph,
                            const FdetConfig& config) {
-  if (config.max_blocks < 1) {
-    return Status::InvalidArgument("max_blocks must be >= 1, got " +
-                                   std::to_string(config.max_blocks));
-  }
-  if (config.policy == TruncationPolicy::kFixedK && config.fixed_k < 1) {
-    return Status::InvalidArgument("fixed_k must be >= 1, got " +
-                                   std::to_string(config.fixed_k));
-  }
-  if (config.elbow_patience < 1) {
-    return Status::InvalidArgument("elbow_patience must be >= 1, got " +
-                                   std::to_string(config.elbow_patience));
-  }
-  if (config.density.weight_kind == ColumnWeightKind::kLogarithmic &&
-      config.density.log_offset <= 1.0) {
-    return Status::InvalidArgument(
-        "density log_offset must be > 1 for logarithmic weights");
-  }
-  if (config.density.weight_kind == ColumnWeightKind::kInverse &&
-      config.density.log_offset <= 0.0) {
-    return Status::InvalidArgument(
-        "density log_offset must be > 0 for inverse weights");
-  }
+  // Validate before the O(|U|+|V|+|E|) CSR conversion so a bad config
+  // fails as cheaply as it did in the seed implementation.
+  ENSEMFDET_RETURN_NOT_OK(ValidateFdetConfig(config));
+  return RunFdetCsr(CsrGraph::FromBipartite(graph), config);
+}
+
+Result<FdetResult> RunFdetCsr(const CsrGraph& graph,
+                              const FdetConfig& config) {
+  ENSEMFDET_RETURN_NOT_OK(ValidateFdetConfig(config));
 
   const int explore_limit = config.policy == TruncationPolicy::kFixedK
                                 ? std::max(config.max_blocks, config.fixed_k)
                                 : config.max_blocks;
 
-  FdetResult result;
+  std::vector<DetectedBlock> explored;
+  std::vector<double> scores_so_far;
+
+  // The residual after removing previously detected blocks' edges, as an
+  // ascending edge-id subset of the shared immutable CSR arrays. The
+  // peeler's scratch (and this vector) are the only mutable state — no
+  // subgraph is ever rebuilt.
+  CsrPeeler peeler(graph);
+  std::vector<EdgeId> remaining(static_cast<size_t>(graph.num_edges()));
+  std::iota(remaining.begin(), remaining.end(), EdgeId{0});
+
+  // Block-membership flags, set and cleared per iteration.
+  std::vector<uint8_t> in_block_user(static_cast<size_t>(graph.num_users()),
+                                     0);
+  std::vector<uint8_t> in_block_merchant(
+      static_cast<size_t>(graph.num_merchants()), 0);
+
+  while (static_cast<int>(explored.size()) < explore_limit &&
+         !remaining.empty()) {
+    PeelResult peel =
+        peeler.Peel(remaining, config.density, PeelNodeScope::kIncidentOnly);
+    if (peel.score <= config.min_block_score ||
+        (peel.users.empty() && peel.merchants.empty())) {
+      break;
+    }
+
+    DetectedBlock block;
+    block.score = peel.score;
+    block.users = std::move(peel.users);
+    block.merchants = std::move(peel.merchants);
+    explored.push_back(std::move(block));
+    DetectedBlock& added = explored.back();
+
+    // Remove E_i: residual edges induced by the block's vertex set, and
+    // record them on the block for diagnostics/invariant checking.
+    for (UserId u : added.users) in_block_user[u] = 1;
+    for (MerchantId v : added.merchants) in_block_merchant[v] = 1;
+    std::vector<EdgeId> next;
+    next.reserve(remaining.size());
+    for (EdgeId e : remaining) {
+      const bool inside = in_block_user[graph.edge_user(e)] &&
+                          in_block_merchant[graph.edge_merchant(e)];
+      if (inside) {
+        added.edges.push_back(e);
+      } else {
+        next.push_back(e);
+      }
+    }
+    for (UserId u : added.users) in_block_user[u] = 0;
+    for (MerchantId v : added.merchants) in_block_merchant[v] = 0;
+    // The peeled block always contains at least one residual edge, so the
+    // loop strictly shrinks `remaining` and must terminate.
+    ENSEMFDET_CHECK(next.size() < remaining.size())
+        << "detected block removed no edges";
+    remaining = std::move(next);
+
+    // Online truncation (Algorithm 1's stop condition): once the elbow is
+    // `elbow_patience` blocks behind the frontier, further exploration
+    // cannot move it — later blocks only extend the flat tail.
+    scores_so_far.push_back(added.score);
+    if (config.policy == TruncationPolicy::kAutoElbow &&
+        static_cast<int>(scores_so_far.size()) >=
+            AutoTruncationIndex(scores_so_far) + config.elbow_patience) {
+      break;
+    }
+  }
+
+  return TruncateExplored(std::move(explored), config);
+}
+
+Result<FdetResult> RunFdetReference(const BipartiteGraph& graph,
+                                    const FdetConfig& config) {
+  ENSEMFDET_RETURN_NOT_OK(ValidateFdetConfig(config));
+
+  const int explore_limit = config.policy == TruncationPolicy::kFixedK
+                                ? std::max(config.max_blocks, config.fixed_k)
+                                : config.max_blocks;
+
   std::vector<DetectedBlock> explored;
   std::vector<double> scores_so_far;
 
@@ -157,19 +269,7 @@ Result<FdetResult> RunFdet(const BipartiteGraph& graph,
     }
   }
 
-  result.all_scores.reserve(explored.size());
-  for (const DetectedBlock& b : explored) result.all_scores.push_back(b.score);
-
-  int keep;
-  if (config.policy == TruncationPolicy::kFixedK) {
-    keep = std::min<int>(config.fixed_k, static_cast<int>(explored.size()));
-  } else {
-    keep = AutoTruncationIndex(result.all_scores);
-  }
-  explored.resize(static_cast<size_t>(keep));
-  result.blocks = std::move(explored);
-  result.truncation_index = keep;
-  return result;
+  return TruncateExplored(std::move(explored), config);
 }
 
 }  // namespace ensemfdet

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "detect/density.h"
 #include "graph/bipartite_graph.h"
+#include "graph/csr_graph.h"
 
 namespace ensemfdet {
 
@@ -78,8 +79,37 @@ int AutoTruncationIndex(const std::vector<double>& scores);
 
 /// Runs FDET on `graph`. Fails with InvalidArgument on nonsensical
 /// configuration (max_blocks < 1, fixed_k < 1, log_offset ≤ 1).
+///
+/// Internally converts once to CSR form and runs RunFdetCsr — one O(|E|)
+/// conversion per call, then in-place peeling with no per-block subgraph
+/// rebuilds.
+///
+/// @post Result blocks are in detection order with pairwise-disjoint,
+///       nonempty `edges` lists (ids into `graph`); block node lists are
+///       ascending. Output is bit-identical to RunFdetReference.
+/// @note Thread-safety: pure function of an immutable graph — safe to run
+///       concurrently on the same graph from many threads (each call owns
+///       its scratch).
 Result<FdetResult> RunFdet(const BipartiteGraph& graph,
                            const FdetConfig& config);
+
+/// CSR-native FDET: iterated in-place peeling over a shared immutable
+/// CsrGraph (see detect/csr_peeler.h). The per-iteration residual is an
+/// edge-id subset; no subgraph is ever materialized. Node/edge ids in the
+/// result are `graph`'s own.
+///
+/// @pre `graph` came from CsrGraph::FromBipartite (canonical edge order).
+/// @post Bit-identical results to RunFdetReference on the equivalent
+///       adjacency-list graph (pinned by tests/csr_parity_test.cc).
+/// @note Thread-safety: `graph` is only read; concurrent calls are safe.
+Result<FdetResult> RunFdetCsr(const CsrGraph& graph,
+                              const FdetConfig& config);
+
+/// The seed implementation (rebuilds a compacted subgraph per block
+/// iteration). Kept as the parity/performance reference for
+/// tests/csr_parity_test.cc and bench/bench_peeling.cc — prefer RunFdet.
+Result<FdetResult> RunFdetReference(const BipartiteGraph& graph,
+                                    const FdetConfig& config);
 
 }  // namespace ensemfdet
 

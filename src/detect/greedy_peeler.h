@@ -36,6 +36,15 @@ struct PeelResult {
 /// with no edges) yields an empty block with score 0.
 /// If `keep_trace` is false the trace/removal_order vectors stay empty
 /// (saves memory on large graphs).
+///
+/// @post result.users / result.merchants are ascending graph-local ids;
+///       result.score equals max_t trace[t] when the trace is kept.
+/// @note Thread-safety: pure function of an immutable graph — safe to
+///       call concurrently on the same graph. Deterministic: equal-
+///       priority ties break toward the smaller packed node id.
+/// @note This is the seed adjacency-list implementation; the hot path
+///       uses the bit-exact in-place CSR rewrite in detect/csr_peeler.h
+///       (PeelDensestBlockCsr), which this remains the reference for.
 PeelResult PeelDensestBlock(const BipartiteGraph& graph,
                             const DensityConfig& config,
                             bool keep_trace = false);

@@ -63,51 +63,64 @@ Result<FdetResult> RunPartitionedFdet(const BipartiteGraph& graph,
   explore.policy = TruncationPolicy::kFixedK;
   explore.fixed_k = config.fdet.max_blocks;
 
-  std::vector<Result<FdetResult>> outputs(
-      eligible.size(), Result<FdetResult>(FdetResult{}));
-  std::vector<SubgraphView> views(eligible.size());
-  auto run_component = [&](int64_t i) {
-    const int32_t c = eligible[static_cast<size_t>(i)];
-    views[static_cast<size_t>(i)] =
-        SubgraphFromEdges(graph, component_edges[static_cast<size_t>(c)]);
-    outputs[static_cast<size_t>(i)] =
-        RunFdet(views[static_cast<size_t>(i)].graph, explore);
-  };
-  if (pool != nullptr && pool->num_threads() > 1 && eligible.size() > 1) {
-    pool->ParallelFor(0, static_cast<int64_t>(eligible.size()),
-                      run_component);
-  } else {
-    for (int64_t i = 0; i < static_cast<int64_t>(eligible.size()); ++i) {
-      run_component(i);
-    }
-  }
-
-  // Merge: translate ids to the parent space, then order by descending φ
-  // (ties: stable by component order) — the order a global FDET would
-  // detect them in.
   std::vector<DetectedBlock> merged;
-  for (size_t i = 0; i < outputs.size(); ++i) {
-    ENSEMFDET_RETURN_NOT_OK(outputs[i].status());
-    const SubgraphView& view = views[i];
-    for (DetectedBlock& block : outputs[i]->blocks) {
-      DetectedBlock translated;
-      translated.score = block.score;
-      translated.users.reserve(block.users.size());
-      for (UserId lu : block.users) {
-        translated.users.push_back(view.user_map[lu]);
+  if (eligible.size() == 1 &&
+      component_edges[static_cast<size_t>(eligible[0])].size() ==
+          static_cast<size_t>(graph.num_edges())) {
+    // One component spans every edge: skip the per-component subgraph
+    // rebuild entirely and run FDET on the parent (node and edge ids are
+    // already parent-space; the compacted subgraph would have been a pure
+    // relabeling).
+    ENSEMFDET_ASSIGN_OR_RETURN(FdetResult whole, RunFdet(graph, explore));
+    merged = std::move(whole.blocks);
+  } else {
+    std::vector<Result<FdetResult>> outputs(
+        eligible.size(), Result<FdetResult>(FdetResult{}));
+    std::vector<SubgraphView> views(eligible.size());
+    // Each worker converts its component to CSR once (inside RunFdet) and
+    // peels in place; the parent graph is shared read-only.
+    auto run_component = [&](int64_t i) {
+      const int32_t c = eligible[static_cast<size_t>(i)];
+      views[static_cast<size_t>(i)] =
+          SubgraphFromEdges(graph, component_edges[static_cast<size_t>(c)]);
+      outputs[static_cast<size_t>(i)] =
+          RunFdet(views[static_cast<size_t>(i)].graph, explore);
+    };
+    if (pool != nullptr && pool->num_threads() > 1 && eligible.size() > 1) {
+      pool->ParallelFor(0, static_cast<int64_t>(eligible.size()),
+                        run_component);
+    } else {
+      for (int64_t i = 0; i < static_cast<int64_t>(eligible.size()); ++i) {
+        run_component(i);
       }
-      translated.merchants.reserve(block.merchants.size());
-      for (MerchantId lv : block.merchants) {
-        translated.merchants.push_back(view.merchant_map[lv]);
+    }
+
+    // Merge: translate ids to the parent space, then order by descending φ
+    // (ties: stable by component order) — the order a global FDET would
+    // detect them in.
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      ENSEMFDET_RETURN_NOT_OK(outputs[i].status());
+      const SubgraphView& view = views[i];
+      for (DetectedBlock& block : outputs[i]->blocks) {
+        DetectedBlock translated;
+        translated.score = block.score;
+        translated.users.reserve(block.users.size());
+        for (UserId lu : block.users) {
+          translated.users.push_back(view.user_map[lu]);
+        }
+        translated.merchants.reserve(block.merchants.size());
+        for (MerchantId lv : block.merchants) {
+          translated.merchants.push_back(view.merchant_map[lv]);
+        }
+        translated.edges.reserve(block.edges.size());
+        for (EdgeId le : block.edges) {
+          const Edge& local = view.graph.edge(le);
+          translated.edges.push_back(
+              ParentEdgeId(graph, view.user_map[local.user],
+                           view.merchant_map[local.merchant]));
+        }
+        merged.push_back(std::move(translated));
       }
-      translated.edges.reserve(block.edges.size());
-      for (EdgeId le : block.edges) {
-        const Edge& local = view.graph.edge(le);
-        translated.edges.push_back(
-            ParentEdgeId(graph, view.user_map[local.user],
-                         view.merchant_map[local.merchant]));
-      }
-      merged.push_back(std::move(translated));
     }
   }
   std::stable_sort(merged.begin(), merged.end(),

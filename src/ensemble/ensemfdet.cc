@@ -36,6 +36,8 @@ MemberOutput RunMember(const BipartiteGraph& graph, const Sampler& sampler,
   out.stats.sample_merchants = view.graph.num_merchants();
   out.stats.sample_edges = view.graph.num_edges();
 
+  // RunFdet converts the sampled child to CSR once and peels in place;
+  // the parent graph stays shared read-only across all pool workers.
   Result<FdetResult> fdet = RunFdet(view.graph, fdet_config);
   if (!fdet.ok()) {
     out.status = fdet.status();

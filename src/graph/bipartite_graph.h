@@ -34,6 +34,16 @@ struct Edge {
   bool operator==(const Edge& other) const = default;
 };
 
+/// Immutable adjacency-list bipartite graph (see file comment).
+///
+/// @note Thread-safety: immutable after GraphBuilder::Build(); any number
+///       of threads may read one instance concurrently without
+///       synchronization. For the flat peeling layout the detection hot
+///       path uses, convert once with CsrGraph::FromBipartite
+///       (graph/csr_graph.h).
+/// @note Edge ids are canonical: ascending (user, merchant). Many
+///       consumers (fingerprinting, CSR conversion, samplers) rely on
+///       this postcondition of GraphBuilder::Build().
 class BipartiteGraph {
  public:
   /// Empty graph (0 nodes / 0 edges).
@@ -58,12 +68,15 @@ class BipartiteGraph {
   bool has_weights() const { return !weights_.empty(); }
 
   /// Ids of edges incident to user u, ascending by merchant id.
+  /// @pre u < num_users(). The span stays valid for the graph's lifetime.
   std::span<const EdgeId> user_edges(UserId u) const {
     return {user_adj_.data() + user_offsets_[u],
             user_adj_.data() + user_offsets_[u + 1]};
   }
 
   /// Ids of edges incident to merchant v, ascending by user id.
+  /// @pre v < num_merchants(). The span stays valid for the graph's
+  /// lifetime.
   std::span<const EdgeId> merchant_edges(MerchantId v) const {
     return {merchant_adj_.data() + merchant_offsets_[v],
             merchant_adj_.data() + merchant_offsets_[v + 1]};

@@ -1,0 +1,82 @@
+#include "graph/csr_graph.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+
+namespace ensemfdet {
+
+CsrGraph CsrGraph::FromBipartite(const BipartiteGraph& graph) {
+  CsrGraph g;
+  g.num_users_ = graph.num_users();
+  g.num_merchants_ = graph.num_merchants();
+  const int64_t num_edges = graph.num_edges();
+  auto edges = graph.edges();
+
+  // User side: edges are already grouped by user in ascending merchant
+  // order (GraphBuilder's canonical order), so the neighbor array is the
+  // merchant column of the edge array and slot == EdgeId.
+  g.user_offsets_.assign(static_cast<size_t>(g.num_users_) + 1, 0);
+  g.user_neighbors_.resize(static_cast<size_t>(num_edges));
+  g.edge_users_.resize(static_cast<size_t>(num_edges));
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    const Edge& edge = edges[static_cast<size_t>(e)];
+    ENSEMFDET_DCHECK(e == 0 ||
+                     edges[static_cast<size_t>(e) - 1].user < edge.user ||
+                     (edges[static_cast<size_t>(e) - 1].user == edge.user &&
+                      edges[static_cast<size_t>(e) - 1].merchant <
+                          edge.merchant))
+        << "edge ids are not in canonical (user, merchant) order";
+    ++g.user_offsets_[edge.user + 1];
+    g.user_neighbors_[static_cast<size_t>(e)] = edge.merchant;
+    g.edge_users_[static_cast<size_t>(e)] = edge.user;
+  }
+  for (int64_t u = 0; u < g.num_users_; ++u) {
+    g.user_offsets_[static_cast<size_t>(u) + 1] +=
+        g.user_offsets_[static_cast<size_t>(u)];
+  }
+
+  // Merchant side: counting sort by merchant; within a merchant, edge ids
+  // arrive ascending, which is ascending user order.
+  g.merchant_offsets_.assign(static_cast<size_t>(g.num_merchants_) + 1, 0);
+  for (const Edge& edge : edges) ++g.merchant_offsets_[edge.merchant + 1];
+  for (int64_t v = 0; v < g.num_merchants_; ++v) {
+    g.merchant_offsets_[static_cast<size_t>(v) + 1] +=
+        g.merchant_offsets_[static_cast<size_t>(v)];
+  }
+  g.merchant_neighbors_.resize(static_cast<size_t>(num_edges));
+  g.merchant_edge_ids_.resize(static_cast<size_t>(num_edges));
+  {
+    std::vector<int64_t> cursor(g.merchant_offsets_.begin(),
+                                g.merchant_offsets_.end() - 1);
+    for (EdgeId e = 0; e < num_edges; ++e) {
+      const Edge& edge = edges[static_cast<size_t>(e)];
+      const int64_t slot = cursor[edge.merchant]++;
+      g.merchant_neighbors_[static_cast<size_t>(slot)] = edge.user;
+      g.merchant_edge_ids_[static_cast<size_t>(slot)] = e;
+    }
+  }
+
+  if (graph.has_weights()) {
+    g.weights_.resize(static_cast<size_t>(num_edges));
+    for (EdgeId e = 0; e < num_edges; ++e) {
+      g.weights_[static_cast<size_t>(e)] = graph.edge_weight(e);
+    }
+  }
+  return g;
+}
+
+BipartiteGraph CsrGraph::ToBipartite() const {
+  GraphBuilder builder(num_users_, num_merchants_);
+  builder.Reserve(num_edges());
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    builder.AddEdge(edge_user(e), edge_merchant(e), edge_weight(e));
+  }
+  // Edges are unique (they came from a built graph), so the policy is
+  // irrelevant; the builder just re-canonicalizes the already-canonical
+  // order.
+  return std::move(builder.Build(DuplicatePolicy::kKeepFirst)).value();
+}
+
+}  // namespace ensemfdet

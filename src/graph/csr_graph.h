@@ -1,0 +1,127 @@
+// CsrGraph: the flat compressed-sparse-row form of a bipartite graph —
+// the memory layout the detection hot path runs on.
+//
+// BipartiteGraph (bipartite_graph.h) stores incidence lists of EdgeIds
+// plus a separate endpoint-pair array, so walking a neighborhood costs one
+// extra indirection per edge (adj slot → EdgeId → Edge struct → endpoint).
+// CsrGraph flattens both orientations into offset/neighbor arrays so k-core
+// peeling and greedy density peeling iterate neighbor ids directly at
+// memory bandwidth (see DESIGN.md §"Graph memory layout" and Ban & Duan's
+// linear-time dense-subgraph peeling, PAPERS.md).
+//
+// Layout invariants (checked in debug builds, pinned by
+// tests/csr_graph_test.cc):
+//
+//  * Edges keep BipartiteGraph's canonical id order: ascending
+//    (user, merchant). Because user rows are stored contiguously in user
+//    order with neighbors ascending, **the user-side slot index IS the
+//    EdgeId** — `user_neighbors_[e]` is edge e's merchant endpoint.
+//  * Merchant rows are sorted by user id; `merchant_edge_ids(v)[k]` maps
+//    the k-th slot of v's row back to its EdgeId.
+//  * `edge_user(e)` / `edge_merchant(e)` / `edge_weight(e)` are O(1) flat
+//    array loads (no binary search, no Edge struct).
+//
+// Thread-safety: a CsrGraph is immutable after construction; any number of
+// threads may read one concurrently without synchronization. Per-job code
+// converts once (FromBipartite) and shares the instance across ThreadPool
+// workers by const reference / shared_ptr.
+#ifndef ENSEMFDET_GRAPH_CSR_GRAPH_H_
+#define ENSEMFDET_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace ensemfdet {
+
+class CsrGraph {
+ public:
+  /// Empty graph (0 nodes / 0 edges).
+  CsrGraph() = default;
+
+  /// Converts an adjacency-list graph to CSR form.
+  ///
+  /// @pre `graph`'s edge ids are canonical — ascending (user, merchant) —
+  ///      which every GraphBuilder-built graph satisfies (checked in debug
+  ///      builds).
+  /// @post `ToBipartite()` of the result reproduces `graph` exactly
+  ///       (nodes, edge set, edge id order, weights).
+  /// Cost: O(|U| + |V| + |E|), one pass over the edge array.
+  static CsrGraph FromBipartite(const BipartiteGraph& graph);
+
+  /// Converts back to the adjacency-list form (exact round-trip: same node
+  /// counts, edges in the same canonical order, same weights).
+  BipartiteGraph ToBipartite() const;
+
+  int64_t num_users() const { return num_users_; }
+  int64_t num_merchants() const { return num_merchants_; }
+  int64_t num_nodes() const { return num_users_ + num_merchants_; }
+  int64_t num_edges() const {
+    return static_cast<int64_t>(user_neighbors_.size());
+  }
+  bool empty() const { return user_neighbors_.empty(); }
+
+  /// O(1) degrees.
+  int64_t user_degree(UserId u) const {
+    return user_offsets_[u + 1] - user_offsets_[u];
+  }
+  int64_t merchant_degree(MerchantId v) const {
+    return merchant_offsets_[v + 1] - merchant_offsets_[v];
+  }
+
+  /// Merchant endpoints of user u's edges, ascending. The slot index of
+  /// entry k within the whole array is u's k-th EdgeId:
+  /// `user_edge_begin(u) + k`.
+  std::span<const MerchantId> user_neighbors(UserId u) const {
+    return {user_neighbors_.data() + user_offsets_[u],
+            user_neighbors_.data() + user_offsets_[u + 1]};
+  }
+  /// First EdgeId of user u's row (== user-side CSR offset; the row covers
+  /// EdgeIds [user_edge_begin(u), user_edge_begin(u) + user_degree(u))).
+  EdgeId user_edge_begin(UserId u) const { return user_offsets_[u]; }
+
+  /// User endpoints of merchant v's edges, ascending.
+  std::span<const UserId> merchant_neighbors(MerchantId v) const {
+    return {merchant_neighbors_.data() + merchant_offsets_[v],
+            merchant_neighbors_.data() + merchant_offsets_[v + 1]};
+  }
+  /// EdgeIds of merchant v's edges, parallel to merchant_neighbors(v).
+  std::span<const EdgeId> merchant_edge_ids(MerchantId v) const {
+    return {merchant_edge_ids_.data() + merchant_offsets_[v],
+            merchant_edge_ids_.data() + merchant_offsets_[v + 1]};
+  }
+
+  /// O(1) endpoint lookups by EdgeId.
+  UserId edge_user(EdgeId e) const {
+    return edge_users_[static_cast<size_t>(e)];
+  }
+  MerchantId edge_merchant(EdgeId e) const {
+    return user_neighbors_[static_cast<size_t>(e)];  // slot == EdgeId
+  }
+
+  /// Weight of edge e (1.0 unless the source graph carried weights).
+  double edge_weight(EdgeId e) const {
+    return weights_.empty() ? 1.0 : weights_[static_cast<size_t>(e)];
+  }
+  bool has_weights() const { return !weights_.empty(); }
+  /// Raw weight array (empty when unweighted); indexed by EdgeId.
+  std::span<const double> weights() const { return weights_; }
+
+ private:
+  int64_t num_users_ = 0;
+  int64_t num_merchants_ = 0;
+  // Offsets have num_users_+1 / num_merchants_+1 entries ({0} when empty).
+  std::vector<int64_t> user_offsets_ = {0};
+  std::vector<MerchantId> user_neighbors_;  // slot == EdgeId
+  std::vector<UserId> edge_users_;          // EdgeId → user endpoint
+  std::vector<int64_t> merchant_offsets_ = {0};
+  std::vector<UserId> merchant_neighbors_;
+  std::vector<EdgeId> merchant_edge_ids_;   // merchant slot → EdgeId
+  std::vector<double> weights_;             // empty == all 1.0
+};
+
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_GRAPH_CSR_GRAPH_H_

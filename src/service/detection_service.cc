@@ -253,7 +253,12 @@ Result<JobResult> DetectionService::ExecuteBaseline(const Job& job) {
   WallTimer timer;
   switch (job.request.detector) {
     case DetectorKind::kFraudar: {
-      ENSEMFDET_ASSIGN_OR_RETURN(FraudarResult fraudar, RunFraudar(graph, {}));
+      // Peel the snapshot's shared CSR form directly (Publish always
+      // materializes it alongside the adjacency graph).
+      ENSEMFDET_CHECK(job.snapshot.csr != nullptr);
+      ENSEMFDET_ASSIGN_OR_RETURN(
+          FraudarResult fraudar,
+          RunFraudar(*job.snapshot.csr, FraudarConfig{}));
       // Suspiciousness = φ of the densest detected block containing the
       // user (blocks are disjoint, so "densest" is "its" block).
       result.user_scores.assign(static_cast<size_t>(graph.num_users()), 0.0);

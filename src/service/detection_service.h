@@ -115,6 +115,12 @@ struct JobResult {
   int64_t windowed_detections = 0;
 };
 
+/// Async detection front-end (see file comment for the four contracts).
+///
+/// @note Thread-safety: every public method is safe to call concurrently
+///       from any number of client threads; internal state is guarded by
+///       one mutex and job execution happens outside it. The referenced
+///       GraphRegistry and ThreadPool must outlive the service.
 class DetectionService {
  public:
   struct Options {
@@ -142,6 +148,13 @@ class DetectionService {
   /// Validates and enqueues a job. Fails with ResourceExhausted when the
   /// pending bound is hit, NotFound when the graph is not published,
   /// InvalidArgument on a malformed request.
+  ///
+  /// @pre For non-windowed jobs, `request.graph_name` is published in the
+  ///      registry at call time (the snapshot — graph, CSR form, and
+  ///      fingerprint — is captured here; later re-publishes don't affect
+  ///      the job).
+  /// @post On OK, pending_jobs() was below max_pending_jobs and the job
+  ///       is queued (or already finished, when pool == nullptr).
   Result<JobId> Submit(JobRequest request);
 
   /// Non-blocking state probe. NotFound for unknown/forgotten ids.
@@ -150,10 +163,16 @@ class DetectionService {
   /// Blocks until the job leaves the queue/running states. Returns the
   /// result for kDone, the job's failure Status for kFailed, and
   /// FailedPrecondition for kCancelled.
+  ///
+  /// @note May be called from any number of threads for the same id; all
+  ///       waiters receive the same shared immutable JobResult.
   Result<std::shared_ptr<const JobResult>> Wait(JobId id);
 
   /// Withdraws a queued job. FailedPrecondition if it already started or
   /// finished; NotFound for unknown ids.
+  ///
+  /// @post On OK the job never runs and Wait(id) returns
+  ///       FailedPrecondition. Running jobs are never preempted.
   Status Cancel(JobId id);
 
   /// Convenience: Submit + Wait.

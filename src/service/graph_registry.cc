@@ -1,12 +1,21 @@
 #include "service/graph_registry.h"
 
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "common/hash.h"
 
 namespace ensemfdet {
 
-uint64_t FingerprintGraph(const BipartiteGraph& graph) {
+namespace {
+
+// Shared core of both FingerprintGraph overloads: one definition of the
+// byte stream, so the "CSR and adjacency forms fingerprint identically"
+// cache-key contract can never drift. `Graph` must expose num_users /
+// num_merchants / num_edges / has_weights / edge_weight.
+template <typename Graph>
+uint64_t FingerprintImpl(const Graph& graph, std::span<const Edge> edges) {
   // Shape first: distinct shapes can never collide regardless of content
   // hashing, and isolated nodes (which edges can't see) still matter for
   // vote-table sizing.
@@ -19,7 +28,6 @@ uint64_t FingerprintGraph(const BipartiteGraph& graph) {
   // are a canonical order (GraphBuilder sorts + dedups), so hashing the
   // raw array is stable.
   static_assert(sizeof(Edge) == 2 * sizeof(uint32_t));
-  auto edges = graph.edges();
   h = HashCombine(h, Hash64(edges.data(), edges.size_bytes()));
 
   if (graph.has_weights()) {
@@ -30,6 +38,24 @@ uint64_t FingerprintGraph(const BipartiteGraph& graph) {
     h = HashCombine(h, wh);
   }
   return h;
+}
+
+}  // namespace
+
+uint64_t FingerprintGraph(const BipartiteGraph& graph) {
+  return FingerprintImpl(graph, graph.edges());
+}
+
+uint64_t FingerprintGraph(const CsrGraph& graph) {
+  // Reassemble the canonical endpoint-pair array (the user-side CSR is the
+  // merchant column in EdgeId order; edge_users is the user column) so the
+  // byte stream matches the BipartiteGraph overload exactly.
+  std::vector<Edge> edges(static_cast<size_t>(graph.num_edges()));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    edges[static_cast<size_t>(e)] = {graph.edge_user(e),
+                                     graph.edge_merchant(e)};
+  }
+  return FingerprintImpl(graph, edges);
 }
 
 Result<GraphSnapshot> GraphRegistry::Publish(const std::string& name,
@@ -46,15 +72,18 @@ Result<GraphSnapshot> GraphRegistry::Publish(
   if (graph == nullptr) {
     return Status::InvalidArgument("registry: graph must be non-null");
   }
-  // Fingerprint outside the lock: it scans every edge.
+  // Fingerprint and CSR conversion outside the lock: both scan every edge.
   const uint64_t fingerprint = FingerprintGraph(*graph);
+  auto csr = std::make_shared<const CsrGraph>(CsrGraph::FromBipartite(*graph));
 
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   entry.version += 1;
   entry.fingerprint = fingerprint;
   entry.graph = std::move(graph);
-  return GraphSnapshot{name, entry.version, entry.fingerprint, entry.graph};
+  entry.csr = std::move(csr);
+  return GraphSnapshot{name, entry.version, entry.fingerprint, entry.graph,
+                       entry.csr};
 }
 
 Result<GraphSnapshot> GraphRegistry::Get(const std::string& name) const {
@@ -64,7 +93,8 @@ Result<GraphSnapshot> GraphRegistry::Get(const std::string& name) const {
     return Status::NotFound("registry: no graph named '" + name + "'");
   }
   const Entry& entry = it->second;
-  return GraphSnapshot{name, entry.version, entry.fingerprint, entry.graph};
+  return GraphSnapshot{name, entry.version, entry.fingerprint, entry.graph,
+                       entry.csr};
 }
 
 Status GraphRegistry::Remove(const std::string& name) {

@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "graph/bipartite_graph.h"
+#include "graph/csr_graph.h"
 
 namespace ensemfdet {
 
@@ -27,16 +28,30 @@ namespace ensemfdet {
 /// endpoints in id order, and per-edge weights when present. Two graphs
 /// with equal fingerprints are (modulo hash collision) structurally
 /// identical, so detection results over them are interchangeable.
+///
+/// @note Thread-safety: pure function; safe to call concurrently.
 uint64_t FingerprintGraph(const BipartiteGraph& graph);
 
-/// One published graph: shared, immutable, fingerprinted.
+/// CSR overload with the same value contract:
+/// `FingerprintGraph(CsrGraph::FromBipartite(g)) == FingerprintGraph(g)`
+/// for every graph g — the fingerprint covers the CSR form, so cache keys
+/// derived from either representation are interchangeable (pinned by
+/// tests/csr_graph_test.cc).
+uint64_t FingerprintGraph(const CsrGraph& graph);
+
+/// One published graph: shared, immutable, fingerprinted. Both
+/// representations are materialized at Publish() time so every job over
+/// the snapshot shares the same flat CSR arrays instead of re-converting.
 struct GraphSnapshot {
   std::string name;
   /// Monotonically increasing per name, starting at 1.
   uint64_t version = 0;
-  /// FingerprintGraph(*graph).
+  /// FingerprintGraph(*graph) == FingerprintGraph(*csr).
   uint64_t fingerprint = 0;
   std::shared_ptr<const BipartiteGraph> graph;
+  /// CSR form of the same graph, built once at Publish(); immutable and
+  /// safe to share across ThreadPool workers.
+  std::shared_ptr<const CsrGraph> csr;
 };
 
 class GraphRegistry {
@@ -72,6 +87,7 @@ class GraphRegistry {
     uint64_t version = 0;
     uint64_t fingerprint = 0;
     std::shared_ptr<const BipartiteGraph> graph;
+    std::shared_ptr<const CsrGraph> csr;
   };
 
   mutable std::mutex mu_;

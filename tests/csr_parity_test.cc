@@ -1,0 +1,227 @@
+// Bit-exact parity of the CSR hot path against the seed adjacency-list
+// implementations (ISSUE 2 acceptance criterion): on random graphs —
+// weighted and unweighted, dense and sparse, with isolated nodes — the
+// CSR peeler, CSR k-core, and in-place CSR FDET must reproduce the seed's
+// scores, suspicious sets, traces, and removal orders exactly (== on
+// doubles, not near).
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "detect/csr_peeler.h"
+#include "detect/fdet.h"
+#include "detect/greedy_peeler.h"
+#include "detect/partitioned_fdet.h"
+#include "graph/csr_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/kcore.h"
+
+namespace ensemfdet {
+namespace {
+
+// Random bipartite graph with a planted dense block (so FDET finds real
+// structure, not just noise), background noise, and a tail of isolated
+// nodes (the compaction edge case).
+BipartiteGraph RandomPeelGraph(int64_t users, int64_t merchants,
+                               int64_t noise_edges, uint64_t seed,
+                               bool weighted) {
+  GraphBuilder b(users, merchants);
+  Rng rng(seed);
+  const int64_t block_users = std::max<int64_t>(3, users / 8);
+  const int64_t block_merchants = std::max<int64_t>(2, merchants / 8);
+  for (UserId u = 0; u < block_users; ++u) {
+    for (MerchantId v = 0; v < block_merchants; ++v) {
+      b.AddEdge(u, v, weighted ? 1.0 + rng.NextDouble() : 1.0);
+    }
+  }
+  // Noise over the front 3/4 of each side; the back quarter stays isolated.
+  for (int64_t i = 0; i < noise_edges; ++i) {
+    const UserId u = static_cast<UserId>(
+        rng.NextBounded(static_cast<uint64_t>(std::max<int64_t>(
+            1, users * 3 / 4))));
+    const MerchantId v = static_cast<MerchantId>(
+        rng.NextBounded(static_cast<uint64_t>(std::max<int64_t>(
+            1, merchants * 3 / 4))));
+    b.AddEdge(u, v, weighted ? 0.5 + rng.NextDouble() : 1.0);
+  }
+  return b.Build(DuplicatePolicy::kKeepFirst).ValueOrDie();
+}
+
+void ExpectPeelResultsIdentical(const PeelResult& seed,
+                                const PeelResult& csr) {
+  EXPECT_EQ(seed.users, csr.users);
+  EXPECT_EQ(seed.merchants, csr.merchants);
+  EXPECT_EQ(seed.score, csr.score);  // bit-exact, not near
+  EXPECT_EQ(seed.trace, csr.trace);
+  EXPECT_EQ(seed.removal_order, csr.removal_order);
+}
+
+void ExpectFdetResultsIdentical(const FdetResult& seed,
+                                const FdetResult& csr) {
+  EXPECT_EQ(seed.all_scores, csr.all_scores);
+  EXPECT_EQ(seed.truncation_index, csr.truncation_index);
+  ASSERT_EQ(seed.blocks.size(), csr.blocks.size());
+  for (size_t i = 0; i < seed.blocks.size(); ++i) {
+    EXPECT_EQ(seed.blocks[i].users, csr.blocks[i].users) << "block " << i;
+    EXPECT_EQ(seed.blocks[i].merchants, csr.blocks[i].merchants)
+        << "block " << i;
+    EXPECT_EQ(seed.blocks[i].score, csr.blocks[i].score) << "block " << i;
+    EXPECT_EQ(seed.blocks[i].edges, csr.blocks[i].edges) << "block " << i;
+  }
+}
+
+class CsrParityTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(CsrParityTest, PeelerBitExact) {
+  const auto [seed, weighted] = GetParam();
+  BipartiteGraph g = RandomPeelGraph(80, 50, 300, seed, weighted);
+  CsrGraph csr = CsrGraph::FromBipartite(g);
+  for (ColumnWeightKind kind :
+       {ColumnWeightKind::kLogarithmic, ColumnWeightKind::kInverse,
+        ColumnWeightKind::kConstant}) {
+    DensityConfig density;
+    density.weight_kind = kind;
+    ExpectPeelResultsIdentical(
+        PeelDensestBlock(g, density, /*keep_trace=*/true),
+        PeelDensestBlockCsr(csr, density, /*keep_trace=*/true));
+  }
+}
+
+TEST_P(CsrParityTest, KCoreIdentical) {
+  const auto [seed, weighted] = GetParam();
+  BipartiteGraph g = RandomPeelGraph(90, 60, 400, seed, weighted);
+  KCoreDecomposition a = ComputeKCores(g);
+  KCoreDecomposition b = ComputeKCores(CsrGraph::FromBipartite(g));
+  EXPECT_EQ(a.user_core, b.user_core);
+  EXPECT_EQ(a.merchant_core, b.merchant_core);
+  EXPECT_EQ(a.degeneracy, b.degeneracy);
+}
+
+TEST_P(CsrParityTest, FdetBitExactAutoElbow) {
+  const auto [seed, weighted] = GetParam();
+  BipartiteGraph g = RandomPeelGraph(80, 50, 350, seed, weighted);
+  FdetConfig cfg;
+  cfg.max_blocks = 12;
+  auto reference = RunFdetReference(g, cfg).ValueOrDie();
+  auto csr = RunFdet(g, cfg).ValueOrDie();
+  ExpectFdetResultsIdentical(reference, csr);
+}
+
+TEST_P(CsrParityTest, FdetBitExactFixedK) {
+  const auto [seed, weighted] = GetParam();
+  BipartiteGraph g = RandomPeelGraph(70, 45, 300, seed, weighted);
+  FdetConfig cfg;
+  cfg.policy = TruncationPolicy::kFixedK;
+  cfg.fixed_k = 6;
+  cfg.max_blocks = 6;
+  auto reference = RunFdetReference(g, cfg).ValueOrDie();
+  auto csr = RunFdet(g, cfg).ValueOrDie();
+  ExpectFdetResultsIdentical(reference, csr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CsrParityTest,
+    ::testing::Combine(::testing::Values(1u, 7u, 23u, 101u),
+                       ::testing::Bool()));
+
+TEST(CsrParityDegenerateTest, EmptyGraph) {
+  BipartiteGraph g;
+  ExpectPeelResultsIdentical(
+      PeelDensestBlock(g, {}, true),
+      PeelDensestBlockCsr(CsrGraph::FromBipartite(g), {}, true));
+  ExpectFdetResultsIdentical(RunFdetReference(g, {}).ValueOrDie(),
+                             RunFdet(g, {}).ValueOrDie());
+}
+
+TEST(CsrParityDegenerateTest, EdgelessNodes) {
+  GraphBuilder b(6, 4);
+  BipartiteGraph g = b.Build().ValueOrDie();
+  ExpectPeelResultsIdentical(
+      PeelDensestBlock(g, {}, true),
+      PeelDensestBlockCsr(CsrGraph::FromBipartite(g), {}, true));
+  ExpectFdetResultsIdentical(RunFdetReference(g, {}).ValueOrDie(),
+                             RunFdet(g, {}).ValueOrDie());
+}
+
+TEST(CsrParityDegenerateTest, SingleEdge) {
+  GraphBuilder b(3, 3);
+  b.AddEdge(2, 1);
+  BipartiteGraph g = b.Build().ValueOrDie();
+  ExpectPeelResultsIdentical(
+      PeelDensestBlock(g, {}, true),
+      PeelDensestBlockCsr(CsrGraph::FromBipartite(g), {}, true));
+  ExpectFdetResultsIdentical(RunFdetReference(g, {}).ValueOrDie(),
+                             RunFdet(g, {}).ValueOrDie());
+}
+
+TEST(CsrParityDegenerateTest, StarGraph) {
+  // One merchant connected to every user — a worst case for tie-breaking.
+  GraphBuilder b(12, 1);
+  for (UserId u = 0; u < 12; ++u) b.AddEdge(u, 0);
+  BipartiteGraph g = b.Build().ValueOrDie();
+  ExpectPeelResultsIdentical(
+      PeelDensestBlock(g, {}, true),
+      PeelDensestBlockCsr(CsrGraph::FromBipartite(g), {}, true));
+  ExpectFdetResultsIdentical(RunFdetReference(g, {}).ValueOrDie(),
+                             RunFdet(g, {}).ValueOrDie());
+}
+
+TEST(CsrParityTestInvalidConfig, CsrPathValidatesLikeReference) {
+  GraphBuilder b(2, 2);
+  b.AddEdge(0, 0);
+  BipartiteGraph g = b.Build().ValueOrDie();
+  FdetConfig bad;
+  bad.max_blocks = 0;
+  EXPECT_FALSE(RunFdet(g, bad).ok());
+  EXPECT_FALSE(RunFdetReference(g, bad).ok());
+  EXPECT_FALSE(RunFdetCsr(CsrGraph::FromBipartite(g), bad).ok());
+}
+
+// The partitioned runner's single-component fast path (no subgraph
+// rebuild) must stay interchangeable with the seed's compacted route.
+TEST(CsrParityPartitionedTest, SingleComponentFastPathMatchesReference) {
+  // Fully connected small graph → exactly one component spanning all edges.
+  GraphBuilder b(20, 10);
+  Rng rng(33);
+  for (UserId u = 0; u < 20; ++u) {
+    b.AddEdge(u, static_cast<MerchantId>(u % 10));
+    b.AddEdge(u, static_cast<MerchantId>(rng.NextBounded(10)));
+  }
+  BipartiteGraph g = b.Build().ValueOrDie();
+
+  PartitionedFdetConfig pcfg;
+  pcfg.fdet.max_blocks = 8;
+  auto partitioned = RunPartitionedFdet(g, pcfg).ValueOrDie();
+
+  // Reference: per-component explore + merge, which for one spanning
+  // component is the global FDET re-sorted by score.
+  FdetConfig explore = pcfg.fdet;
+  explore.policy = TruncationPolicy::kFixedK;
+  explore.fixed_k = pcfg.fdet.max_blocks;
+  auto reference = RunFdetReference(g, explore).ValueOrDie();
+  std::stable_sort(reference.blocks.begin(), reference.blocks.end(),
+                   [](const DetectedBlock& a, const DetectedBlock& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<double> sorted_scores;
+  for (const DetectedBlock& blk : reference.blocks) {
+    sorted_scores.push_back(blk.score);
+  }
+  const int keep = AutoTruncationIndex(sorted_scores);
+  ASSERT_EQ(partitioned.truncation_index, keep);
+  ASSERT_EQ(static_cast<int>(partitioned.blocks.size()), keep);
+  for (int i = 0; i < keep; ++i) {
+    EXPECT_EQ(partitioned.blocks[i].users, reference.blocks[i].users);
+    EXPECT_EQ(partitioned.blocks[i].merchants,
+              reference.blocks[i].merchants);
+    EXPECT_EQ(partitioned.blocks[i].score, reference.blocks[i].score);
+    EXPECT_EQ(partitioned.blocks[i].edges, reference.blocks[i].edges);
+  }
+}
+
+}  // namespace
+}  // namespace ensemfdet

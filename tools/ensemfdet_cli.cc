@@ -22,7 +22,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 #include <memory>
 #include <map>
 #include <optional>
@@ -31,6 +33,7 @@
 #include <vector>
 
 #include "core/ensemfdet.h"
+#include "perf_harness.h"
 
 using namespace ensemfdet;
 
@@ -115,7 +118,9 @@ int Usage() {
       "               [--seed=42] [--threads=0] [--repeat=1] [--no-cache]\n"
       "               [--top=25]\n"
       "  evaluate     --graph=FILE --labels=FILE [detect flags] [--curve]\n"
-      "  bench-smoke  [--scale=0.004] [--seed=7] [--threads=0]\n");
+      "  bench-smoke  [--scale=0.004] [--seed=7] [--threads=0]\n"
+      "  bench-report [--scale=0.02] [--seed=7] [--repeats=5] [--n=16]\n"
+      "               [--s=0.1] [--threads=0] [--out-dir=.]\n");
   return 2;
 }
 
@@ -530,6 +535,65 @@ int CmdBenchSmoke(Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// bench-report: emit the BENCH_peeling.json / BENCH_ensemble.json perf
+// baselines (bench/README.md documents the schema; CI validates and
+// uploads them). The measurements live in bench/perf_harness.cc so the
+// standalone bench binaries report identical numbers.
+// ---------------------------------------------------------------------------
+int CmdBenchReport(Flags& flags) {
+  bench::PerfGraphSpec graph_spec;
+  graph_spec.scale = flags.GetDouble("scale", 0.02);
+  graph_spec.seed = flags.GetUint64("seed", 7);
+  const int repeats = flags.GetInt("repeats", 5);
+  const std::string out_dir = flags.GetString("out-dir", ".");
+
+  bench::PeelingBenchOptions peeling;
+  peeling.graph = graph_spec;
+  peeling.repeats = repeats;
+
+  bench::EnsembleBenchOptions ensemble;
+  ensemble.graph = graph_spec;
+  ensemble.repeats = std::max(1, repeats / 2);
+  ensemble.num_samples = flags.GetInt("n", 16);
+  ensemble.ratio = flags.GetDouble("s", 0.1);
+  ensemble.threads = flags.GetInt("threads", 0);
+  flags.DieOnUnknown();
+
+  // Create the destination up front: an unwritable --out-dir must fail
+  // before the (slow) measurements run, not after.
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create --out-dir=%s: %s\n",
+                 out_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+
+  struct Report {
+    const char* file;
+    Result<std::string> json;
+  } reports[] = {
+      {"BENCH_peeling.json", bench::RunPeelingBench(peeling)},
+      {"BENCH_ensemble.json", bench::RunEnsembleBench(ensemble)},
+  };
+  for (Report& report : reports) {
+    if (!report.json.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", report.file,
+                   report.json.status().ToString().c_str());
+      return 1;
+    }
+    const std::string path = out_dir + "/" + report.file;
+    Status st = bench::WriteTextFile(path, *report.json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench-report] wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -540,6 +604,7 @@ int main(int argc, char** argv) {
   if (command == "detect") return CmdDetect(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "bench-smoke") return CmdBenchSmoke(flags);
+  if (command == "bench-report") return CmdBenchReport(flags);
   if (command == "help" || command == "--help") return Usage();
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   return Usage();
