@@ -1,7 +1,9 @@
 // bench_ensemble: the end-to-end ensemble perf baseline. Times an
-// N-member ENSEMFDET run (parallel on the pool, then single-threaded) on
-// a dataset1-preset graph and writes BENCH_ensemble.json (schema:
-// bench/README.md).
+// N-member ENSEMFDET run on a dataset1-preset graph — zero-
+// materialization hot path on the configured pool / 1 thread / a real
+// 4-wide pool, plus the materializing reference path — verifies vote
+// parity between the two paths, and writes BENCH_ensemble.json
+// (schema_version 2: bench/README.md).
 //
 // Environment knobs: ENSEMFDET_SCALE (default 0.02), ENSEMFDET_SEED
 // (default 7), ENSEMFDET_REPEATS (default 3), ENSEMFDET_N (default 16),

@@ -7,6 +7,7 @@
 #include <functional>
 #include <optional>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -184,7 +185,8 @@ Result<std::string> RunPeelingBench(const PeelingBenchOptions& options) {
   return out;
 }
 
-Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options) {
+Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options,
+                                     EnsembleBenchSummary* summary) {
   if (options.repeats < 1) {
     return Status::InvalidArgument("repeats must be >= 1");
   }
@@ -193,6 +195,10 @@ Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options) {
                                         options.graph.scale,
                                         options.graph.seed));
   const BipartiteGraph& graph = dataset.graph;
+  // The hot path runs over the shared CSR form, built once — matching how
+  // the service serves jobs (GraphSnapshot materializes the CSR at
+  // Publish); only the reference path pays per-member materialization.
+  const CsrGraph csr = CsrGraph::FromBipartite(graph);
 
   EnsemFDetConfig config;
   config.num_samples = options.num_samples;
@@ -205,43 +211,133 @@ Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options) {
     owned.emplace(options.threads);
     pool = &*owned;
   }
+  // A real multi-thread pool for the parallel-speedup row: before schema 2
+  // this compared the (possibly 1-wide) default pool against the serial
+  // loop, which on a 1-CPU runner measured 1-vs-1.
+  ThreadPool pool4(4);
   EnsemFDet detector(config);
 
-  // Validate once untimed (and warm caches) before measuring.
-  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport warm,
-                             detector.Run(graph, pool));
-  (void)warm;
+  // Untimed parity gate: the zero-materialization hot path must reproduce
+  // the materializing reference bit for bit before anything is measured —
+  // a BENCH_ensemble.json is also a correctness witness.
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport hot, detector.Run(csr, pool));
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport reference,
+                             detector.RunReference(graph, pool));
+  bool votes_identical =
+      hot.votes.all_user_votes().size() ==
+          reference.votes.all_user_votes().size() &&
+      hot.votes.all_merchant_votes().size() ==
+          reference.votes.all_merchant_votes().size() &&
+      std::equal(hot.votes.all_user_votes().begin(),
+                 hot.votes.all_user_votes().end(),
+                 reference.votes.all_user_votes().begin()) &&
+      std::equal(hot.votes.all_merchant_votes().begin(),
+                 hot.votes.all_merchant_votes().end(),
+                 reference.votes.all_merchant_votes().begin());
+  bool weighted_identical =
+      hot.weighted_user_votes == reference.weighted_user_votes &&
+      hot.weighted_merchant_votes == reference.weighted_merchant_votes;
+  bool members_identical = hot.members.size() == reference.members.size();
+  for (size_t i = 0; members_identical && i < hot.members.size(); ++i) {
+    members_identical =
+        hot.members[i].sample_users == reference.members[i].sample_users &&
+        hot.members[i].sample_merchants ==
+            reference.members[i].sample_merchants &&
+        hot.members[i].sample_edges == reference.members[i].sample_edges &&
+        hot.members[i].num_blocks == reference.members[i].num_blocks;
+  }
+  if (!votes_identical || !weighted_identical || !members_identical) {
+    return Status::Internal(
+        "zero-materialization ensemble diverged from the materializing "
+        "reference on the bench graph — refusing to emit "
+        "BENCH_ensemble.json");
+  }
+
+  // Warm the remaining pools' thread-local arenas untimed so the timed
+  // rows measure steady-state reuse, not first-touch growth.
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport warm1,
+                             detector.Run(csr, nullptr));
+  (void)warm1;
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport warm4, detector.Run(csr, &pool4));
+  (void)warm4;
 
   std::vector<Timing> timings;
   timings.push_back(Measure("ensemble_run", options.repeats, [&] {
-    EnsemFDetReport r = detector.Run(graph, pool).ValueOrDie();
+    EnsemFDetReport r = detector.Run(csr, pool).ValueOrDie();
     (void)r;
   }));
   timings.push_back(Measure("ensemble_run_1thread", options.repeats, [&] {
-    EnsemFDetReport r = detector.Run(graph, nullptr).ValueOrDie();
+    EnsemFDetReport r = detector.Run(csr, nullptr).ValueOrDie();
+    (void)r;
+  }));
+  timings.push_back(Measure("ensemble_run_4threads", options.repeats, [&] {
+    EnsemFDetReport r = detector.Run(csr, &pool4).ValueOrDie();
+    (void)r;
+  }));
+  timings.push_back(Measure("ensemble_run_reference", options.repeats, [&] {
+    EnsemFDetReport r = detector.RunReference(graph, pool).ValueOrDie();
     (void)r;
   }));
 
+  // Arena-reuse stats from one more (untimed) fully warm run.
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport stats_run,
+                             detector.Run(csr, pool));
+  int64_t arena_grow_events = 0;
+  for (const auto& m : stats_run.members) {
+    arena_grow_events += m.arena_grow_events;
+  }
+  const double arena_grow_per_member =
+      options.num_samples > 0
+          ? static_cast<double>(arena_grow_events) / options.num_samples
+          : 0.0;
+
   const double members_per_second =
       options.num_samples / timings[0].seconds_min;
+  const double members_per_second_reference =
+      options.num_samples / timings[3].seconds_min;
+  const double zero_mat_speedup =
+      timings[3].seconds_min / timings[0].seconds_min;
   const double parallel_speedup =
-      timings[1].seconds_min / timings[0].seconds_min;
+      timings[1].seconds_min / timings[2].seconds_min;
+
+  if (summary != nullptr) {
+    summary->zero_materialization_speedup = zero_mat_speedup;
+    summary->members_per_second = members_per_second;
+    summary->parallel_speedup = parallel_speedup;
+    summary->arena_grow_events = arena_grow_events;
+    summary->arena_grow_per_member = arena_grow_per_member;
+  }
 
   std::string out;
   out.append("{\n");
-  out.append("  \"schema_version\": 1,\n");
+  out.append("  \"schema_version\": 2,\n");
   out.append("  \"bench\": \"ensemble\",\n");
   AppendGraphJson(&out, options.graph, graph);
   AppendF(&out,
           "  \"config\": {\"repeats\": %d, \"num_samples\": %d, "
-          "\"ratio\": %.4g, \"threads\": %d},\n",
+          "\"ratio\": %.4g, \"threads\": %d, \"hardware_threads\": %u},\n",
           options.repeats, options.num_samples, options.ratio,
-          pool->num_threads());
+          pool->num_threads(), std::thread::hardware_concurrency());
   AppendTimingsJson(&out, timings);
   AppendF(&out,
-          "  \"throughput\": {\"members_per_second\": %.6g},\n"
-          "  \"parallel_speedup\": %.4g\n",
-          members_per_second, parallel_speedup);
+          "  \"throughput\": {\"members_per_second\": %.6g, "
+          "\"members_per_second_reference\": %.6g},\n",
+          members_per_second, members_per_second_reference);
+  AppendF(&out,
+          "  \"speedup\": {\"zero_materialization_vs_reference\": %.4g, "
+          "\"parallel_1thread_vs_4threads\": %.4g},\n",
+          zero_mat_speedup, parallel_speedup);
+  AppendF(&out,
+          "  \"arena\": {\"grow_events\": %lld, "
+          "\"grow_events_per_member\": %.4g},\n",
+          static_cast<long long>(arena_grow_events), arena_grow_per_member);
+  AppendF(&out,
+          "  \"parity\": {\"votes_identical\": %s, "
+          "\"weighted_votes_identical\": %s, "
+          "\"member_stats_identical\": %s}\n",
+          votes_identical ? "true" : "false",
+          weighted_identical ? "true" : "false",
+          members_identical ? "true" : "false");
   out.append("}\n");
   return out;
 }

@@ -46,14 +46,35 @@ struct EnsembleBenchOptions {
   int threads = 0;
 };
 
+/// Headline numbers of the ensemble bench, duplicated out of the JSON so
+/// the CLI can print them without re-parsing the document.
+struct EnsembleBenchSummary {
+  /// members_per_second(zero-mat) ÷ members_per_second(materializing
+  /// reference) on the same preset/pool — the PR acceptance headline.
+  double zero_materialization_speedup = 0.0;
+  double members_per_second = 0.0;
+  /// seconds_min(1 thread) ÷ seconds_min(4-thread pool).
+  double parallel_speedup = 0.0;
+  /// Arena buffer growths summed over a full post-warm-up run (0 when the
+  /// per-worker arenas are reused perfectly), and the same per member.
+  int64_t arena_grow_events = 0;
+  double arena_grow_per_member = 0.0;
+};
+
 /// Runs the peeling bench (adjacency vs CSR, single peel + full FDET) and
 /// returns the BENCH_peeling.json document. Fails with Internal if the
 /// CSR path's results are not identical to the adjacency path's.
 Result<std::string> RunPeelingBench(const PeelingBenchOptions& options);
 
-/// Runs the ensemble bench (N-member run, parallel vs single-thread) and
-/// returns the BENCH_ensemble.json document.
-Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options);
+/// Runs the ensemble bench and returns the BENCH_ensemble.json document
+/// (schema_version 2): zero-materialization hot path on the configured
+/// pool / 1 thread / a 4-wide pool, plus the materializing reference path,
+/// with detected hardware threads, arena-reuse stats, and a vote-parity
+/// block. Fails with Internal — refusing to emit — if the two paths'
+/// votes, weighted votes, or member stats differ. When `summary` is
+/// non-null it receives the headline numbers.
+Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options,
+                                     EnsembleBenchSummary* summary = nullptr);
 
 /// Writes `text` to `path` (overwriting); IOError on failure.
 Status WriteTextFile(const std::string& path, const std::string& text);

@@ -93,13 +93,20 @@ Rng Rng::Split(uint64_t index) const {
 }
 
 std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  std::vector<uint64_t> out;
+  SampleWithoutReplacement(n, k, &out);
+  return out;
+}
+
+void Rng::SampleWithoutReplacement(uint64_t n, uint64_t k,
+                                   std::vector<uint64_t>* out) {
   ENSEMFDET_CHECK(k <= n) << "sample size " << k << " > population " << n;
   // Partial Fisher-Yates on a virtual array: `perm` records only displaced
   // slots, so memory is O(k) and time O(k) regardless of n.
   std::unordered_map<uint64_t, uint64_t> perm;
   perm.reserve(static_cast<size_t>(k) * 2);
-  std::vector<uint64_t> out;
-  out.reserve(static_cast<size_t>(k));
+  out->clear();
+  out->reserve(static_cast<size_t>(k));
   for (uint64_t i = 0; i < k; ++i) {
     uint64_t j = i + NextBounded(n - i);
     uint64_t vi, vj;
@@ -107,10 +114,9 @@ std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
     vi = (it == perm.end()) ? i : it->second;
     it = perm.find(j);
     vj = (it == perm.end()) ? j : it->second;
-    out.push_back(vj);
+    out->push_back(vj);
     perm[j] = vi;
   }
-  return out;
 }
 
 }  // namespace ensemfdet

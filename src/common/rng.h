@@ -64,6 +64,13 @@ class Rng {
   /// beyond the output). Requires k <= n.
   std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
 
+  /// Allocation-reusing variant: fills `*out` (cleared first, capacity
+  /// retained) with the same draw the returning overload produces for the
+  /// same generator state — hot loops pass a per-worker scratch vector so
+  /// repeated sampling stops allocating after warm-up.
+  void SampleWithoutReplacement(uint64_t n, uint64_t k,
+                                std::vector<uint64_t>* out);
+
  private:
   uint64_t s_[4];
   uint64_t seed_;  // retained so Split can mix parent identity

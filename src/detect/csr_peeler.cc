@@ -9,9 +9,19 @@ namespace ensemfdet {
 
 namespace detail {
 
-PeelHeap::PeelHeap(int64_t capacity)
-    : pos_(static_cast<size_t>(capacity), -1) {
-  heap_.reserve(static_cast<size_t>(capacity));
+PeelHeap::PeelHeap(int64_t capacity) { EnsureCapacity(capacity); }
+
+bool PeelHeap::EnsureCapacity(int64_t capacity) {
+  bool grew = false;
+  if (pos_.size() < static_cast<size_t>(capacity)) {
+    pos_.resize(static_cast<size_t>(capacity), -1);
+    grew = true;
+  }
+  if (heap_.capacity() < static_cast<size_t>(capacity)) {
+    heap_.reserve(static_cast<size_t>(capacity));
+    grew = true;
+  }
+  return grew;
 }
 
 void PeelHeap::Place(size_t i, Entry e) {
@@ -21,7 +31,6 @@ void PeelHeap::Place(size_t i, Entry e) {
 
 void PeelHeap::Append(int64_t id, double key) {
   ENSEMFDET_DCHECK(id >= 0 && id < static_cast<int64_t>(pos_.size()));
-  ENSEMFDET_DCHECK(pos_[static_cast<size_t>(id)] < 0);
   heap_.push_back({key, id});
   pos_[static_cast<size_t>(id)] =
       static_cast<int64_t>(heap_.size()) - 1;
@@ -29,16 +38,29 @@ void PeelHeap::Append(int64_t id, double key) {
 
 void PeelHeap::Heapify() {
   if (heap_.size() < 2) return;
-  // Floyd: sift down every internal node, last first.
-  for (size_t i = heap_.size() / 2; i-- > 0;) {
+  // Floyd: sift down every internal node, last first. The last internal
+  // node is the parent of the last entry.
+  for (size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) {
     SiftDown(i);
   }
+}
+
+size_t PeelHeap::MinChild(size_t i) const {
+  const size_t n = heap_.size();
+  const size_t first = kArity * i + 1;
+  if (first >= n) return n;
+  const size_t last = std::min(first + kArity, n);
+  size_t best = first;
+  for (size_t c = first + 1; c < last; ++c) {
+    if (Less(heap_[c], heap_[best])) best = c;
+  }
+  return best;
 }
 
 void PeelHeap::SiftUp(size_t i) {
   Entry e = heap_[i];
   while (i > 0) {
-    const size_t parent = (i - 1) / 2;
+    const size_t parent = (i - 1) / kArity;
     if (!Less(e, heap_[parent])) break;
     Place(i, heap_[parent]);
     i = parent;
@@ -50,10 +72,8 @@ void PeelHeap::SiftDown(size_t i) {
   Entry e = heap_[i];
   const size_t n = heap_.size();
   for (;;) {
-    size_t child = 2 * i + 1;
-    if (child >= n) break;
-    if (child + 1 < n && Less(heap_[child + 1], heap_[child])) ++child;
-    if (!Less(heap_[child], e)) break;
+    const size_t child = MinChild(i);
+    if (child >= n || !Less(heap_[child], e)) break;
     Place(i, heap_[child]);
     i = child;
   }
@@ -63,14 +83,32 @@ void PeelHeap::SiftDown(size_t i) {
 int64_t PeelHeap::PopMin() {
   ENSEMFDET_CHECK(!heap_.empty());
   const int64_t id = heap_[0].id;
-  pos_[static_cast<size_t>(id)] = -1;
+  pos_[static_cast<size_t>(id)] = -1;  // keeps AddTo's misuse DCHECK live
   Entry last = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) {
-    Place(0, last);
-    SiftDown(0);
+    // Bottom-up reinsertion: walk the root hole to a leaf along smallest
+    // children (no comparison against `last` on the way down), then sift
+    // the displaced last entry up from the leaf hole — it rarely rises.
+    const size_t n = heap_.size();
+    size_t i = 0;
+    for (;;) {
+      const size_t child = MinChild(i);
+      if (child >= n) break;
+      Place(i, heap_[child]);
+      i = child;
+    }
+    Place(i, last);
+    SiftUp(i);
   }
   return id;
+}
+
+void PeelHeap::Clear() {
+  // O(size): invalidate contained positions so AddTo on a cleared id
+  // still trips its DCHECK instead of mutating an unrelated entry later.
+  for (const Entry& e : heap_) pos_[static_cast<size_t>(e.id)] = -1;
+  heap_.clear();
 }
 
 void PeelHeap::AddTo(int64_t id, double delta) {
@@ -84,89 +122,244 @@ void PeelHeap::AddTo(int64_t id, double delta) {
 
 }  // namespace detail
 
+namespace {
+
+// Resize-to-fit helpers that count growth events: vectors only grow, new
+// elements are value-initialized (zero), so the PeelScratch all-zero
+// invariants hold over the freshly prepared extent.
+template <typename T>
+void GrowTo(std::vector<T>* v, int64_t n, int64_t* grew) {
+  if (v->size() < static_cast<size_t>(n)) {
+    v->resize(static_cast<size_t>(n));
+    ++*grew;
+  }
+}
+
+template <typename T>
+void ReserveTo(std::vector<T>* v, int64_t n, int64_t* grew) {
+  if (v->capacity() < static_cast<size_t>(n)) {
+    v->reserve(static_cast<size_t>(n));
+    ++*grew;
+  }
+}
+
+}  // namespace
+
+int64_t PeelScratch::Prepare(const CsrGraph& graph) {
+  const int64_t users = graph.num_users();
+  const int64_t merchants = graph.num_merchants();
+  const int64_t nodes = graph.num_nodes();
+  const int64_t edges = graph.num_edges();
+  int64_t grew = 0;
+  GrowTo(&user_degree, users, &grew);
+  GrowTo(&merchant_degree, merchants, &grew);
+  GrowTo(&col_weight, merchants, &grew);
+  GrowTo(&edge_mass, edges, &grew);
+  GrowTo(&priority, nodes, &grew);
+  GrowTo(&edge_alive, edges, &grew);
+  GrowTo(&removed, nodes, &grew);
+  GrowTo(&gone, nodes, &grew);
+  if (heap.EnsureCapacity(nodes)) ++grew;
+  GrowTo(&dense_of, nodes, &grew);
+  ReserveTo(&dense_to_node, nodes, &grew);
+  ReserveTo(&incident_users, users, &grew);
+  ReserveTo(&incident_merchants, merchants, &grew);
+  ReserveTo(&removal_order, nodes, &grew);
+  ReserveTo(&fdet_remaining, edges, &grew);
+  ReserveTo(&fdet_next, edges, &grew);
+  GrowTo(&in_block_user, users, &grew);
+  GrowTo(&in_block_merchant, merchants, &grew);
+  grow_events += grew;
+  return grew;
+}
+
+int64_t PeelScratch::PrepareView(int64_t mask_size) {
+  // Residual-view buffers are sized by the member's mask, not the parent
+  // graph (a sampled mask is ~S·|E|), and only paid for by callers that
+  // actually set a view — a plain full-graph FDET never touches them.
+  int64_t grew = 0;
+  ReserveTo(&view_mask, mask_size, &grew);
+  GrowTo(&view_weight_of, mask_size, &grew);
+  GrowTo(&view_user_dense, mask_size, &grew);
+  GrowTo(&view_merchant_dense, mask_size, &grew);
+  GrowTo(&view_merchant_slot, mask_size, &grew);
+  GrowTo(&view_alive, mask_size, &grew);
+  GrowTo(&view_alive_m, mask_size, &grew);
+  GrowTo(&view_user_mass, mask_size, &grew);
+  GrowTo(&view_merchant_mass, mask_size, &grew);
+  GrowTo(&view_merchant_user_dense, mask_size, &grew);
+  ReserveTo(&member_users, mask_size, &grew);
+  ReserveTo(&member_merchants, mask_size, &grew);
+  GrowTo(&member_user_begin, mask_size, &grew);
+  GrowTo(&member_user_end, mask_size, &grew);
+  GrowTo(&member_merchant_begin, mask_size, &grew);
+  GrowTo(&member_merchant_end, mask_size, &grew);
+  grow_events += grew;
+  return grew;
+}
+
 CsrPeeler::CsrPeeler(const CsrGraph& graph)
-    : graph_(&graph),
-      user_degree_(static_cast<size_t>(graph.num_users()), 0),
-      merchant_degree_(static_cast<size_t>(graph.num_merchants()), 0),
-      col_weight_(static_cast<size_t>(graph.num_merchants()), 0.0),
-      edge_mass_(static_cast<size_t>(graph.num_edges()), 0.0),
-      priority_(static_cast<size_t>(graph.num_nodes()), 0.0),
-      edge_alive_(static_cast<size_t>(graph.num_edges()), 0),
-      removed_(static_cast<size_t>(graph.num_nodes()), 0),
-      gone_(static_cast<size_t>(graph.num_nodes()), 0),
-      heap_(graph.num_nodes()) {}
+    : graph_(&graph), owned_(std::make_unique<PeelScratch>()) {
+  s_ = owned_.get();
+  s_->Prepare(graph);
+}
 
-PeelResult CsrPeeler::Peel(std::span<const EdgeId> residual_edges,
-                           const DensityConfig& config, PeelNodeScope scope,
-                           bool keep_trace) {
-  PeelResult result;
+CsrPeeler::CsrPeeler(const CsrGraph& graph, PeelScratch* scratch)
+    : graph_(&graph), s_(scratch) {
+  ENSEMFDET_DCHECK(scratch != nullptr);
+  s_->Prepare(graph);
+}
+
+void CsrPeeler::SetResidualView(std::span<const EdgeId> mask) {
   const CsrGraph& graph = *graph_;
-  const int64_t num_users = graph.num_users();
-  const int64_t num_merchants = graph.num_merchants();
-  const int64_t total_nodes = num_users + num_merchants;
-  if (total_nodes == 0 || residual_edges.empty()) return result;
+  PeelScratch& s = *s_;
+  s.PrepareView(static_cast<int64_t>(mask.size()));
+  s.view_mask.assign(mask.begin(), mask.end());
+  const int64_t mask_size = static_cast<int64_t>(s.view_mask.size());
 
-  // Residual degrees + alive-edge mask.
-  std::fill(user_degree_.begin(), user_degree_.end(), 0);
-  std::fill(merchant_degree_.begin(), merchant_degree_.end(), 0);
-  for (EdgeId e : residual_edges) {
+  // Pass 1 — the one pass of parent-array gathers per member: edge
+  // weights, member-dense user numbering (the ascending mask groups by
+  // user, so users are runs and come out ascending), user rows, and
+  // distinct-merchant collection (borrowing the all-zero merchant_degree
+  // array for counts).
+  s.member_users.clear();
+  s.incident_merchants.clear();
+  for (int64_t i = 0; i < mask_size; ++i) {
+    const EdgeId e = s.view_mask[static_cast<size_t>(i)];
     ENSEMFDET_DCHECK(e >= 0 && e < graph.num_edges());
-    edge_alive_[static_cast<size_t>(e)] = 1;
-    ++user_degree_[graph.edge_user(e)];
-    ++merchant_degree_[graph.edge_merchant(e)];
+    ENSEMFDET_DCHECK(i == 0 || s.view_mask[static_cast<size_t>(i - 1)] < e);
+    s.view_weight_of[static_cast<size_t>(i)] = graph.edge_weight(e);
+    const UserId u = graph.edge_user(e);
+    if (s.member_users.empty() || s.member_users.back() != u) {
+      ENSEMFDET_DCHECK(s.member_users.empty() || s.member_users.back() < u);
+      if (!s.member_users.empty()) {
+        s.member_user_end[s.member_users.size() - 1] = i;
+      }
+      s.member_user_begin[s.member_users.size()] = i;
+      s.member_users.push_back(u);
+    }
+    s.view_user_dense[static_cast<size_t>(i)] =
+        static_cast<int32_t>(s.member_users.size() - 1);
+    const MerchantId v = graph.edge_merchant(e);
+    if (s.merchant_degree[v]++ == 0) s.incident_merchants.push_back(v);
+  }
+  if (!s.member_users.empty()) {
+    s.member_user_end[s.member_users.size() - 1] = mask_size;
+  }
+  const int64_t num_member_users =
+      static_cast<int64_t>(s.member_users.size());
+  s.member_user_count = num_member_users;
+
+  // Member-dense merchant numbering (ascending parent order) and
+  // counting-sorted merchant rows; `dense_of` holds the parent→member
+  // merchant map just long enough to fill the per-slot arrays.
+  std::sort(s.incident_merchants.begin(), s.incident_merchants.end());
+  s.member_merchants.assign(s.incident_merchants.begin(),
+                            s.incident_merchants.end());
+  int64_t offset = 0;
+  for (size_t j = 0; j < s.member_merchants.size(); ++j) {
+    const MerchantId v = s.member_merchants[j];
+    s.dense_of[v] = static_cast<int32_t>(j);
+    s.member_merchant_begin[j] = offset;
+    s.member_merchant_end[j] = offset;  // fill cursor, ends at begin + count
+    offset += s.merchant_degree[v];
+  }
+  for (int64_t i = 0; i < mask_size; ++i) {
+    const MerchantId v =
+        graph.edge_merchant(s.view_mask[static_cast<size_t>(i)]);
+    const int32_t j = s.dense_of[v];
+    const int64_t slot = s.member_merchant_end[j]++;
+    s.view_merchant_dense[static_cast<size_t>(i)] =
+        static_cast<int32_t>(num_member_users + j);
+    s.view_merchant_slot[static_cast<size_t>(i)] = slot;
+    s.view_merchant_user_dense[static_cast<size_t>(slot)] =
+        s.view_user_dense[static_cast<size_t>(i)];
+  }
+  for (MerchantId v : s.member_merchants) s.merchant_degree[v] = 0;
+}
+
+PeelResult CsrPeeler::PeelAliveInView(const DensityConfig& config,
+                                      double weight_scale, bool keep_trace) {
+  PeelResult result;
+  PeelScratch& s = *s_;
+  const int64_t mask_size = static_cast<int64_t>(s.view_mask.size());
+  if (mask_size == 0) return result;
+  const int64_t num_users = s.member_user_count;  // member-space Uₘ
+
+  s.incident_users.clear();
+  s.incident_merchants.clear();
+
+  // Streaming initialization over the slot-aligned view, entirely in
+  // member-dense id space: the alive slots of the ascending mask ARE the
+  // residual list in ascending order, so every first-touch and
+  // accumulation below happens in exactly the order the list-driven Peel
+  // (and the seed peeler) performs it, and the member numbering is
+  // monotone in parent id, so all id-based tie-breaks agree too.
+  for (int64_t i = 0; i < mask_size; ++i) {
+    if (!s.view_alive[static_cast<size_t>(i)]) continue;
+    const int32_t mu = s.view_user_dense[static_cast<size_t>(i)];
+    const int32_t mj = s.view_merchant_dense[static_cast<size_t>(i)] -
+                       static_cast<int32_t>(num_users);
+    if (s.user_degree[mu]++ == 0) {
+      s.incident_users.push_back(static_cast<UserId>(mu));
+      s.priority[mu] = 0.0;
+    }
+    if (s.merchant_degree[mj]++ == 0) {
+      s.priority[static_cast<size_t>(num_users + mj)] = 0.0;
+    }
+  }
+  // Incident merchants, ascending: a compact scan of the member merchant
+  // range beats sorting a collected list (degrees are all-zero outside
+  // the alive set).
+  const int64_t num_member_merchants =
+      static_cast<int64_t>(s.member_merchants.size());
+  for (int64_t mj = 0; mj < num_member_merchants; ++mj) {
+    if (s.merchant_degree[static_cast<size_t>(mj)] > 0) {
+      s.incident_merchants.push_back(static_cast<MerchantId>(mj));
+      s.col_weight[static_cast<size_t>(mj)] = MerchantColumnWeight(
+          static_cast<double>(s.merchant_degree[static_cast<size_t>(mj)]),
+          config);
+    }
+  }
+  if (s.incident_users.empty() && s.incident_merchants.empty()) {
+    return result;  // no alive edges
   }
 
-  // Merchant column weights from residual degrees — exactly the
-  // entry-time degrees PeelDensestBlock sees on the compacted subgraph.
-  for (int64_t v = 0; v < num_merchants; ++v) {
-    col_weight_[static_cast<size_t>(v)] = MerchantColumnWeight(
-        static_cast<double>(merchant_degree_[static_cast<size_t>(v)]),
-        config);
-  }
-
-  // Per-edge suspiciousness mass, hoisted out of the pop loop: the same
-  // weight·col_weight products the adjacency peeler recomputes per visit,
-  // computed once each (identical values, so parity is unaffected).
-  for (EdgeId e : residual_edges) {
-    edge_mass_[static_cast<size_t>(e)] =
-        graph.edge_weight(e) * col_weight_[graph.edge_merchant(e)];
-  }
-
-  // Node priorities and total mass, accumulated in ascending-EdgeId order
-  // (== the compacted subgraph's edge-id order) so every floating-point
-  // sum matches the adjacency-list peeler bit for bit.
-  std::fill(priority_.begin(), priority_.end(), 0.0);
   double mass = 0.0;
-  for (EdgeId e : residual_edges) {
-    const double w = edge_mass_[static_cast<size_t>(e)];
-    priority_[graph.edge_user(e)] += w;
-    priority_[static_cast<size_t>(num_users) + graph.edge_merchant(e)] += w;
+  for (int64_t i = 0; i < mask_size; ++i) {
+    if (!s.view_alive[static_cast<size_t>(i)]) continue;
+    const int32_t mu = s.view_user_dense[static_cast<size_t>(i)];
+    const int32_t packed_mv = s.view_merchant_dense[static_cast<size_t>(i)];
+    const double w =
+        (s.view_weight_of[static_cast<size_t>(i)] * weight_scale) *
+        s.col_weight[static_cast<size_t>(packed_mv - num_users)];
+    s.view_user_mass[static_cast<size_t>(i)] = w;
+    s.view_merchant_mass[static_cast<size_t>(
+        s.view_merchant_slot[static_cast<size_t>(i)])] = w;
+    s.priority[static_cast<size_t>(mu)] += w;
+    s.priority[static_cast<size_t>(packed_mv)] += w;
     mass += w;
   }
 
-  // Populate the heap with every participating node. PopMin is a pure
-  // function of the (key, smaller-id) total order, so bulk Floyd build
-  // yields the exact pop sequence of the seed's one-by-one pushes.
-  ENSEMFDET_DCHECK(heap_.empty());
-  int64_t alive = 0;
-  for (int64_t id = 0; id < total_nodes; ++id) {
-    const bool incident =
-        id < num_users
-            ? user_degree_[static_cast<size_t>(id)] > 0
-            : merchant_degree_[static_cast<size_t>(id - num_users)] > 0;
-    if (scope == PeelNodeScope::kIncidentOnly && !incident) {
-      removed_[static_cast<size_t>(id)] = 1;  // unreachable, but tidy
-      continue;
-    }
-    heap_.Append(id, priority_[static_cast<size_t>(id)]);
-    removed_[static_cast<size_t>(id)] = 0;
-    ++alive;
+  // Heap over member packed ids (users then merchants, each ascending —
+  // monotone in parent packed id, so (key, id) ties break exactly like
+  // the seed). PopMin is a pure function of that total order, so bulk
+  // Floyd build yields the exact pop sequence of one-by-one pushes.
+  ENSEMFDET_DCHECK(s.heap.empty());
+  for (UserId mu : s.incident_users) {
+    s.heap.Append(mu, s.priority[mu]);
+    s.removed[mu] = 0;
   }
-  heap_.Heapify();
+  for (MerchantId mj : s.incident_merchants) {
+    const int64_t id = num_users + mj;
+    s.heap.Append(id, s.priority[static_cast<size_t>(id)]);
+    s.removed[static_cast<size_t>(id)] = 0;
+  }
+  s.heap.Heapify();
+  int64_t alive = s.heap.size();
   const int64_t peel_steps = alive;
 
-  std::vector<int64_t> removal_order;
-  removal_order.reserve(static_cast<size_t>(peel_steps));
+  s.removal_order.clear();
   if (keep_trace) result.trace.reserve(static_cast<size_t>(peel_steps));
 
   double best_phi = -1.0;
@@ -181,10 +374,220 @@ PeelResult CsrPeeler::Peel(std::span<const EdgeId> residual_edges,
       best_prefix = t;
     }
 
-    const int64_t victim = heap_.PopMin();
-    removed_[static_cast<size_t>(victim)] = 1;
+    // Mass exhaustion: every mass update subtracts a nonnegative edge
+    // mass, so `mass` is non-increasing and once ≤ 0 every future φ is
+    // exactly 0 — with the strict `>` above, best_prefix can never move
+    // again. The remaining pops are a zero-key tail; skip them (and bulk-
+    // clear the heap) unless the caller wants the full trace.
+    if (!keep_trace && mass <= 0.0) break;
+
+    const int64_t victim = s.heap.PopMin();
+    s.removed[static_cast<size_t>(victim)] = 1;
     --alive;
-    removal_order.push_back(victim);
+    s.removal_order.push_back(victim);
+
+    if (victim < num_users) {
+      for (int64_t idx = s.member_user_begin[victim];
+           idx < s.member_user_end[victim]; ++idx) {
+        if (!s.view_alive[static_cast<size_t>(idx)]) continue;
+        const int32_t other = s.view_merchant_dense[static_cast<size_t>(idx)];
+        if (s.removed[static_cast<size_t>(other)]) continue;  // edge dead
+        const double w = s.view_user_mass[static_cast<size_t>(idx)];
+        mass -= w;
+        s.heap.AddTo(other, -w);
+      }
+    } else {
+      const int64_t mj = victim - num_users;
+      for (int64_t idx = s.member_merchant_begin[mj];
+           idx < s.member_merchant_end[mj]; ++idx) {
+        if (!s.view_alive_m[static_cast<size_t>(idx)]) continue;
+        const int32_t mu =
+            s.view_merchant_user_dense[static_cast<size_t>(idx)];
+        if (s.removed[static_cast<size_t>(mu)]) continue;
+        const double w = s.view_merchant_mass[static_cast<size_t>(idx)];
+        mass -= w;
+        s.heap.AddTo(mu, -w);
+      }
+    }
+  }
+
+  if (!s.heap.empty()) s.heap.Clear();  // mass-exhausted early exit
+
+  // Extraction in member ids (ascending ⇒ parent-ascending after the
+  // caller's translation); `gone` is all-zero between calls.
+  for (int64_t t = 0; t < best_prefix; ++t) {
+    s.gone[static_cast<size_t>(s.removal_order[static_cast<size_t>(t)])] = 1;
+  }
+  for (UserId mu : s.incident_users) {
+    if (!s.gone[mu]) result.users.push_back(mu);
+  }
+  for (MerchantId mj : s.incident_merchants) {
+    if (!s.gone[static_cast<size_t>(num_users + mj)]) {
+      result.merchants.push_back(mj);
+    }
+  }
+  result.score = best_phi;
+  if (keep_trace) {
+    // Translate member packed ids to parent packed ids for the contract.
+    result.removal_order.reserve(s.removal_order.size());
+    for (int64_t id : s.removal_order) {
+      result.removal_order.push_back(
+          id < num_users
+              ? static_cast<int64_t>(s.member_users[static_cast<size_t>(id)])
+              : graph_->num_users() +
+                    static_cast<int64_t>(s.member_merchants[static_cast<size_t>(
+                        id - num_users)]));
+    }
+  }
+
+  // Restore the arena invariants (degrees and gone prefix zero, heap
+  // empty); view_alive stays with the caller.
+  for (UserId mu : s.incident_users) s.user_degree[mu] = 0;
+  for (MerchantId mj : s.incident_merchants) s.merchant_degree[mj] = 0;
+  for (int64_t t = 0; t < best_prefix; ++t) {
+    s.gone[static_cast<size_t>(s.removal_order[static_cast<size_t>(t)])] = 0;
+  }
+  ENSEMFDET_DCHECK(s.heap.empty());
+  return result;
+}
+
+PeelResult CsrPeeler::Peel(std::span<const EdgeId> residual_edges,
+                           const DensityConfig& config, PeelNodeScope scope,
+                           double weight_scale, bool keep_trace) {
+  PeelResult result;
+  const CsrGraph& graph = *graph_;
+  PeelScratch& s = *s_;
+  const int64_t num_users = graph.num_users();
+  const int64_t num_merchants = graph.num_merchants();
+  const int64_t total_nodes = num_users + num_merchants;
+  if (total_nodes == 0 || residual_edges.empty()) return result;
+
+  s.incident_users.clear();
+  s.incident_merchants.clear();
+
+  if (scope == PeelNodeScope::kIncidentOnly) {
+    // Sparse initialization: O(|residual|) instead of O(|U| + |V|). The
+    // degree arrays are all-zero between calls (restored on exit), so a
+    // first touch identifies each incident node exactly once; users come
+    // out ascending for free because edge_user is nondecreasing over the
+    // canonical (ascending) edge order.
+    for (EdgeId e : residual_edges) {
+      ENSEMFDET_DCHECK(e >= 0 && e < graph.num_edges());
+      s.edge_alive[static_cast<size_t>(e)] = 1;
+      const UserId u = graph.edge_user(e);
+      const MerchantId v = graph.edge_merchant(e);
+      if (s.user_degree[u]++ == 0) {
+        ENSEMFDET_DCHECK(s.incident_users.empty() ||
+                         s.incident_users.back() < u);
+        s.incident_users.push_back(u);
+        s.priority[u] = 0.0;
+      }
+      if (s.merchant_degree[v]++ == 0) {
+        s.incident_merchants.push_back(v);
+        s.priority[static_cast<size_t>(num_users) + v] = 0.0;
+      }
+    }
+    std::sort(s.incident_merchants.begin(), s.incident_merchants.end());
+    // Merchant column weights from residual degrees — exactly the
+    // entry-time degrees PeelDensestBlock sees on the compacted subgraph.
+    for (MerchantId v : s.incident_merchants) {
+      s.col_weight[v] =
+          MerchantColumnWeight(static_cast<double>(s.merchant_degree[v]),
+                               config);
+    }
+  } else {
+    // kAllNodes: every node participates, isolated ones included; the
+    // incident lists therefore enumerate the whole graph.
+    std::fill(s.user_degree.begin(),
+              s.user_degree.begin() + static_cast<size_t>(num_users), 0);
+    std::fill(s.merchant_degree.begin(),
+              s.merchant_degree.begin() + static_cast<size_t>(num_merchants),
+              0);
+    for (EdgeId e : residual_edges) {
+      ENSEMFDET_DCHECK(e >= 0 && e < graph.num_edges());
+      s.edge_alive[static_cast<size_t>(e)] = 1;
+      ++s.user_degree[graph.edge_user(e)];
+      ++s.merchant_degree[graph.edge_merchant(e)];
+    }
+    for (int64_t v = 0; v < num_merchants; ++v) {
+      s.col_weight[static_cast<size_t>(v)] = MerchantColumnWeight(
+          static_cast<double>(s.merchant_degree[static_cast<size_t>(v)]),
+          config);
+    }
+    std::fill(s.priority.begin(),
+              s.priority.begin() + static_cast<size_t>(total_nodes), 0.0);
+    for (int64_t u = 0; u < num_users; ++u) {
+      s.incident_users.push_back(static_cast<UserId>(u));
+    }
+    for (int64_t v = 0; v < num_merchants; ++v) {
+      s.incident_merchants.push_back(static_cast<MerchantId>(v));
+    }
+  }
+
+  // Per-edge suspiciousness mass plus node priorities and total mass,
+  // accumulated in ascending-EdgeId order (== the compacted subgraph's
+  // edge-id order) so every floating-point sum matches the adjacency-list
+  // peeler bit for bit. `weight * scale` with scale == 1.0 is exact, so
+  // the unscaled path is unchanged bitwise.
+  double mass = 0.0;
+  for (EdgeId e : residual_edges) {
+    const double w = (graph.edge_weight(e) * weight_scale) *
+                     s.col_weight[graph.edge_merchant(e)];
+    s.edge_mass[static_cast<size_t>(e)] = w;
+    s.priority[graph.edge_user(e)] += w;
+    s.priority[static_cast<size_t>(num_users) + graph.edge_merchant(e)] += w;
+    mass += w;
+  }
+
+  // Heap over parent packed node ids via per-peel dense slots: slots are
+  // handed out in ascending packed order (users then merchants), so
+  // (key, slot) ties break exactly like (key, node) — the seed tie-break
+  // — while the sift chain works in residual-sized arrays.
+  ENSEMFDET_DCHECK(s.heap.empty());
+  s.dense_to_node.clear();
+  for (UserId u : s.incident_users) {
+    const int64_t dense = static_cast<int64_t>(s.dense_to_node.size());
+    s.dense_of[u] = static_cast<int32_t>(dense);
+    s.dense_to_node.push_back(u);
+    s.heap.Append(dense, s.priority[u]);
+    s.removed[u] = 0;
+  }
+  for (MerchantId v : s.incident_merchants) {
+    const int64_t id = num_users + v;
+    const int64_t dense = static_cast<int64_t>(s.dense_to_node.size());
+    s.dense_of[static_cast<size_t>(id)] = static_cast<int32_t>(dense);
+    s.dense_to_node.push_back(id);
+    s.heap.Append(dense, s.priority[static_cast<size_t>(id)]);
+    s.removed[static_cast<size_t>(id)] = 0;
+  }
+  s.heap.Heapify();
+  int64_t alive = s.heap.size();
+  const int64_t peel_steps = alive;
+
+  s.removal_order.clear();
+  if (keep_trace) result.trace.reserve(static_cast<size_t>(peel_steps));
+
+  double best_phi = -1.0;
+  int64_t best_prefix = 0;  // number of removals before the best state
+
+  for (int64_t t = 0; t < peel_steps; ++t) {
+    const double phi =
+        alive > 0 ? std::max(0.0, mass) / static_cast<double>(alive) : 0.0;
+    if (keep_trace) result.trace.push_back(phi);
+    if (phi > best_phi) {
+      best_phi = phi;
+      best_prefix = t;
+    }
+
+    // Mass exhaustion (see PeelAliveInView): best_prefix can never move
+    // once mass ≤ 0 — skip the zero-key tail unless tracing.
+    if (!keep_trace && mass <= 0.0) break;
+
+    const int64_t victim =
+        s.dense_to_node[static_cast<size_t>(s.heap.PopMin())];
+    s.removed[static_cast<size_t>(victim)] = 1;
+    --alive;
+    s.removal_order.push_back(victim);
 
     if (victim < num_users) {
       const UserId u = static_cast<UserId>(victim);
@@ -192,12 +595,12 @@ PeelResult CsrPeeler::Peel(std::span<const EdgeId> residual_edges,
       const auto neighbors = graph.user_neighbors(u);
       for (size_t k = 0; k < neighbors.size(); ++k) {
         const EdgeId e = row_begin + static_cast<EdgeId>(k);
-        if (!edge_alive_[static_cast<size_t>(e)]) continue;
+        if (!s.edge_alive[static_cast<size_t>(e)]) continue;
         const int64_t other = num_users + neighbors[k];
-        if (removed_[static_cast<size_t>(other)]) continue;  // edge dead
-        const double w = edge_mass_[static_cast<size_t>(e)];
+        if (s.removed[static_cast<size_t>(other)]) continue;  // edge dead
+        const double w = s.edge_mass[static_cast<size_t>(e)];
         mass -= w;
-        heap_.AddTo(other, -w);
+        s.heap.AddTo(s.dense_of[static_cast<size_t>(other)], -w);
       }
     } else {
       const MerchantId v = static_cast<MerchantId>(victim - num_users);
@@ -205,42 +608,45 @@ PeelResult CsrPeeler::Peel(std::span<const EdgeId> residual_edges,
       const auto neighbors = graph.merchant_neighbors(v);
       for (size_t k = 0; k < neighbors.size(); ++k) {
         const EdgeId e = edge_ids[k];
-        if (!edge_alive_[static_cast<size_t>(e)]) continue;
+        if (!s.edge_alive[static_cast<size_t>(e)]) continue;
         const UserId u = neighbors[k];
-        if (removed_[u]) continue;
-        const double w = edge_mass_[static_cast<size_t>(e)];
+        if (s.removed[u]) continue;
+        const double w = s.edge_mass[static_cast<size_t>(e)];
         mass -= w;
-        heap_.AddTo(u, -w);
+        s.heap.AddTo(s.dense_of[u], -w);
       }
     }
   }
 
+  if (!s.heap.empty()) s.heap.Clear();  // mass-exhausted early exit
+
   // The best block is every participating node not removed in the first
-  // `best_prefix` deletions.
-  std::fill(gone_.begin(), gone_.end(), 0);
+  // `best_prefix` deletions. `gone` is all-zero between calls; stamp the
+  // prefix, extract (incident lists are ascending), then clear the same
+  // prefix.
   for (int64_t t = 0; t < best_prefix; ++t) {
-    gone_[static_cast<size_t>(removal_order[static_cast<size_t>(t)])] = 1;
+    s.gone[static_cast<size_t>(s.removal_order[static_cast<size_t>(t)])] = 1;
   }
-  for (int64_t u = 0; u < num_users; ++u) {
-    const bool participated = scope == PeelNodeScope::kAllNodes ||
-                              user_degree_[static_cast<size_t>(u)] > 0;
-    if (participated && !gone_[static_cast<size_t>(u)]) {
-      result.users.push_back(static_cast<UserId>(u));
-    }
+  for (UserId u : s.incident_users) {
+    if (!s.gone[u]) result.users.push_back(u);
   }
-  for (int64_t v = 0; v < num_merchants; ++v) {
-    const bool participated = scope == PeelNodeScope::kAllNodes ||
-                              merchant_degree_[static_cast<size_t>(v)] > 0;
-    if (participated && !gone_[static_cast<size_t>(num_users + v)]) {
-      result.merchants.push_back(static_cast<MerchantId>(v));
+  for (MerchantId v : s.incident_merchants) {
+    if (!s.gone[static_cast<size_t>(num_users) + v]) {
+      result.merchants.push_back(v);
     }
   }
   result.score = best_phi;
-  if (keep_trace) result.removal_order = std::move(removal_order);
+  if (keep_trace) result.removal_order = s.removal_order;
 
-  // Restore the invariant: alive mask zero, heap empty, ready for reuse.
-  for (EdgeId e : residual_edges) edge_alive_[static_cast<size_t>(e)] = 0;
-  ENSEMFDET_DCHECK(heap_.empty());
+  // Restore the arena invariants: alive mask and residual degrees zero,
+  // gone prefix cleared, heap empty — ready for reuse.
+  for (EdgeId e : residual_edges) s.edge_alive[static_cast<size_t>(e)] = 0;
+  for (UserId u : s.incident_users) s.user_degree[u] = 0;
+  for (MerchantId v : s.incident_merchants) s.merchant_degree[v] = 0;
+  for (int64_t t = 0; t < best_prefix; ++t) {
+    s.gone[static_cast<size_t>(s.removal_order[static_cast<size_t>(t)])] = 0;
+  }
+  ENSEMFDET_DCHECK(s.heap.empty());
   return result;
 }
 
@@ -249,7 +655,8 @@ PeelResult PeelDensestBlockCsr(const CsrGraph& graph,
   CsrPeeler peeler(graph);
   std::vector<EdgeId> all(static_cast<size_t>(graph.num_edges()));
   std::iota(all.begin(), all.end(), EdgeId{0});
-  return peeler.Peel(all, config, PeelNodeScope::kAllNodes, keep_trace);
+  return peeler.Peel(all, config, PeelNodeScope::kAllNodes,
+                     /*weight_scale=*/1.0, keep_trace);
 }
 
 }  // namespace ensemfdet

@@ -6,19 +6,35 @@
 // This is what makes iterated FDET cheap: each block iteration used to
 // rebuild a subgraph (sort + two hash maps + two CSR constructions) just
 // to peel it once; CsrPeeler reuses one set of flat scratch arrays
-// (degrees, priorities, removal flags, an IndexedMinHeap) across
+// (degrees, priorities, removal flags, an indexed min-heap) across
 // iterations and walks the shared neighbor arrays directly.
 //
-// Bit-exactness contract: for the same residual edge set, Peel() performs
-// the identical floating-point operations in the identical order as the
-// seed PeelDensestBlock over the compacted subgraph (same per-node
-// accumulation order, same heap insertion order, same smaller-id
-// tie-breaks under the order-isomorphic id relabeling), so scores, block
-// node sets, traces, and removal orders match the adjacency-list peeler
-// exactly. tests/csr_parity_test.cc pins this.
+// The scratch arrays live in a PeelScratch arena that callers may own
+// externally: the ensemble hot loop keeps one arena per worker thread so
+// running FDET on thousands of sampled residuals performs zero arena
+// allocations after warm-up (DESIGN.md §"Ensemble hot loop"). For a
+// sampled member, SetResidualView() regroups the member's edge mask into
+// compact slot-aligned rows (edge ids, endpoints, weights — one pass of
+// parent gathers per member), after which PeelAliveInView() runs every
+// FDET iteration touching only residual-sized, mostly L1-resident arrays:
+// per-call initialization is O(|mask|) streaming — not O(|U| + |V|) and
+// not O(parent-degree sums) — so peeling a sampled residual of a huge
+// shared parent costs what peeling the equivalent materialized child
+// would, without building it.
+//
+// Bit-exactness contract: for the same residual edge set, Peel() and
+// PeelAliveInView() perform the identical floating-point operations in
+// the identical order as the seed PeelDensestBlock over the compacted
+// subgraph (same per-node accumulation order, same heap insertion order,
+// same smaller-id tie-breaks under the order-isomorphic id relabeling),
+// so scores, block node sets, traces, and removal orders match the
+// adjacency-list peeler exactly. tests/csr_parity_test.cc and
+// tests/ensemble_parity_test.cc pin this.
 #ifndef ENSEMFDET_DETECT_CSR_PEELER_H_
 #define ENSEMFDET_DETECT_CSR_PEELER_H_
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -30,37 +46,65 @@ namespace ensemfdet {
 
 namespace detail {
 
-// Indexed binary min-heap over (key, id) with Floyd bulk-build — the peel
+// Indexed 4-ary min-heap over (key, id) with Floyd bulk-build — the peel
 // loop's priority queue. Build is O(n) (instead of n·log n pushes) and
-// the entry array is reused across peels.
+// the entry array is reused across peels. Arity 4 halves the levels a
+// sift traverses versus a binary heap and puts all four children of a
+// node in one cache line (4 × 16-byte entries).
+//
+// Ids are *dense per-peel slots* (0..n-1 in Append order), not graph node
+// ids: the caller appends participants in ascending packed-node order and
+// keeps a slot↔node mapping, so every array the sift chain touches
+// (entries, positions) is sized to the residual — L1-resident for sampled
+// ensemble members — instead of to the whole parent graph.
 //
 // Output-equivalence note: PopMin returns the *global* minimum under the
 // total order (key, then smaller id) of the alive entries, so the pop
 // sequence is a pure function of the key arithmetic — identical to
-// IndexedMinHeap's regardless of internal layout. AddTo applies
-// `key + delta` exactly like IndexedMinHeap::AddToKey, preserving
-// bit-exact parity with the seed peeler.
+// IndexedMinHeap's regardless of arity, internal layout, or Append
+// order; and because the dense slot assignment is monotone in packed
+// node id, (key, slot) ties break exactly like (key, node). AddTo
+// applies `key + delta` exactly like IndexedMinHeap::AddToKey,
+// preserving bit-exact parity with the seed peeler.
 class PeelHeap {
  public:
+  /// Empty heap with zero id capacity; call EnsureCapacity before use.
+  PeelHeap() = default;
   /// Heap over ids [0, capacity), initially empty.
   explicit PeelHeap(int64_t capacity);
+
+  /// Grows the id capacity to at least `capacity` (never shrinks).
+  /// Returns true if backing storage actually grew.
+  bool EnsureCapacity(int64_t capacity);
 
   bool empty() const { return heap_.empty(); }
   int64_t size() const { return static_cast<int64_t>(heap_.size()); }
 
-  /// Appends an entry without restoring heap order; call Heapify() after
-  /// the last append and before any PopMin/AddTo.
+  /// Appends an entry for `id` without restoring heap order (any stale
+  /// position bookkeeping for `id` from earlier builds is overwritten).
+  /// Call Heapify() after the last append and before any PopMin/AddTo.
   void Append(int64_t id, double key);
   /// Floyd heapify over everything appended so far; O(n).
   void Heapify();
 
-  /// Removes and returns the smallest-(key, id) entry.
+  /// Removes and returns the smallest-(key, id) entry. Internally uses the
+  /// bottom-up "bounce" reinsertion (hole walks to a leaf choosing the
+  /// smallest child, then the displaced last entry sifts up from there):
+  /// fewer comparisons than the textbook sift-down, because the displaced
+  /// entry of a min-heap almost always belongs near the leaves. The
+  /// resulting layout can differ from the textbook variant's, but the pop
+  /// sequence cannot — it is the (key, id) total order either way.
   int64_t PopMin();
 
   /// Adds `delta` (≤ 0 during peeling) to a contained id's key.
   void AddTo(int64_t id, double delta);
 
+  /// Discards every remaining entry in O(size) without sifting — used
+  /// when a peel proves no further pop can matter (mass exhausted).
+  void Clear();
+
  private:
+  static constexpr size_t kArity = 4;
   struct Entry {
     double key;
     int64_t id;
@@ -69,12 +113,14 @@ class PeelHeap {
     if (a.key != b.key) return a.key < b.key;
     return a.id < b.id;
   }
+  /// Index of the smallest child of `i`, or `size` when `i` is a leaf.
+  size_t MinChild(size_t i) const;
   void SiftUp(size_t i);
   void SiftDown(size_t i);
   void Place(size_t i, Entry e);
 
   std::vector<Entry> heap_;
-  std::vector<int64_t> pos_;  // id → heap index, -1 if absent
+  std::vector<int64_t> pos_;  // dense id → heap index; stale once popped
 };
 
 }  // namespace detail
@@ -91,43 +137,160 @@ enum class PeelNodeScope {
   kIncidentOnly,
 };
 
+/// Externally ownable arena of every buffer CsrPeeler (and the masked FDET
+/// driver, detect/fdet.h) needs: degree/priority/flag arrays, the peel
+/// heap, the residual-view rows, and the FDET work lists. Prepare() grows
+/// buffers to fit a graph and counts growth events, so a warm arena reused
+/// across many peels reports zero further allocations — the number the
+/// ensemble bench surfaces as `arena.grow_events`.
+///
+/// Invariants between uses (established by Prepare on fresh storage and
+/// restored by every peel / masked-FDET run): `edge_alive`, `user_degree`,
+/// `merchant_degree`, `gone`, `in_block_user`, `in_block_merchant` are
+/// all-zero over their prepared extent and the heap is empty. Buffers
+/// never shrink; an arena sized for one graph is warm for any graph with
+/// no more users/merchants/edges.
+///
+/// @note Thread-safety: an arena is mutable state — one per thread.
+struct PeelScratch {
+  std::vector<int64_t> user_degree;
+  std::vector<int64_t> merchant_degree;
+  std::vector<double> col_weight;
+  std::vector<double> edge_mass;  // per-edge weight·col_weight, by EdgeId
+  std::vector<double> priority;
+  std::vector<uint8_t> edge_alive;
+  std::vector<uint8_t> removed;
+  std::vector<uint8_t> gone;
+  detail::PeelHeap heap;
+  /// Nodes incident to the current residual (kIncidentOnly bookkeeping):
+  /// users in ascending id order, merchants sorted after collection.
+  std::vector<UserId> incident_users;
+  std::vector<MerchantId> incident_merchants;
+  std::vector<int64_t> removal_order;
+  /// Per-peel dense heap-slot mapping: `dense_of[node]` (valid only for
+  /// the current peel's participants, overwritten per build) and its
+  /// compact inverse. Participant counts are bounded by int32 — a single
+  /// peel over >2^31 incident nodes is out of scope.
+  std::vector<int32_t> dense_of;
+  std::vector<int64_t> dense_to_node;
+  /// Residual work lists + block-membership flags for RunFdetCsrMasked.
+  std::vector<EdgeId> fdet_remaining;
+  std::vector<EdgeId> fdet_next;
+  std::vector<uint8_t> in_block_user;
+  std::vector<uint8_t> in_block_merchant;
+  /// Residual view (CsrPeeler::SetResidualView): the member's edge mask
+  /// renumbered once into *member-dense* node ids — mask-incident users
+  /// 0..Uₘ-1 and merchants 0..Vₘ-1, both ascending in parent id — with
+  /// every per-slot array compact and slot-aligned. One pass of parent
+  /// gathers per member; after it, PeelAliveInView and the masked FDET
+  /// driver stream only these residual-sized (mostly L1-resident) arrays,
+  /// exactly like peeling a materialized child, without building one.
+  /// The member numbering is monotone in parent id on each side, so
+  /// member-space heap tie-breaks, sorts, and ascending outputs map
+  /// 1:1 onto parent-space ones.
+  std::vector<EdgeId> view_mask;             ///< slot → parent EdgeId (asc)
+  std::vector<double> view_weight_of;        ///< edge weight per mask slot
+  std::vector<int32_t> view_user_dense;      ///< member user id per slot
+  std::vector<int32_t> view_merchant_dense;  ///< packed Uₘ+j per slot
+  std::vector<int64_t> view_merchant_slot;   ///< mask slot → merchant slot
+  std::vector<uint8_t> view_alive;           ///< per mask slot (driver-owned)
+  std::vector<uint8_t> view_alive_m;         ///< same flag per merchant slot
+  std::vector<double> view_user_mass;        ///< per-peel mass per mask slot
+  std::vector<double> view_merchant_mass;    ///< per-peel mass per m-slot
+  std::vector<int32_t> view_merchant_user_dense;  ///< member user per m-slot
+  std::vector<UserId> member_users;          ///< member user → parent user
+  std::vector<MerchantId> member_merchants;  ///< member merchant → parent
+  std::vector<int64_t> member_user_begin;    ///< member user → first slot
+  std::vector<int64_t> member_user_end;
+  std::vector<int64_t> member_merchant_begin;  ///< member merchant → m-slots
+  std::vector<int64_t> member_merchant_end;
+  /// Uₘ of the current view (member merchant packed ids start here).
+  int64_t member_user_count = 0;
+
+  /// Cumulative count of buffer growth events across all Prepare() calls;
+  /// stays flat once the arena is warm for the graphs it serves.
+  int64_t grow_events = 0;
+
+  /// Sizes every core peel/FDET buffer for `graph` (growing, never
+  /// shrinking) and returns the number of buffers that had to grow (0
+  /// when already warm). Residual-view buffers are NOT touched — they are
+  /// grown lazily by SetResidualView via PrepareView, sized by the mask,
+  /// so non-ensemble peels never pay for them.
+  int64_t Prepare(const CsrGraph& graph);
+
+  /// Sizes the residual-view buffers for a mask of `mask_size` edges
+  /// (growing, never shrinking); counted in `grow_events` like Prepare.
+  int64_t PrepareView(int64_t mask_size);
+};
+
 /// Reusable in-place peeler over one immutable CsrGraph.
 ///
 /// @note Thread-safety: the referenced CsrGraph is shared and immutable,
-///       but a CsrPeeler instance owns mutable scratch — use one instance
-///       per thread. Constructing one is O(|U| + |V| + |E|) in allocation;
-///       every Peel() reuses the buffers.
+///       but the peeler's scratch arena is mutable — use one instance (or
+///       one external arena) per thread. Every Peel() reuses the buffers.
 class CsrPeeler {
  public:
-  /// Borrows `graph`, which must outlive the peeler.
+  /// Borrows `graph` (which must outlive the peeler) and owns a private
+  /// arena sized for it — O(|U| + |V| + |E|) allocation, once.
   explicit CsrPeeler(const CsrGraph& graph);
+
+  /// Borrows `graph` and an external arena (both must outlive the peeler).
+  /// The arena is Prepare()d for `graph`; repeated construction against a
+  /// warm arena performs no allocation — the ensemble hot loop's mode.
+  CsrPeeler(const CsrGraph& graph, PeelScratch* scratch);
 
   /// Peels the subgraph formed by `residual_edges` (ascending EdgeIds,
   /// duplicate-free) down to nothing, returning the argmax-φ prefix block
   /// exactly like PeelDensestBlock. The residual set itself is not
   /// modified; node ids in the result are the graph's own (no local
-  /// remapping).
+  /// remapping). Every edge weight is scaled by `weight_scale` on the fly
+  /// — bit-identical to peeling a materialized subgraph whose stored
+  /// weights were pre-multiplied by the same factor (Theorem 1's 1/p
+  /// reweighting without a reweighted copy); pass 1.0 for no scaling.
+  ///
+  /// Both trailing parameters are deliberately explicit (no defaults, no
+  /// convenience overload): a double/bool pair with defaults would let
+  /// `Peel(edges, cfg, scope, 1.0/ratio)` silently bind the scale to
+  /// keep_trace (or vice versa) with no diagnostic.
   ///
   /// @pre  `residual_edges` is sorted ascending with no duplicates.
   /// @post result.users / result.merchants are ascending; an empty
   ///       residual (or empty graph) yields an empty block with score 0.
   PeelResult Peel(std::span<const EdgeId> residual_edges,
                   const DensityConfig& config, PeelNodeScope scope,
-                  bool keep_trace = false);
+                  double weight_scale, bool keep_trace);
+
+  /// Caches `mask` (the member's sampled edge set, ascending,
+  /// duplicate-free) as the residual view: one pass of parent gathers
+  /// renumbers the incident nodes into member-dense ids and builds
+  /// slot-aligned endpoint/weight rows in the arena — no allocation when
+  /// warm, no hash maps, no graph construction. Subsequent
+  /// PeelAliveInView() calls run entirely over these compact arrays.
+  void SetResidualView(std::span<const EdgeId> mask);
+
+  /// View-driven peel of the *alive subset* of the residual view: peels
+  /// the subgraph formed by the mask slots whose `view_alive` flag is
+  /// set, with kIncidentOnly scope. The caller owns the alive flags
+  /// (setting both per-slot copies for the whole mask before the first
+  /// call and clearing edges between calls as blocks are removed —
+  /// exactly FDET's loop) and must clear them when done.
+  ///
+  /// The result is in *member-dense* ids (result.users are member user
+  /// ids, result.merchants member merchant ids; removal_order packs
+  /// member ids) — translate through `member_users` / `member_merchants`.
+  /// Under that order-preserving translation the output is bit-identical
+  /// to Peel(alive_edges_ascending, kIncidentOnly, weight_scale): the
+  /// alive slots of the ascending mask *are* that residual list, in
+  /// order, and member numbering is monotone in parent id.
+  ///
+  /// @pre SetResidualView() was called for this mask.
+  PeelResult PeelAliveInView(const DensityConfig& config, double weight_scale,
+                             bool keep_trace = false);
 
  private:
   const CsrGraph* graph_;
-  // Scratch reused across Peel() calls; edge_alive_ is all-zero between
-  // calls (reset from residual_edges on exit), the heap is empty.
-  std::vector<int64_t> user_degree_;
-  std::vector<int64_t> merchant_degree_;
-  std::vector<double> col_weight_;
-  std::vector<double> edge_mass_;  // per-edge weight·col_weight, by EdgeId
-  std::vector<double> priority_;
-  std::vector<uint8_t> edge_alive_;
-  std::vector<uint8_t> removed_;
-  std::vector<uint8_t> gone_;
-  detail::PeelHeap heap_;
+  std::unique_ptr<PeelScratch> owned_;  // null when borrowing an arena
+  PeelScratch* s_;
 };
 
 /// One-shot CSR peel of the whole graph, kAllNodes scope: produces results

@@ -121,10 +121,25 @@ Result<FdetResult> RunFdet(const BipartiteGraph& graph,
   return RunFdetCsr(CsrGraph::FromBipartite(graph), config);
 }
 
-Result<FdetResult> RunFdetCsr(const CsrGraph& graph,
-                              const FdetConfig& config) {
-  ENSEMFDET_RETURN_NOT_OK(ValidateFdetConfig(config));
+namespace {
 
+// True when the Algorithm 1 loop may stop exploring: online truncation —
+// once the elbow is `elbow_patience` blocks behind the frontier, further
+// exploration cannot move it; later blocks only extend the flat tail.
+bool ElbowConfirmed(const std::vector<double>& scores_so_far,
+                    const FdetConfig& config) {
+  return config.policy == TruncationPolicy::kAutoElbow &&
+         static_cast<int>(scores_so_far.size()) >=
+             AutoTruncationIndex(scores_so_far) + config.elbow_patience;
+}
+
+// Algorithm 1 over the whole graph: iterated in-place peeling with the
+// residual kept as an explicit ascending edge-id work list
+// (`fdet_remaining`). All mutable state lives in the arena; validation is
+// the caller's job.
+FdetResult RunFdetOverResidual(const CsrGraph& graph,
+                               const FdetConfig& config,
+                               PeelScratch* scratch) {
   const int explore_limit = config.policy == TruncationPolicy::kFixedK
                                 ? std::max(config.max_blocks, config.fixed_k)
                                 : config.max_blocks;
@@ -132,24 +147,15 @@ Result<FdetResult> RunFdetCsr(const CsrGraph& graph,
   std::vector<DetectedBlock> explored;
   std::vector<double> scores_so_far;
 
-  // The residual after removing previously detected blocks' edges, as an
-  // ascending edge-id subset of the shared immutable CSR arrays. The
-  // peeler's scratch (and this vector) are the only mutable state — no
-  // subgraph is ever rebuilt.
-  CsrPeeler peeler(graph);
-  std::vector<EdgeId> remaining(static_cast<size_t>(graph.num_edges()));
-  std::iota(remaining.begin(), remaining.end(), EdgeId{0});
-
-  // Block-membership flags, set and cleared per iteration.
-  std::vector<uint8_t> in_block_user(static_cast<size_t>(graph.num_users()),
-                                     0);
-  std::vector<uint8_t> in_block_merchant(
-      static_cast<size_t>(graph.num_merchants()), 0);
+  CsrPeeler peeler(graph, scratch);
+  PeelScratch& s = *scratch;
 
   while (static_cast<int>(explored.size()) < explore_limit &&
-         !remaining.empty()) {
-    PeelResult peel =
-        peeler.Peel(remaining, config.density, PeelNodeScope::kIncidentOnly);
+         !s.fdet_remaining.empty()) {
+    PeelResult peel = peeler.Peel(s.fdet_remaining, config.density,
+                                  PeelNodeScope::kIncidentOnly,
+                                  /*weight_scale=*/1.0,
+                                  /*keep_trace=*/false);
     if (peel.score <= config.min_block_score ||
         (peel.users.empty() && peel.merchants.empty())) {
       break;
@@ -163,40 +169,154 @@ Result<FdetResult> RunFdetCsr(const CsrGraph& graph,
     DetectedBlock& added = explored.back();
 
     // Remove E_i: residual edges induced by the block's vertex set, and
-    // record them on the block for diagnostics/invariant checking.
-    for (UserId u : added.users) in_block_user[u] = 1;
-    for (MerchantId v : added.merchants) in_block_merchant[v] = 1;
-    std::vector<EdgeId> next;
-    next.reserve(remaining.size());
-    for (EdgeId e : remaining) {
-      const bool inside = in_block_user[graph.edge_user(e)] &&
-                          in_block_merchant[graph.edge_merchant(e)];
+    // record them on the block for diagnostics/invariant checking. The
+    // in_block flags are all-zero between iterations.
+    for (UserId u : added.users) s.in_block_user[u] = 1;
+    for (MerchantId v : added.merchants) s.in_block_merchant[v] = 1;
+    s.fdet_next.clear();
+    for (EdgeId e : s.fdet_remaining) {
+      const bool inside = s.in_block_user[graph.edge_user(e)] &&
+                          s.in_block_merchant[graph.edge_merchant(e)];
       if (inside) {
         added.edges.push_back(e);
       } else {
-        next.push_back(e);
+        s.fdet_next.push_back(e);
       }
     }
-    for (UserId u : added.users) in_block_user[u] = 0;
-    for (MerchantId v : added.merchants) in_block_merchant[v] = 0;
+    for (UserId u : added.users) s.in_block_user[u] = 0;
+    for (MerchantId v : added.merchants) s.in_block_merchant[v] = 0;
     // The peeled block always contains at least one residual edge, so the
-    // loop strictly shrinks `remaining` and must terminate.
-    ENSEMFDET_CHECK(next.size() < remaining.size())
+    // loop strictly shrinks the residual and must terminate.
+    ENSEMFDET_CHECK(s.fdet_next.size() < s.fdet_remaining.size())
         << "detected block removed no edges";
-    remaining = std::move(next);
+    std::swap(s.fdet_remaining, s.fdet_next);
 
-    // Online truncation (Algorithm 1's stop condition): once the elbow is
-    // `elbow_patience` blocks behind the frontier, further exploration
-    // cannot move it — later blocks only extend the flat tail.
     scores_so_far.push_back(added.score);
-    if (config.policy == TruncationPolicy::kAutoElbow &&
-        static_cast<int>(scores_so_far.size()) >=
-            AutoTruncationIndex(scores_so_far) + config.elbow_patience) {
-      break;
-    }
+    if (ElbowConfirmed(scores_so_far, config)) break;
   }
 
   return TruncateExplored(std::move(explored), config);
+}
+
+// Algorithm 1 over a sampled residual of a shared parent — the ensemble
+// hot loop. The mask is cached once as a member-dense residual view
+// (SetResidualView) and the per-iteration residual is just the
+// `view_alive` bitmap over its slots: every iteration streams
+// residual-sized compact arrays with no parent-array gathers and no
+// work-list rebuild. Output is bit-identical to running
+// RunFdetOverResidual on the same initial residual: the alive slots of
+// the ascending mask are that iteration's work list, in order, and the
+// member-dense ids translate monotonically back to parent ids.
+FdetResult RunFdetInView(const CsrGraph& graph,
+                         std::span<const EdgeId> initial_residual,
+                         double weight_scale, const FdetConfig& config,
+                         PeelScratch* scratch) {
+  const int explore_limit = config.policy == TruncationPolicy::kFixedK
+                                ? std::max(config.max_blocks, config.fixed_k)
+                                : config.max_blocks;
+
+  std::vector<DetectedBlock> explored;
+  std::vector<double> scores_so_far;
+
+  CsrPeeler peeler(graph, scratch);
+  PeelScratch& s = *scratch;
+  peeler.SetResidualView(initial_residual);
+
+  const int64_t mask_size = static_cast<int64_t>(s.view_mask.size());
+  const int32_t member_users = static_cast<int32_t>(s.member_user_count);
+  for (int64_t i = 0; i < mask_size; ++i) {
+    s.view_alive[static_cast<size_t>(i)] = 1;
+    s.view_alive_m[static_cast<size_t>(i)] = 1;
+  }
+  int64_t alive_edges = mask_size;
+
+  while (static_cast<int>(explored.size()) < explore_limit &&
+         alive_edges > 0) {
+    // Member-space peel; `peel.users` / `peel.merchants` are member ids.
+    PeelResult peel = peeler.PeelAliveInView(config.density, weight_scale);
+    if (peel.score <= config.min_block_score ||
+        (peel.users.empty() && peel.merchants.empty())) {
+      break;
+    }
+
+    DetectedBlock block;
+    block.score = peel.score;
+    // Member ids are ascending and monotone in parent id, so the
+    // translated lists stay ascending.
+    block.users.reserve(peel.users.size());
+    for (UserId mu : peel.users) block.users.push_back(s.member_users[mu]);
+    block.merchants.reserve(peel.merchants.size());
+    for (MerchantId mj : peel.merchants) {
+      block.merchants.push_back(s.member_merchants[mj]);
+    }
+    explored.push_back(std::move(block));
+    DetectedBlock& added = explored.back();
+
+    // Remove E_i by clearing alive flags in mask order (so the recorded
+    // block edges come out ascending, exactly like the work-list path).
+    // Block-membership flags live in member id space — compact.
+    for (UserId mu : peel.users) s.in_block_user[mu] = 1;
+    for (MerchantId mj : peel.merchants) s.in_block_merchant[mj] = 1;
+    int64_t removed_edges = 0;
+    for (int64_t i = 0; i < mask_size; ++i) {
+      if (!s.view_alive[static_cast<size_t>(i)]) continue;
+      const int32_t mu = s.view_user_dense[static_cast<size_t>(i)];
+      const int32_t mj =
+          s.view_merchant_dense[static_cast<size_t>(i)] - member_users;
+      if (s.in_block_user[mu] && s.in_block_merchant[mj]) {
+        added.edges.push_back(s.view_mask[static_cast<size_t>(i)]);
+        s.view_alive[static_cast<size_t>(i)] = 0;
+        s.view_alive_m[static_cast<size_t>(
+            s.view_merchant_slot[static_cast<size_t>(i)])] = 0;
+        ++removed_edges;
+      }
+    }
+    for (UserId mu : peel.users) s.in_block_user[mu] = 0;
+    for (MerchantId mj : peel.merchants) s.in_block_merchant[mj] = 0;
+    // The peeled block always contains at least one residual edge, so the
+    // loop strictly shrinks the residual and must terminate.
+    ENSEMFDET_CHECK(removed_edges > 0) << "detected block removed no edges";
+    alive_edges -= removed_edges;
+
+    scores_so_far.push_back(added.score);
+    if (ElbowConfirmed(scores_so_far, config)) break;
+  }
+
+  // Restore the arena invariant (alive flags all-zero) on every exit path.
+  for (int64_t i = 0; i < mask_size; ++i) {
+    s.view_alive[static_cast<size_t>(i)] = 0;
+    s.view_alive_m[static_cast<size_t>(i)] = 0;
+  }
+
+  return TruncateExplored(std::move(explored), config);
+}
+
+}  // namespace
+
+Result<FdetResult> RunFdetCsr(const CsrGraph& graph,
+                              const FdetConfig& config) {
+  ENSEMFDET_RETURN_NOT_OK(ValidateFdetConfig(config));
+  PeelScratch scratch;
+  scratch.Prepare(graph);
+  scratch.fdet_remaining.resize(static_cast<size_t>(graph.num_edges()));
+  std::iota(scratch.fdet_remaining.begin(), scratch.fdet_remaining.end(),
+            EdgeId{0});
+  return RunFdetOverResidual(graph, config, &scratch);
+}
+
+Result<FdetResult> RunFdetCsrMasked(const CsrGraph& graph,
+                                    std::span<const EdgeId> initial_residual,
+                                    double weight_scale,
+                                    const FdetConfig& config,
+                                    PeelScratch* scratch) {
+  ENSEMFDET_RETURN_NOT_OK(ValidateFdetConfig(config));
+  if (!(weight_scale > 0.0)) {
+    return Status::InvalidArgument("weight_scale must be > 0");
+  }
+  ENSEMFDET_CHECK(scratch != nullptr);
+  scratch->Prepare(graph);
+  return RunFdetInView(graph, initial_residual, weight_scale, config,
+                       scratch);
 }
 
 Result<FdetResult> RunFdetReference(const BipartiteGraph& graph,

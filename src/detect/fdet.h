@@ -10,9 +10,11 @@
 #ifndef ENSEMFDET_DETECT_FDET_H_
 #define ENSEMFDET_DETECT_FDET_H_
 
+#include <span>
 #include <vector>
 
 #include "common/status.h"
+#include "detect/csr_peeler.h"
 #include "detect/density.h"
 #include "graph/bipartite_graph.h"
 #include "graph/csr_graph.h"
@@ -104,6 +106,32 @@ Result<FdetResult> RunFdet(const BipartiteGraph& graph,
 /// @note Thread-safety: `graph` is only read; concurrent calls are safe.
 Result<FdetResult> RunFdetCsr(const CsrGraph& graph,
                               const FdetConfig& config);
+
+/// Zero-materialization FDET over a *residual edge subset* of a shared
+/// immutable parent graph — the ensemble hot-loop entry point. Runs the
+/// exact Algorithm 1 loop of RunFdetCsr, but starting from
+/// `initial_residual` instead of the whole edge set, scaling every edge
+/// weight by `weight_scale` on the fly (Theorem 1's 1/p reweighting
+/// without a reweighted copy), and drawing every buffer from `scratch` so
+/// repeated calls against a warm arena allocate nothing but the result.
+///
+/// Bit-exactness: for a sampled edge set, the output blocks/scores/counts
+/// are identical — under the order-isomorphic id relabeling — to
+/// materializing the child subgraph over those edges (weights
+/// pre-scaled), converting it to CSR, and running RunFdetCsr on it; node
+/// and edge ids in the result are the *parent's* own, so no remapping
+/// step exists. tests/ensemble_parity_test.cc pins this end to end.
+///
+/// @pre `graph` came from CsrGraph::FromBipartite (canonical edge order);
+///      `initial_residual` is ascending and duplicate-free;
+///      `weight_scale` > 0; `scratch` != nullptr.
+/// @note Thread-safety: `graph` is only read; `scratch` is mutable — one
+///       arena per thread.
+Result<FdetResult> RunFdetCsrMasked(const CsrGraph& graph,
+                                    std::span<const EdgeId> initial_residual,
+                                    double weight_scale,
+                                    const FdetConfig& config,
+                                    PeelScratch* scratch);
 
 /// The seed implementation (rebuilds a compacted subgraph per block
 /// iteration). Kept as the parity/performance reference for

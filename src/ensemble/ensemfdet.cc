@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "detect/csr_peeler.h"
 #include "graph/subgraph.h"
 
 namespace ensemfdet {
@@ -16,7 +17,9 @@ namespace {
 
 // One ensemble member's contribution, in parent-graph id space.
 // weight[i] is the φ of the densest detected block containing node i —
-// the per-member input to the score-weighted aggregation variant.
+// the per-member input to the score-weighted aggregation variant. Node
+// lists are duplicate-free but not necessarily sorted (aggregation
+// increments independent per-node slots, so order cannot affect it).
 struct MemberOutput {
   std::vector<UserId> users;
   std::vector<double> user_weights;
@@ -26,8 +29,125 @@ struct MemberOutput {
   Status status;
 };
 
-MemberOutput RunMember(const BipartiteGraph& graph, const Sampler& sampler,
-                       const FdetConfig& fdet_config, Rng member_rng) {
+// Per-worker arena for the zero-materialization member path: sampling
+// scratch, the FDET peel arena, and dense epoch-stamped per-node weight
+// accumulators (replacing the reference path's per-member unordered_maps
+// — no hashing, no rehash growth, no per-member clear). thread_local, so
+// it persists across members, runs, and graphs served by the same worker;
+// stamps make stale contents harmless and growth events count arena
+// reuse misses (zero once warm).
+struct MemberArena {
+  EdgeMaskScratch sample;
+  std::vector<EdgeId> mask;
+  PeelScratch peel;
+  std::vector<double> user_weight;      // valid iff user_seen[u] == epoch
+  std::vector<double> merchant_weight;
+  std::vector<uint32_t> user_seen;
+  std::vector<uint32_t> merchant_seen;
+  uint32_t epoch = 0;
+  int64_t weight_grow_events = 0;
+
+  void PrepareWeights(const CsrGraph& graph) {
+    const size_t users = static_cast<size_t>(graph.num_users());
+    const size_t merchants = static_cast<size_t>(graph.num_merchants());
+    if (user_seen.size() < users) {
+      user_seen.resize(users, 0u);
+      user_weight.resize(users, 0.0);
+      ++weight_grow_events;
+    }
+    if (merchant_seen.size() < merchants) {
+      merchant_seen.resize(merchants, 0u);
+      merchant_weight.resize(merchants, 0.0);
+      ++weight_grow_events;
+    }
+  }
+
+  uint32_t NextEpoch() {
+    if (++epoch == 0) {
+      std::fill(user_seen.begin(), user_seen.end(), 0u);
+      std::fill(merchant_seen.begin(), merchant_seen.end(), 0u);
+      epoch = 1;
+    }
+    return epoch;
+  }
+
+  int64_t TotalGrowEvents() const {
+    return weight_grow_events + sample.grow_events + peel.grow_events;
+  }
+};
+
+thread_local MemberArena t_member_arena;
+
+// Zero-materialization member: sample an edge mask of the shared parent,
+// run masked FDET in place, and read per-node weights out of the dense
+// epoch-stamped arrays. Everything is in parent ids from the start — no
+// SubgraphView, no ToParentUser remap.
+MemberOutput RunMemberCsr(const CsrGraph& graph, const Sampler& sampler,
+                          const FdetConfig& fdet_config, Rng member_rng) {
+  MemberArena& arena = t_member_arena;
+  MemberOutput out;
+  WallTimer timer;
+  const int64_t grow_before = arena.TotalGrowEvents();
+
+  const EdgeMaskInfo info =
+      sampler.SampleEdgeMask(graph, &member_rng, &arena.sample, &arena.mask);
+  out.stats.sample_users = info.sample_users;
+  out.stats.sample_merchants = info.sample_merchants;
+  out.stats.sample_edges = static_cast<int64_t>(arena.mask.size());
+
+  Result<FdetResult> fdet = RunFdetCsrMasked(
+      graph, arena.mask, info.weight_scale, fdet_config, &arena.peel);
+  if (!fdet.ok()) {
+    out.status = fdet.status();
+    return out;
+  }
+  out.stats.num_blocks = fdet->truncation_index;
+
+  // Per-node weight: max φ over the detected blocks containing the node
+  // (nodes can sit in several blocks — blocks are edge-disjoint, not
+  // vertex-disjoint). First touch this epoch also collects the node, so
+  // the union needs no sort/unique pass.
+  arena.PrepareWeights(graph);
+  const uint32_t ep = arena.NextEpoch();
+  for (const DetectedBlock& block : fdet->blocks) {
+    for (UserId u : block.users) {
+      if (arena.user_seen[u] != ep) {
+        arena.user_seen[u] = ep;
+        arena.user_weight[u] = block.score;
+        out.users.push_back(u);
+      } else {
+        arena.user_weight[u] = std::max(arena.user_weight[u], block.score);
+      }
+    }
+    for (MerchantId v : block.merchants) {
+      if (arena.merchant_seen[v] != ep) {
+        arena.merchant_seen[v] = ep;
+        arena.merchant_weight[v] = block.score;
+        out.merchants.push_back(v);
+      } else {
+        arena.merchant_weight[v] =
+            std::max(arena.merchant_weight[v], block.score);
+      }
+    }
+  }
+  out.user_weights.reserve(out.users.size());
+  for (UserId u : out.users) out.user_weights.push_back(arena.user_weight[u]);
+  out.merchant_weights.reserve(out.merchants.size());
+  for (MerchantId v : out.merchants) {
+    out.merchant_weights.push_back(arena.merchant_weight[v]);
+  }
+
+  out.stats.arena_grow_events = arena.TotalGrowEvents() - grow_before;
+  out.stats.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+// The seed materializing member (reference path): build the sampled child
+// graph, FDET it, remap local ids back to the parent.
+MemberOutput RunMemberReference(const BipartiteGraph& graph,
+                                const Sampler& sampler,
+                                const FdetConfig& fdet_config,
+                                Rng member_rng) {
   MemberOutput out;
   WallTimer timer;
 
@@ -45,9 +165,6 @@ MemberOutput RunMember(const BipartiteGraph& graph, const Sampler& sampler,
   }
   out.stats.num_blocks = fdet->truncation_index;
 
-  // Per-node weight: max φ over the detected blocks containing the node
-  // (nodes can sit in several blocks — blocks are edge-disjoint, not
-  // vertex-disjoint).
   std::unordered_map<UserId, double> user_weight;
   std::unordered_map<MerchantId, double> merchant_weight;
   for (const DetectedBlock& block : fdet->blocks) {
@@ -73,44 +190,19 @@ MemberOutput RunMember(const BipartiteGraph& graph, const Sampler& sampler,
   return out;
 }
 
-}  // namespace
-
-Result<EnsemFDetReport> EnsemFDet::Run(const BipartiteGraph& graph,
-                                       ThreadPool* pool) const {
-  if (config_.num_samples < 1) {
-    return Status::InvalidArgument("num_samples (N) must be >= 1, got " +
-                                   std::to_string(config_.num_samples));
-  }
-  ENSEMFDET_ASSIGN_OR_RETURN(
-      std::unique_ptr<Sampler> sampler,
-      MakeSampler(config_.method, config_.ratio, config_.reweight_edges));
-
-  WallTimer total_timer;
-  const int n = config_.num_samples;
-  Rng root(config_.seed);
-
-  std::vector<MemberOutput> outputs(static_cast<size_t>(n));
-  auto run_one = [&](int64_t i) {
-    outputs[static_cast<size_t>(i)] =
-        RunMember(graph, *sampler, config_.fdet,
-                  root.Split(static_cast<uint64_t>(i)));
-  };
-
-  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
-    pool->ParallelFor(0, n, run_one);
-  } else {
-    for (int64_t i = 0; i < n; ++i) run_one(i);
-  }
-
-  // Aggregate strictly in member order → deterministic at any thread count.
+// Shared tail: strict member-order aggregation → deterministic at any
+// thread count (and identical across the hot and reference paths, since
+// every member contributes the same per-node values either way).
+Result<EnsemFDetReport> Aggregate(std::vector<MemberOutput> outputs,
+                                  int64_t num_users, int64_t num_merchants,
+                                  const WallTimer& total_timer) {
   EnsemFDetReport report;
-  report.num_samples = n;
-  report.votes = VoteTable(graph.num_users(), graph.num_merchants());
-  report.weighted_user_votes.assign(
-      static_cast<size_t>(graph.num_users()), 0.0);
-  report.weighted_merchant_votes.assign(
-      static_cast<size_t>(graph.num_merchants()), 0.0);
-  report.members.reserve(static_cast<size_t>(n));
+  report.num_samples = static_cast<int>(outputs.size());
+  report.votes = VoteTable(num_users, num_merchants);
+  report.weighted_user_votes.assign(static_cast<size_t>(num_users), 0.0);
+  report.weighted_merchant_votes.assign(static_cast<size_t>(num_merchants),
+                                        0.0);
+  report.members.reserve(outputs.size());
   for (MemberOutput& out : outputs) {
     ENSEMFDET_RETURN_NOT_OK(out.status);
     report.votes.AddVotes(out.users, out.merchants);
@@ -125,6 +217,68 @@ Result<EnsemFDetReport> EnsemFDet::Run(const BipartiteGraph& graph,
   }
   report.total_seconds = total_timer.ElapsedSeconds();
   return report;
+}
+
+// The one ensemble driver both paths share — validation, sampler
+// construction, per-member Rng splitting, the parallel section, and
+// member-order aggregation are identical by construction, which is what
+// the bit-exact hot-vs-reference parity rests on. `run_member` maps
+// (sampler, fdet config, member rng) to one MemberOutput.
+template <typename MemberFn>
+Result<EnsemFDetReport> DriveEnsemble(const EnsemFDetConfig& config,
+                                      int64_t num_users,
+                                      int64_t num_merchants, ThreadPool* pool,
+                                      const MemberFn& run_member) {
+  if (config.num_samples < 1) {
+    return Status::InvalidArgument("num_samples (N) must be >= 1, got " +
+                                   std::to_string(config.num_samples));
+  }
+  ENSEMFDET_ASSIGN_OR_RETURN(
+      std::unique_ptr<Sampler> sampler,
+      MakeSampler(config.method, config.ratio, config.reweight_edges));
+
+  WallTimer total_timer;
+  const int n = config.num_samples;
+  Rng root(config.seed);
+
+  std::vector<MemberOutput> outputs(static_cast<size_t>(n));
+  auto run_one = [&](int64_t i) {
+    outputs[static_cast<size_t>(i)] = run_member(
+        *sampler, config.fdet, root.Split(static_cast<uint64_t>(i)));
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
+    pool->ParallelFor(0, n, run_one);
+  } else {
+    for (int64_t i = 0; i < n; ++i) run_one(i);
+  }
+
+  return Aggregate(std::move(outputs), num_users, num_merchants,
+                   total_timer);
+}
+
+}  // namespace
+
+Result<EnsemFDetReport> EnsemFDet::Run(const CsrGraph& graph,
+                                       ThreadPool* pool) const {
+  return DriveEnsemble(
+      config_, graph.num_users(), graph.num_merchants(), pool,
+      [&graph](const Sampler& sampler, const FdetConfig& fdet, Rng rng) {
+        return RunMemberCsr(graph, sampler, fdet, std::move(rng));
+      });
+}
+
+Result<EnsemFDetReport> EnsemFDet::Run(const BipartiteGraph& graph,
+                                       ThreadPool* pool) const {
+  return Run(CsrGraph::FromBipartite(graph), pool);
+}
+
+Result<EnsemFDetReport> EnsemFDet::RunReference(const BipartiteGraph& graph,
+                                                ThreadPool* pool) const {
+  return DriveEnsemble(
+      config_, graph.num_users(), graph.num_merchants(), pool,
+      [&graph](const Sampler& sampler, const FdetConfig& fdet, Rng rng) {
+        return RunMemberReference(graph, sampler, fdet, std::move(rng));
+      });
 }
 
 }  // namespace ensemfdet

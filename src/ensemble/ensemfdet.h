@@ -6,6 +6,17 @@
 //      accept nodes with ≥ T votes (threshold chosen downstream, so the
 //      report keeps the full vote table and T can be swept for free).
 //
+// Hot path (DESIGN.md §"Ensemble hot loop"): every member runs directly on
+// the shared parent CsrGraph with **zero per-member graph
+// materialization** — samplers emit residual edge masks in parent edge-id
+// space (Sampler::SampleEdgeMask), FDET peels those masks in place
+// (RunFdetCsrMasked), and each worker thread reuses one arena (sampling
+// buffers + PeelScratch + dense epoch-stamped weight arrays) across all
+// its members, so a warm run performs no arena allocations at all. The
+// seed materializing path survives as RunReference() — the bit-exact
+// parity and performance reference (tests/ensemble_parity_test.cc,
+// bench/bench_ensemble.cc), mirroring detect/fdet.h's RunFdetReference.
+//
 // Determinism: ensemble member i draws all randomness from
 // Rng(seed).Split(i), and votes are accumulated in member order after the
 // parallel section, so results are bit-identical at any thread count.
@@ -20,6 +31,7 @@
 #include "detect/fdet.h"
 #include "ensemble/vote_table.h"
 #include "graph/bipartite_graph.h"
+#include "graph/csr_graph.h"
 #include "sampling/sampler.h"
 
 namespace ensemfdet {
@@ -65,6 +77,10 @@ struct EnsemFDetReport {
     int64_t sample_edges = 0;
     int num_blocks = 0;       ///< k̂ for this member
     double seconds = 0.0;     ///< sample + FDET wall time of this member
+    /// Worker-arena buffer growths while this member ran (zero-mat path
+    /// only; 0 once the worker's arena is warm — the reuse counter the
+    /// ensemble bench sums into `arena.grow_events`).
+    int64_t arena_grow_events = 0;
   };
   std::vector<MemberStats> members;
 
@@ -86,12 +102,33 @@ class EnsemFDet {
 
   const EnsemFDetConfig& config() const { return config_; }
 
-  /// Runs the ensemble on `graph`. `pool` supplies the parallelism; pass
-  /// nullptr to run sequentially on the calling thread (useful for
-  /// determinism tests — output is identical either way).
+  /// Runs the ensemble on `graph`'s shared CSR form — the
+  /// zero-materialization hot path; members peel residual edge masks of
+  /// `graph` in place and never build a child graph. `pool` supplies the
+  /// parallelism; pass nullptr to run sequentially on the calling thread
+  /// (useful for determinism tests — output is identical either way).
   /// Fails with InvalidArgument on bad N / S / FDET configuration.
+  ///
+  /// @note Worker arenas are thread_local caches sized to the largest
+  ///       graph each thread has served; they persist across runs (that
+  ///       is the point) and hold O(|U| + |V| + |E|) ints/doubles per
+  ///       thread.
+  Result<EnsemFDetReport> Run(const CsrGraph& graph,
+                              ThreadPool* pool = nullptr) const;
+
+  /// Adjacency-list convenience overload: converts once
+  /// (CsrGraph::FromBipartite, O(|U| + |V| + |E|) amortized over all N
+  /// members) and runs the hot path above. Output is bit-identical to
+  /// both the CSR overload and RunReference.
   Result<EnsemFDetReport> Run(const BipartiteGraph& graph,
                               ThreadPool* pool = nullptr) const;
+
+  /// The seed implementation: every member materializes its sampled child
+  /// (SubgraphView), runs FDET on it, and remaps results to parent ids.
+  /// Kept as the parity/performance reference for
+  /// tests/ensemble_parity_test.cc and the ensemble bench — prefer Run.
+  Result<EnsemFDetReport> RunReference(const BipartiteGraph& graph,
+                                       ThreadPool* pool = nullptr) const;
 
  private:
   EnsemFDetConfig config_;

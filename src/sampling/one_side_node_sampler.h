@@ -27,6 +27,14 @@ class OneSideNodeSampler final : public Sampler {
 
   SubgraphView Sample(const BipartiteGraph& graph, Rng* rng) const override;
 
+  /// Same ⌊S·|side|⌋ node draw as Sample(); the incident-edge expansion
+  /// walks the CSR rows of the selected side instead of rebuilding a
+  /// child. Reported node counts match the materialized child's (selected
+  /// nodes with no incident edge never appear there and are not counted).
+  EdgeMaskInfo SampleEdgeMask(const CsrGraph& graph, Rng* rng,
+                              EdgeMaskScratch* scratch,
+                              std::vector<EdgeId>* out_edges) const override;
+
  private:
   Side side_;
   double ratio_;

@@ -21,6 +21,13 @@ class RandomEdgeSampler final : public Sampler {
 
   SubgraphView Sample(const BipartiteGraph& graph, Rng* rng) const override;
 
+  /// Same ⌊S·|E|⌋ uniform draw as Sample(), emitted as sorted parent edge
+  /// ids; weight_scale carries the 1/p reweighting instead of a scaled
+  /// copy of the weights.
+  EdgeMaskInfo SampleEdgeMask(const CsrGraph& graph, Rng* rng,
+                              EdgeMaskScratch* scratch,
+                              std::vector<EdgeId>* out_edges) const override;
+
  private:
   double ratio_;
   bool reweight_;

@@ -18,6 +18,14 @@ class TwoSideNodeSampler final : public Sampler {
 
   SubgraphView Sample(const BipartiteGraph& graph, Rng* rng) const override;
 
+  /// Same user-then-merchant node draws as Sample(); the cross-section is
+  /// collected by walking selected users' CSR rows against an
+  /// epoch-stamped merchant membership mark. Node counts include isolated
+  /// selected nodes, matching InducedSubgraph's child exactly.
+  EdgeMaskInfo SampleEdgeMask(const CsrGraph& graph, Rng* rng,
+                              EdgeMaskScratch* scratch,
+                              std::vector<EdgeId>* out_edges) const override;
+
  private:
   double ratio_;
 };

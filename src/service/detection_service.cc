@@ -193,6 +193,7 @@ void DetectionService::FinishLocked(const std::shared_ptr<Job>& job,
   // whole graphs or replay transaction logs in memory for up to
   // max_finished_jobs completions.
   job->snapshot.graph.reset();
+  job->snapshot.csr.reset();
   job->request = JobRequest();
   --pending_;
   finished_order_.push_back(job->id);
@@ -231,8 +232,12 @@ Result<JobResult> DetectionService::ExecuteEnsemble(const Job& job) {
 
   WallTimer timer;
   EnsemFDet detector(job.request.ensemble);
+  // Run the zero-materialization hot path on the snapshot's shared CSR
+  // (built once at Publish) — no per-job re-conversion of the adjacency
+  // graph.
+  ENSEMFDET_CHECK(job.snapshot.csr != nullptr);
   ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport report,
-                             detector.Run(*job.snapshot.graph, pool_));
+                             detector.Run(*job.snapshot.csr, pool_));
   result.seconds = timer.ElapsedSeconds();
   auto shared = std::make_shared<const EnsemFDetReport>(std::move(report));
   if (job.request.use_cache) {

@@ -570,12 +570,14 @@ int CmdBenchReport(Flags& flags) {
     return 1;
   }
 
+  bench::EnsembleBenchSummary ensemble_summary;
   struct Report {
     const char* file;
     Result<std::string> json;
   } reports[] = {
       {"BENCH_peeling.json", bench::RunPeelingBench(peeling)},
-      {"BENCH_ensemble.json", bench::RunEnsembleBench(ensemble)},
+      {"BENCH_ensemble.json",
+       bench::RunEnsembleBench(ensemble, &ensemble_summary)},
   };
   for (Report& report : reports) {
     if (!report.json.ok()) {
@@ -591,6 +593,16 @@ int CmdBenchReport(Flags& flags) {
     }
     std::fprintf(stderr, "[bench-report] wrote %s\n", path.c_str());
   }
+  std::fprintf(stderr,
+               "[bench-report] ensemble zero-materialization vs "
+               "materializing: %.2fx (%.0f members/s, vote parity verified)\n",
+               ensemble_summary.zero_materialization_speedup,
+               ensemble_summary.members_per_second);
+  std::fprintf(stderr,
+               "[bench-report] ensemble arena reuse: %lld allocations "
+               "across a warm run (%.3g per member; 0 == perfect reuse)\n",
+               static_cast<long long>(ensemble_summary.arena_grow_events),
+               ensemble_summary.arena_grow_per_member);
   return 0;
 }
 
