@@ -13,11 +13,14 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "datagen/presets.h"
+#include "datagen/transaction_stream.h"
 #include "detect/csr_peeler.h"
 #include "detect/fdet.h"
 #include "detect/greedy_peeler.h"
 #include "ensemble/ensemfdet.h"
 #include "graph/csr_graph.h"
+#include "ingest/dynamic_graph_store.h"
+#include "ingest/streaming_detector.h"
 
 namespace ensemfdet {
 namespace bench {
@@ -338,6 +341,285 @@ Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options,
           votes_identical ? "true" : "false",
           weighted_identical ? "true" : "false",
           members_identical ? "true" : "false");
+  out.append("}\n");
+  return out;
+}
+
+namespace {
+
+// The stream-bench workload: a fragmented transaction day. Uniform (not
+// Zipf) background keeps the window graph split into many small
+// components — the regime dirty scoping exists for; the honest caveat
+// that a single giant component degenerates to a full rerun is documented
+// in DESIGN.md §"Incremental ingest" and bench/README.md.
+struct StreamWorkload {
+  DynamicGraphStoreConfig store_config;
+  StreamingDetectorConfig detector_config;
+  std::vector<IngestBatch> batches;
+  int64_t detection_interval = 0;
+  int64_t num_events = 0;
+};
+
+Result<StreamWorkload> BuildStreamWorkload(const StreamBenchOptions& o) {
+  DataGenConfig config;
+  config.num_users = o.num_users;
+  config.num_merchants = o.num_merchants;
+  config.num_edges = o.num_edges;
+  config.user_zipf_exponent = 0.0;
+  config.merchant_zipf_exponent = 0.0;
+  for (int g = 0; g < o.num_fraud_groups; ++g) {
+    FraudGroupSpec group;
+    group.num_users = 18;
+    group.num_merchants = 8;
+    group.edges_per_user = 5.0;
+    group.camouflage_per_user = 0.0;
+    config.fraud_groups.push_back(group);
+  }
+  config.seed = o.seed;
+  ENSEMFDET_ASSIGN_OR_RETURN(Dataset dataset, GenerateDataset(config));
+
+  StreamTimelineConfig timeline;
+  timeline.horizon = o.horizon;
+  timeline.burst_duration = o.burst_duration;
+  timeline.seed = o.seed + 1;
+  ENSEMFDET_ASSIGN_OR_RETURN(std::vector<Transaction> events,
+                             BuildTransactionStream(dataset, timeline));
+
+  StreamWorkload workload;
+  workload.num_events = static_cast<int64_t>(events.size());
+  ENSEMFDET_ASSIGN_OR_RETURN(workload.batches,
+                             SliceIntoBatches(events, o.batch_events));
+  workload.store_config.num_users = o.num_users;
+  workload.store_config.num_merchants = o.num_merchants;
+  workload.store_config.window = o.window;
+  workload.detector_config.ensemble.num_samples = o.num_samples;
+  workload.detector_config.ensemble.ratio = o.ratio;
+  workload.detector_config.ensemble.seed = o.seed;
+  // The window holds thousands of components; never let LRU churn mask
+  // reuse in the measurement.
+  workload.detector_config.component_cache_capacity = 1u << 16;
+  workload.detection_interval = o.detection_interval;
+  return workload;
+}
+
+struct ReplayOutcome {
+  int64_t detections = 0;
+  int64_t components_reused = 0;
+  int64_t components_recomputed = 0;
+  int64_t edges_total = 0;
+  int64_t edges_recomputed = 0;
+};
+
+// Replays the whole event log through a store, detecting at every
+// `detection_interval` of stream time. `incremental` keeps one warm
+// detector across boundaries (dirty-scoped); otherwise every boundary
+// runs a cold detector — the full-rebuild comparator: the identical
+// detection computation with nothing to reuse. `reports` (optional)
+// collects every boundary's report for the parity gate.
+Result<ReplayOutcome> ReplayStream(const StreamWorkload& workload,
+                                   bool incremental,
+                                   std::vector<StreamingReport>* reports) {
+  ENSEMFDET_ASSIGN_OR_RETURN(
+      DynamicGraphStore store,
+      DynamicGraphStore::Create(workload.store_config));
+  ENSEMFDET_ASSIGN_OR_RETURN(
+      StreamingDetector warm,
+      StreamingDetector::Create(workload.detector_config));
+
+  ReplayOutcome outcome;
+  int64_t last_detection = std::numeric_limits<int64_t>::min();
+  for (const IngestBatch& batch : workload.batches) {
+    ENSEMFDET_ASSIGN_OR_RETURN(IngestStats stats, store.Apply(batch));
+    (void)stats;
+    const int64_t now = store.newest_timestamp();
+    if (last_detection == std::numeric_limits<int64_t>::min()) {
+      last_detection = now;
+      continue;
+    }
+    if (now - last_detection < workload.detection_interval) continue;
+    last_detection = now;
+    const GraphVersion version = store.Publish();
+    if (!incremental) warm.ResetCache();
+    ENSEMFDET_ASSIGN_OR_RETURN(StreamingReport report,
+                               warm.Detect(version, nullptr));
+    ++outcome.detections;
+    outcome.components_reused += report.stats.components_reused;
+    outcome.components_recomputed += report.stats.components_recomputed;
+    outcome.edges_total += report.stats.edges_total;
+    outcome.edges_recomputed += report.stats.edges_recomputed;
+    if (reports != nullptr) reports->push_back(std::move(report));
+  }
+  return outcome;
+}
+
+// Structural equality of two streaming reports (votes, weighted votes,
+// member stats minus wall-clock/arena counters).
+void CompareStreamReports(const StreamingReport& a, const StreamingReport& b,
+                          bool* votes, bool* weighted, bool* members) {
+  const EnsemFDetReport& ra = a.report;
+  const EnsemFDetReport& rb = b.report;
+  if (ra.votes.all_user_votes().size() != rb.votes.all_user_votes().size() ||
+      !std::equal(ra.votes.all_user_votes().begin(),
+                  ra.votes.all_user_votes().end(),
+                  rb.votes.all_user_votes().begin()) ||
+      !std::equal(ra.votes.all_merchant_votes().begin(),
+                  ra.votes.all_merchant_votes().end(),
+                  rb.votes.all_merchant_votes().begin())) {
+    *votes = false;
+  }
+  if (ra.weighted_user_votes != rb.weighted_user_votes ||
+      ra.weighted_merchant_votes != rb.weighted_merchant_votes) {
+    *weighted = false;
+  }
+  if (ra.members.size() != rb.members.size()) {
+    *members = false;
+    return;
+  }
+  for (size_t i = 0; i < ra.members.size(); ++i) {
+    if (ra.members[i].sample_users != rb.members[i].sample_users ||
+        ra.members[i].sample_merchants != rb.members[i].sample_merchants ||
+        ra.members[i].sample_edges != rb.members[i].sample_edges ||
+        ra.members[i].num_blocks != rb.members[i].num_blocks) {
+      *members = false;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::string> RunStreamBench(const StreamBenchOptions& options,
+                                   StreamBenchSummary* summary) {
+  if (options.repeats < 1) {
+    return Status::InvalidArgument("repeats must be >= 1");
+  }
+  ENSEMFDET_ASSIGN_OR_RETURN(StreamWorkload workload,
+                             BuildStreamWorkload(options));
+
+  // Untimed parity gate: at *every* detection boundary the dirty-scoped
+  // incremental report must equal the full rerun bit for bit — a
+  // BENCH_stream.json is also a correctness witness.
+  std::vector<StreamingReport> incremental_reports;
+  std::vector<StreamingReport> full_reports;
+  ENSEMFDET_ASSIGN_OR_RETURN(
+      ReplayOutcome incremental_outcome,
+      ReplayStream(workload, /*incremental=*/true, &incremental_reports));
+  ENSEMFDET_ASSIGN_OR_RETURN(
+      ReplayOutcome full_outcome,
+      ReplayStream(workload, /*incremental=*/false, &full_reports));
+  bool votes_identical = incremental_reports.size() == full_reports.size();
+  bool weighted_identical = votes_identical;
+  bool members_identical = votes_identical;
+  for (size_t i = 0; votes_identical && i < incremental_reports.size();
+       ++i) {
+    CompareStreamReports(incremental_reports[i], full_reports[i],
+                         &votes_identical, &weighted_identical,
+                         &members_identical);
+    if (incremental_reports[i].fingerprint != full_reports[i].fingerprint) {
+      votes_identical = false;
+    }
+  }
+  if (!votes_identical || !weighted_identical || !members_identical) {
+    return Status::Internal(
+        "dirty-scoped incremental detection diverged from the full-window "
+        "rerun on the bench stream — refusing to emit BENCH_stream.json");
+  }
+  if (incremental_outcome.components_reused == 0) {
+    return Status::Internal(
+        "stream bench workload produced zero component reuse — the "
+        "incremental measurement would be meaningless");
+  }
+  incremental_reports.clear();
+  full_reports.clear();
+
+  std::vector<Timing> timings;
+  timings.push_back(Measure("incremental_replay", options.repeats, [&] {
+    ReplayOutcome r =
+        ReplayStream(workload, /*incremental=*/true, nullptr).ValueOrDie();
+    (void)r;
+  }));
+  timings.push_back(Measure("full_rebuild_replay", options.repeats, [&] {
+    ReplayOutcome r =
+        ReplayStream(workload, /*incremental=*/false, nullptr).ValueOrDie();
+    (void)r;
+  }));
+
+  const double events_per_second_incremental =
+      static_cast<double>(workload.num_events) / timings[0].seconds_min;
+  const double events_per_second_full =
+      static_cast<double>(workload.num_events) / timings[1].seconds_min;
+  const double speedup = timings[1].seconds_min / timings[0].seconds_min;
+  const int64_t resolved = incremental_outcome.components_reused +
+                           incremental_outcome.components_recomputed;
+  const double reuse_fraction =
+      resolved > 0 ? static_cast<double>(
+                         incremental_outcome.components_reused) /
+                         static_cast<double>(resolved)
+                   : 0.0;
+  const double edge_recompute_fraction =
+      incremental_outcome.edges_total > 0
+          ? static_cast<double>(incremental_outcome.edges_recomputed) /
+                static_cast<double>(incremental_outcome.edges_total)
+          : 0.0;
+
+  if (summary != nullptr) {
+    summary->events_per_second_incremental = events_per_second_incremental;
+    summary->events_per_second_full_rebuild = events_per_second_full;
+    summary->incremental_speedup = speedup;
+    summary->detections = incremental_outcome.detections;
+    summary->component_reuse_fraction = reuse_fraction;
+    summary->edge_recompute_fraction = edge_recompute_fraction;
+  }
+
+  std::string out;
+  out.append("{\n");
+  out.append("  \"schema_version\": 1,\n");
+  out.append("  \"bench\": \"stream\",\n");
+  AppendF(&out,
+          "  \"graph\": {\"preset\": \"fragmented_stream\", \"scale\": 1, "
+          "\"seed\": %llu, \"users\": %lld, \"merchants\": %lld, "
+          "\"edges\": %lld},\n",
+          static_cast<unsigned long long>(options.seed),
+          static_cast<long long>(options.num_users),
+          static_cast<long long>(options.num_merchants),
+          static_cast<long long>(options.num_edges));
+  AppendF(&out,
+          "  \"config\": {\"repeats\": %d, \"num_samples\": %d, "
+          "\"ratio\": %.4g, \"horizon\": %lld, \"burst_duration\": %lld, "
+          "\"window\": %lld, \"detection_interval\": %lld, "
+          "\"batch_events\": %lld, \"fraud_groups\": %d},\n",
+          options.repeats, options.num_samples, options.ratio,
+          static_cast<long long>(options.horizon),
+          static_cast<long long>(options.burst_duration),
+          static_cast<long long>(options.window),
+          static_cast<long long>(options.detection_interval),
+          static_cast<long long>(options.batch_events),
+          options.num_fraud_groups);
+  AppendTimingsJson(&out, timings);
+  AppendF(&out,
+          "  \"throughput\": {\"events_per_second_incremental\": %.6g, "
+          "\"events_per_second_full_rebuild\": %.6g},\n",
+          events_per_second_incremental, events_per_second_full);
+  AppendF(&out, "  \"speedup\": {\"incremental_vs_full_rebuild\": %.4g},\n",
+          speedup);
+  AppendF(&out,
+          "  \"stream\": {\"events\": %lld, \"detections\": %lld, "
+          "\"components_reused\": %lld, \"components_recomputed\": %lld, "
+          "\"component_reuse_fraction\": %.4g, "
+          "\"edge_recompute_fraction\": %.4g},\n",
+          static_cast<long long>(workload.num_events),
+          static_cast<long long>(incremental_outcome.detections),
+          static_cast<long long>(incremental_outcome.components_reused),
+          static_cast<long long>(incremental_outcome.components_recomputed),
+          reuse_fraction, edge_recompute_fraction);
+  AppendF(&out,
+          "  \"parity\": {\"votes_identical\": %s, "
+          "\"weighted_votes_identical\": %s, "
+          "\"member_stats_identical\": %s, \"boundaries_compared\": %lld}\n",
+          votes_identical ? "true" : "false",
+          weighted_identical ? "true" : "false",
+          members_identical ? "true" : "false",
+          static_cast<long long>(full_outcome.detections));
   out.append("}\n");
   return out;
 }

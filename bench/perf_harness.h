@@ -61,10 +61,57 @@ struct EnsembleBenchSummary {
   double arena_grow_per_member = 0.0;
 };
 
+struct StreamBenchOptions {
+  uint64_t seed = 7;
+  /// Workload shape: a fragmented transaction day — sparse uniform
+  /// background over large universes (many small components) plus several
+  /// dense fraud bursts, streamed through a sliding window.
+  int64_t num_users = 6000;
+  int64_t num_merchants = 4000;
+  int64_t num_edges = 5000;
+  int num_fraud_groups = 6;
+  int64_t horizon = 86400;
+  int64_t burst_duration = 2400;
+  int64_t window = 21600;
+  int64_t detection_interval = 600;
+  int64_t batch_events = 128;
+  /// Ensemble size/ratio per detection.
+  int num_samples = 8;
+  double ratio = 0.25;
+  int repeats = 3;
+};
+
+/// Headline numbers of the stream bench, duplicated out of the JSON.
+struct StreamBenchSummary {
+  double events_per_second_incremental = 0.0;
+  double events_per_second_full_rebuild = 0.0;
+  /// incremental ÷ full-rebuild events/sec — the PR acceptance headline.
+  double incremental_speedup = 0.0;
+  int64_t detections = 0;
+  /// components_reused ÷ (reused + recomputed) across the whole replay.
+  double component_reuse_fraction = 0.0;
+  /// edges_recomputed ÷ edges_total across the whole replay (the share of
+  /// ensemble work the dirty scoping could not skip).
+  double edge_recompute_fraction = 0.0;
+};
+
 /// Runs the peeling bench (adjacency vs CSR, single peel + full FDET) and
 /// returns the BENCH_peeling.json document. Fails with Internal if the
 /// CSR path's results are not identical to the adjacency path's.
 Result<std::string> RunPeelingBench(const PeelingBenchOptions& options);
+
+/// Runs the incremental-ingest stream bench and returns the
+/// BENCH_stream.json document (schema_version 1): the same
+/// store+boundary replay timed twice — dirty-scoped incremental detection
+/// (warm StreamingDetector) vs a full rebuild (cold detector per
+/// boundary) — plus reuse statistics. Before anything is timed it
+/// verifies, at *every* detection boundary, that the incremental report
+/// is bit-identical (votes, weighted votes, member structural stats) to
+/// the full rerun, and fails with Internal — refusing to emit — on any
+/// divergence. When `summary` is non-null it receives the headline
+/// numbers.
+Result<std::string> RunStreamBench(const StreamBenchOptions& options,
+                                   StreamBenchSummary* summary = nullptr);
 
 /// Runs the ensemble bench and returns the BENCH_ensemble.json document
 /// (schema_version 2): zero-materialization hot path on the configured

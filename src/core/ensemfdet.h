@@ -29,6 +29,7 @@
 #include "graph/bipartite_graph.h"
 #include "graph/components.h"
 #include "graph/csr_graph.h"
+#include "graph/fingerprint.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
@@ -67,6 +68,13 @@
 #include "datagen/generator.h"
 #include "datagen/presets.h"
 #include "datagen/transaction_stream.h"
+
+// Incremental ingest: delta-versioned dynamic graphs + dirty-scoped
+// streaming re-detection.
+#include "ingest/dynamic_graph_store.h"
+#include "ingest/graph_version.h"
+#include "ingest/ingest_batch.h"
+#include "ingest/streaming_detector.h"
 
 // Streaming detection.
 #include "stream/windowed_detector.h"

@@ -62,4 +62,23 @@ Result<std::vector<Transaction>> BuildTransactionStream(
   return events;
 }
 
+Result<std::vector<IngestBatch>> SliceIntoBatches(
+    const std::vector<Transaction>& events, int64_t batch_events) {
+  if (batch_events < 1) {
+    return Status::InvalidArgument("batch_events must be >= 1");
+  }
+  std::vector<IngestBatch> batches;
+  batches.reserve((events.size() + static_cast<size_t>(batch_events) - 1) /
+                  static_cast<size_t>(batch_events));
+  for (size_t begin = 0; begin < events.size();
+       begin += static_cast<size_t>(batch_events)) {
+    const size_t end =
+        std::min(events.size(), begin + static_cast<size_t>(batch_events));
+    IngestBatch batch;
+    batch.transactions.assign(events.begin() + begin, events.begin() + end);
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
 }  // namespace ensemfdet

@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "datagen/generator.h"
+#include "ingest/ingest_batch.h"
 #include "stream/windowed_detector.h"
 
 namespace ensemfdet {
@@ -33,6 +34,13 @@ struct StreamTimelineConfig {
 /// (stable on ties), ready for WindowedDetector.
 Result<std::vector<Transaction>> BuildTransactionStream(
     const Dataset& dataset, const StreamTimelineConfig& config);
+
+/// Chops a timestamp-sorted event log into IngestBatches of at most
+/// `batch_events` transactions each (the last batch may be smaller) —
+/// the shape the ingest subsystem and the service streaming sessions
+/// consume. Order is preserved. InvalidArgument on batch_events < 1.
+Result<std::vector<IngestBatch>> SliceIntoBatches(
+    const std::vector<Transaction>& events, int64_t batch_events);
 
 }  // namespace ensemfdet
 

@@ -78,10 +78,53 @@ struct MemberArena {
 
 thread_local MemberArena t_member_arena;
 
-// Zero-materialization member: sample an edge mask of the shared parent,
-// run masked FDET in place, and read per-node weights out of the dense
-// epoch-stamped arrays. Everything is in parent ids from the start — no
-// SubgraphView, no ToParentUser remap.
+// Validation + sampler construction shared by every ensemble entry point
+// (Run / RunReference / RunBlocks): one definition of what a legal config
+// is and of the sampler members draw from.
+Result<std::unique_ptr<Sampler>> ValidatedSampler(
+    const EnsemFDetConfig& config) {
+  if (config.num_samples < 1) {
+    return Status::InvalidArgument("num_samples (N) must be >= 1, got " +
+                                   std::to_string(config.num_samples));
+  }
+  return MakeSampler(config.method, config.ratio, config.reweight_edges);
+}
+
+// Pool-vs-serial member dispatch shared by every entry point; outputs are
+// indexed by member, so results are identical at any pool width.
+template <typename Fn>
+void ForEachMember(int n, ThreadPool* pool, const Fn& run_one) {
+  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
+    pool->ParallelFor(0, n, run_one);
+  } else {
+    for (int64_t i = 0; i < n; ++i) run_one(i);
+  }
+}
+
+// The zero-materialization member core shared by Run() and RunBlocks():
+// sample an edge mask of the shared parent, run masked FDET in place on
+// the worker arena, record the sample stats. Everything is in parent ids
+// from the start — no SubgraphView, no ToParentUser remap. Keeping this
+// single-sourced is what makes the two entry points' members identical by
+// construction (the streaming parity contract rests on it).
+Result<FdetResult> RunMemberCsrCore(const CsrGraph& graph,
+                                    const Sampler& sampler,
+                                    const FdetConfig& fdet_config, Rng* rng,
+                                    MemberArena* arena,
+                                    EnsemFDetReport::MemberStats* stats) {
+  const EdgeMaskInfo info =
+      sampler.SampleEdgeMask(graph, rng, &arena->sample, &arena->mask);
+  stats->sample_users = info.sample_users;
+  stats->sample_merchants = info.sample_merchants;
+  stats->sample_edges = static_cast<int64_t>(arena->mask.size());
+  Result<FdetResult> fdet = RunFdetCsrMasked(
+      graph, arena->mask, info.weight_scale, fdet_config, &arena->peel);
+  if (fdet.ok()) stats->num_blocks = fdet->truncation_index;
+  return fdet;
+}
+
+// Run()'s member: the core above plus vote flattening through the dense
+// epoch-stamped weight arrays.
 MemberOutput RunMemberCsr(const CsrGraph& graph, const Sampler& sampler,
                           const FdetConfig& fdet_config, Rng member_rng) {
   MemberArena& arena = t_member_arena;
@@ -89,19 +132,12 @@ MemberOutput RunMemberCsr(const CsrGraph& graph, const Sampler& sampler,
   WallTimer timer;
   const int64_t grow_before = arena.TotalGrowEvents();
 
-  const EdgeMaskInfo info =
-      sampler.SampleEdgeMask(graph, &member_rng, &arena.sample, &arena.mask);
-  out.stats.sample_users = info.sample_users;
-  out.stats.sample_merchants = info.sample_merchants;
-  out.stats.sample_edges = static_cast<int64_t>(arena.mask.size());
-
-  Result<FdetResult> fdet = RunFdetCsrMasked(
-      graph, arena.mask, info.weight_scale, fdet_config, &arena.peel);
+  Result<FdetResult> fdet = RunMemberCsrCore(graph, sampler, fdet_config,
+                                             &member_rng, &arena, &out.stats);
   if (!fdet.ok()) {
     out.status = fdet.status();
     return out;
   }
-  out.stats.num_blocks = fdet->truncation_index;
 
   // Per-node weight: max φ over the detected blocks containing the node
   // (nodes can sit in several blocks — blocks are edge-disjoint, not
@@ -229,28 +265,18 @@ Result<EnsemFDetReport> DriveEnsemble(const EnsemFDetConfig& config,
                                       int64_t num_users,
                                       int64_t num_merchants, ThreadPool* pool,
                                       const MemberFn& run_member) {
-  if (config.num_samples < 1) {
-    return Status::InvalidArgument("num_samples (N) must be >= 1, got " +
-                                   std::to_string(config.num_samples));
-  }
-  ENSEMFDET_ASSIGN_OR_RETURN(
-      std::unique_ptr<Sampler> sampler,
-      MakeSampler(config.method, config.ratio, config.reweight_edges));
+  ENSEMFDET_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,
+                             ValidatedSampler(config));
 
   WallTimer total_timer;
   const int n = config.num_samples;
   Rng root(config.seed);
 
   std::vector<MemberOutput> outputs(static_cast<size_t>(n));
-  auto run_one = [&](int64_t i) {
+  ForEachMember(n, pool, [&](int64_t i) {
     outputs[static_cast<size_t>(i)] = run_member(
         *sampler, config.fdet, root.Split(static_cast<uint64_t>(i)));
-  };
-  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
-    pool->ParallelFor(0, n, run_one);
-  } else {
-    for (int64_t i = 0; i < n; ++i) run_one(i);
-  }
+  });
 
   return Aggregate(std::move(outputs), num_users, num_merchants,
                    total_timer);
@@ -279,6 +305,41 @@ Result<EnsemFDetReport> EnsemFDet::RunReference(const BipartiteGraph& graph,
       [&graph](const Sampler& sampler, const FdetConfig& fdet, Rng rng) {
         return RunMemberReference(graph, sampler, fdet, std::move(rng));
       });
+}
+
+Result<std::vector<EnsembleMemberBlocks>> EnsemFDet::RunBlocks(
+    const CsrGraph& graph, ThreadPool* pool) const {
+  ENSEMFDET_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,
+                             ValidatedSampler(config_));
+
+  const int n = config_.num_samples;
+  Rng root(config_.seed);
+  std::vector<EnsembleMemberBlocks> outputs(static_cast<size_t>(n));
+  std::vector<Status> statuses(static_cast<size_t>(n), Status::OK());
+
+  // Exactly RunMemberCsr minus the vote flattening: the shared member
+  // core keeps the sampling randomness and per-member FDET identical to
+  // Run() by construction.
+  ForEachMember(n, pool, [&](int64_t i) {
+    MemberArena& arena = t_member_arena;
+    EnsembleMemberBlocks& out = outputs[static_cast<size_t>(i)];
+    WallTimer timer;
+    const int64_t grow_before = arena.TotalGrowEvents();
+    Rng member_rng = root.Split(static_cast<uint64_t>(i));
+    Result<FdetResult> fdet = RunMemberCsrCore(
+        graph, *sampler, config_.fdet, &member_rng, &arena, &out.stats);
+    if (!fdet.ok()) {
+      statuses[static_cast<size_t>(i)] = fdet.status();
+      return;
+    }
+    out.blocks = std::move(fdet->blocks);
+    out.stats.arena_grow_events = arena.TotalGrowEvents() - grow_before;
+    out.stats.seconds = timer.ElapsedSeconds();
+  });
+  for (const Status& status : statuses) {
+    ENSEMFDET_RETURN_NOT_OK(status);
+  }
+  return outputs;
 }
 
 }  // namespace ensemfdet

@@ -96,6 +96,18 @@ struct EnsemFDetReport {
   }
 };
 
+/// One ensemble member's raw FDET output — the pre-aggregation form the
+/// incremental streaming detector caches per connected component so clean
+/// components can replay their contribution into a later global
+/// merge+truncation without re-running the ensemble (ingest/
+/// streaming_detector.h). Node/edge ids are in the id space of the graph
+/// the ensemble ran on.
+struct EnsembleMemberBlocks {
+  /// Blocks in detection order (k̂ per the member's FDET config).
+  std::vector<DetectedBlock> blocks;
+  EnsemFDetReport::MemberStats stats;
+};
+
 class EnsemFDet {
  public:
   explicit EnsemFDet(EnsemFDetConfig config) : config_(std::move(config)) {}
@@ -129,6 +141,17 @@ class EnsemFDet {
   /// tests/ensemble_parity_test.cc and the ensemble bench — prefer Run.
   Result<EnsemFDetReport> RunReference(const BipartiteGraph& graph,
                                        ThreadPool* pool = nullptr) const;
+
+  /// Runs the same N members as Run() (identical sampling randomness,
+  /// identical per-member FDET, same zero-materialization hot path and
+  /// worker arenas) but returns each member's raw block list instead of
+  /// aggregating votes — member i of the result is what member i of Run()
+  /// computed before vote accumulation. The streaming detector uses this
+  /// to cache per-component member outputs and re-aggregate them under a
+  /// cross-component truncation rule (see RunPartitionedFdet for the
+  /// single-detector precedent).
+  Result<std::vector<EnsembleMemberBlocks>> RunBlocks(
+      const CsrGraph& graph, ThreadPool* pool = nullptr) const;
 
  private:
   EnsemFDetConfig config_;

@@ -1,0 +1,196 @@
+#include "ingest/dynamic_graph_store.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+
+namespace ensemfdet {
+
+namespace {
+
+std::shared_ptr<const CsrGraph> EmptyBase(int64_t num_users,
+                                          int64_t num_merchants) {
+  GraphBuilder builder(num_users, num_merchants);
+  Result<BipartiteGraph> built = builder.Build();
+  ENSEMFDET_CHECK(built.ok()) << built.status().ToString();
+  return std::make_shared<const CsrGraph>(
+      CsrGraph::FromBipartite(*std::move(built)));
+}
+
+}  // namespace
+
+DynamicGraphStore::DynamicGraphStore(DynamicGraphStoreConfig config)
+    : config_(config),
+      newest_(std::numeric_limits<int64_t>::min()),
+      base_(EmptyBase(config.num_users, config.num_merchants)) {}
+
+Result<DynamicGraphStore> DynamicGraphStore::Create(
+    DynamicGraphStoreConfig config) {
+  if (config.num_users < 1 || config.num_merchants < 1) {
+    return Status::InvalidArgument(
+        "store universes must be non-empty (num_users=" +
+        std::to_string(config.num_users) +
+        ", num_merchants=" + std::to_string(config.num_merchants) + ")");
+  }
+  if (!(config.compaction_factor > 0.0)) {
+    return Status::InvalidArgument("compaction_factor must be positive");
+  }
+  if (config.min_compaction_delta < 1) {
+    return Status::InvalidArgument("min_compaction_delta must be >= 1");
+  }
+  return DynamicGraphStore(config);
+}
+
+EdgeId DynamicGraphStore::FindBaseEdge(UserId u, MerchantId v) const {
+  if (u >= base_->num_users()) return -1;
+  std::span<const MerchantId> row = base_->user_neighbors(u);
+  auto it = std::lower_bound(row.begin(), row.end(), v);
+  if (it == row.end() || *it != v) return -1;
+  // User-side slot index IS the EdgeId (CSR canonical-order invariant).
+  return base_->user_edge_begin(u) +
+         static_cast<EdgeId>(it - row.begin());
+}
+
+void DynamicGraphStore::AddLiveEdge(UserId u, MerchantId v,
+                                    IngestStats* stats) {
+  int32_t& mult = multiplicity_[PackEdge(u, v)];
+  if (++mult != 1) return;  // duplicate inside the window: no graph change
+  ++stats->edges_added;
+  ++stats_.edges_added;
+  const EdgeId base_edge = FindBaseEdge(u, v);
+  if (base_edge >= 0) {
+    // Resurrecting an evicted base edge: it must be in the dead set,
+    // otherwise it would still be live and multiplicity could not be 0.
+    const size_t erased = dead_.erase(base_edge);
+    ENSEMFDET_CHECK(erased == 1) << "live base edge re-added";
+  } else {
+    added_.insert(PackEdge(u, v));
+  }
+  touched_users_.insert(u);
+  touched_merchants_.insert(v);
+}
+
+void DynamicGraphStore::EvictExpired(IngestStats* stats) {
+  if (config_.window <= 0) return;
+  const int64_t cutoff = newest_ - config_.window;
+  while (!window_.empty() && window_.front().timestamp < cutoff) {
+    const Transaction tx = window_.front();
+    window_.pop_front();
+    ++stats->events_evicted;
+    ++stats_.events_evicted;
+    auto it = multiplicity_.find(PackEdge(tx.user, tx.merchant));
+    ENSEMFDET_CHECK(it != multiplicity_.end());
+    if (--it->second > 0) continue;  // another occurrence keeps it live
+    multiplicity_.erase(it);
+    ++stats->edges_removed;
+    ++stats_.edges_removed;
+    const EdgeId base_edge = FindBaseEdge(tx.user, tx.merchant);
+    if (base_edge >= 0) {
+      dead_.insert(base_edge);
+    } else {
+      added_.erase(PackEdge(tx.user, tx.merchant));
+    }
+    touched_users_.insert(tx.user);
+    touched_merchants_.insert(tx.merchant);
+  }
+}
+
+Result<IngestStats> DynamicGraphStore::Apply(const IngestBatch& batch) {
+  IngestStats stats;
+  for (const Transaction& tx : batch.transactions) {
+    if (tx.user >= config_.num_users) {
+      return Status::InvalidArgument("user id " + std::to_string(tx.user) +
+                                     " outside configured universe");
+    }
+    if (tx.merchant >= config_.num_merchants) {
+      return Status::InvalidArgument(
+          "merchant id " + std::to_string(tx.merchant) +
+          " outside configured universe");
+    }
+    if (newest_ != std::numeric_limits<int64_t>::min() &&
+        tx.timestamp < newest_) {
+      return Status::FailedPrecondition(
+          "out-of-order timestamp " + std::to_string(tx.timestamp) +
+          " after " + std::to_string(newest_));
+    }
+    newest_ = tx.timestamp;
+    window_.push_back(tx);
+    ++stats.events_ingested;
+    ++stats_.events_ingested;
+    AddLiveEdge(tx.user, tx.merchant, &stats);
+  }
+  // One eviction pass per batch: the deque is in arrival (non-decreasing
+  // timestamp) order, so popping from the front against the final cutoff
+  // evicts exactly the events a per-transaction pass would have.
+  EvictExpired(&stats);
+  return stats;
+}
+
+void DynamicGraphStore::Compact() {
+  GraphBuilder builder(config_.num_users, config_.num_merchants);
+  builder.Reserve(live_edges());
+  // Packed keys sort as canonical (user, merchant) pairs.
+  std::vector<uint64_t> keys;
+  keys.reserve(multiplicity_.size());
+  for (const auto& [key, mult] : multiplicity_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) {
+    builder.AddEdge(static_cast<UserId>(key >> 32),
+                    static_cast<MerchantId>(key & 0xffffffffu));
+  }
+  Result<BipartiteGraph> built = builder.Build(DuplicatePolicy::kKeepFirst);
+  ENSEMFDET_CHECK(built.ok()) << built.status().ToString();
+  base_ = std::make_shared<const CsrGraph>(
+      CsrGraph::FromBipartite(*std::move(built)));
+  added_.clear();
+  dead_.clear();
+  ++stats_.compactions;
+}
+
+GraphVersion DynamicGraphStore::Publish() {
+  const int64_t threshold =
+      std::max(config_.min_compaction_delta,
+               static_cast<int64_t>(config_.compaction_factor *
+                                    static_cast<double>(base_->num_edges())));
+  const bool compact_now = pending_delta() >= threshold;
+  if (compact_now) Compact();
+
+  auto rep = std::make_shared<GraphVersion::Rep>();
+  rep->epoch = ++epoch_;
+  rep->num_users = config_.num_users;
+  rep->num_merchants = config_.num_merchants;
+  rep->compacted = compact_now;
+  rep->base = base_;
+
+  rep->adds.reserve(added_.size());
+  for (uint64_t key : added_) {
+    rep->adds.push_back({static_cast<UserId>(key >> 32),
+                         static_cast<MerchantId>(key & 0xffffffffu)});
+  }
+  rep->adds_by_merchant = rep->adds;
+  std::sort(rep->adds_by_merchant.begin(), rep->adds_by_merchant.end(),
+            [](const Edge& a, const Edge& b) {
+              if (a.merchant != b.merchant) return a.merchant < b.merchant;
+              return a.user < b.user;
+            });
+  rep->dead.assign(dead_.begin(), dead_.end());
+  std::sort(rep->dead.begin(), rep->dead.end());
+
+  rep->touched_users.assign(touched_users_.begin(), touched_users_.end());
+  std::sort(rep->touched_users.begin(), rep->touched_users.end());
+  rep->touched_merchants.assign(touched_merchants_.begin(),
+                                touched_merchants_.end());
+  std::sort(rep->touched_merchants.begin(), rep->touched_merchants.end());
+  touched_users_.clear();
+  touched_merchants_.clear();
+
+  ++stats_.publishes;
+  return GraphVersion(std::move(rep));
+}
+
+}  // namespace ensemfdet

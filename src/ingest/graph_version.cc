@@ -1,0 +1,65 @@
+#include "ingest/graph_version.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "graph/fingerprint.h"
+#include "graph/graph_builder.h"
+
+namespace ensemfdet {
+
+GraphVersion::GraphVersion() {
+  // One shared empty rep for all default-constructed versions.
+  static const std::shared_ptr<const Rep> kEmpty = [] {
+    auto rep = std::make_shared<Rep>();
+    rep->base = std::make_shared<const CsrGraph>();
+    return rep;
+  }();
+  rep_ = kEmpty;
+}
+
+uint64_t GraphVersion::ContentFingerprint() const {
+  const Rep& rep = *rep_;
+  {
+    std::lock_guard<std::mutex> lock(rep.memo_mu);
+    if (rep.memo_fingerprint_set) return rep.memo_fingerprint;
+  }
+  // Assemble the canonical edge array outside the lock (pure read of the
+  // immutable delta structures) and hash it with the one shared recipe.
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges()));
+  ForEachEdge([&edges](UserId u, MerchantId v) { edges.push_back({u, v}); });
+  const uint64_t fp =
+      FingerprintEdges(rep.num_users, rep.num_merchants, edges);
+  std::lock_guard<std::mutex> lock(rep.memo_mu);
+  rep.memo_fingerprint = fp;
+  rep.memo_fingerprint_set = true;
+  return fp;
+}
+
+BipartiteGraph GraphVersion::Materialize() const {
+  GraphBuilder builder(rep_->num_users, rep_->num_merchants);
+  builder.Reserve(num_edges());
+  ForEachEdge([&builder](UserId u, MerchantId v) { builder.AddEdge(u, v); });
+  // The store validated every id at ingest and the merge emits distinct
+  // canonical edges, so Build cannot fail.
+  Result<BipartiteGraph> built = builder.Build(DuplicatePolicy::kKeepFirst);
+  ENSEMFDET_CHECK(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+std::shared_ptr<const CsrGraph> GraphVersion::MaterializeCsr() const {
+  const Rep& rep = *rep_;
+  if (rep.adds.empty() && rep.dead.empty()) return rep.base;
+  {
+    std::lock_guard<std::mutex> lock(rep.memo_mu);
+    if (rep.memo_csr != nullptr) return rep.memo_csr;
+  }
+  auto csr =
+      std::make_shared<const CsrGraph>(CsrGraph::FromBipartite(Materialize()));
+  std::lock_guard<std::mutex> lock(rep.memo_mu);
+  if (rep.memo_csr == nullptr) rep.memo_csr = std::move(csr);
+  return rep.memo_csr;
+}
+
+}  // namespace ensemfdet

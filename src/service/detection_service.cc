@@ -1,12 +1,14 @@
 #include "service/detection_service.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "baselines/fbox.h"
 #include "baselines/fraudar.h"
 #include "baselines/hits.h"
 #include "baselines/spoken.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/timer.h"
 
@@ -103,12 +105,19 @@ Result<std::shared_ptr<DetectionService::Job>> DetectionService::SubmitJob(
   if (request.windowed.has_value()) {
     const WindowedReplaySpec& spec = *request.windowed;
     ENSEMFDET_RETURN_NOT_OK(ValidateEnsembleConfig(spec.config.ensemble));
-    for (size_t i = 1; i < spec.transactions.size(); ++i) {
-      if (spec.transactions[i].timestamp <
-          spec.transactions[i - 1].timestamp) {
+    // Regressions within the detector's reorder slack are fine (the
+    // WindowedDetector buffers them); anything worse would fail mid-job,
+    // so reject it up front. The slack is measured against the running
+    // maximum, exactly as the detector's watermark is.
+    int64_t max_seen = std::numeric_limits<int64_t>::min();
+    for (const Transaction& tx : spec.transactions) {
+      if (max_seen != std::numeric_limits<int64_t>::min() &&
+          tx.timestamp < max_seen - spec.config.max_out_of_order) {
         return Status::InvalidArgument(
-            "windowed replay transactions must be non-decreasing in time");
+            "windowed replay transactions regress beyond the "
+            "max_out_of_order slack");
       }
+      max_seen = std::max(max_seen, tx.timestamp);
     }
   } else {
     if (request.detector == DetectorKind::kEnsemFDet) {
@@ -400,6 +409,297 @@ Result<std::shared_ptr<const JobResult>> DetectionService::Detect(
 int64_t DetectionService::pending_jobs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sessions.
+// ---------------------------------------------------------------------------
+
+uint64_t HashStreamingConfig(const WindowedDetectorConfig& config) {
+  // The ensemble hash covers method/N/S/reweight/seed and the full FDET
+  // config; the streaming-mode salt keeps these keys disjoint from batch
+  // EnsemFDet::Run entries over the same graph (different computation:
+  // per-component content-seeded ensembles vs one global ensemble).
+  uint64_t h = HashEnsemFDetConfig(config.ensemble);
+  h = HashCombine(h, HashValue<uint64_t>(0x73747265616d6a62ull));  // salt
+  h = HashCombine(h, HashValue(config.min_component_edges));
+  return h;
+}
+
+Result<StreamId> DetectionService::OpenStream(StreamSessionConfig config) {
+  const WindowedDetectorConfig& d = config.detector;
+  if (d.num_users < 1 || d.num_merchants < 1) {
+    return Status::InvalidArgument("stream universes must be non-empty");
+  }
+  if (d.window <= 0 || d.detection_interval <= 0) {
+    return Status::InvalidArgument(
+        "window and detection_interval must be positive");
+  }
+  if (d.max_out_of_order < 0) {
+    return Status::InvalidArgument("max_out_of_order must be >= 0");
+  }
+  if (d.min_component_edges < 1) {
+    return Status::InvalidArgument("min_component_edges must be >= 1");
+  }
+  if (d.component_cache_capacity < 1) {
+    return Status::InvalidArgument("component_cache_capacity must be >= 1");
+  }
+  // The store knobs too: the detector constructs its DynamicGraphStore
+  // lazily, and a bad value must be a synchronous InvalidArgument here,
+  // not a sticky async session error on the first batch.
+  if (!(d.compaction_factor > 0.0)) {
+    return Status::InvalidArgument("compaction_factor must be positive");
+  }
+  if (d.min_compaction_delta < 1) {
+    return Status::InvalidArgument("min_compaction_delta must be >= 1");
+  }
+  ENSEMFDET_RETURN_NOT_OK(ValidateEnsembleConfig(d.ensemble));
+  if (config.max_queued_batches < 1) {
+    return Status::InvalidArgument("max_queued_batches must be >= 1");
+  }
+
+  auto session = std::make_shared<StreamSession>(std::move(config), pool_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutting_down_) {
+    return Status::FailedPrecondition("service is shutting down");
+  }
+  session->id = next_stream_id_++;
+  streams_[session->id] = session;
+  return session->id;
+}
+
+Result<std::shared_ptr<DetectionService::StreamSession>>
+DetectionService::FindStream(StreamId id) const {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream #" + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status DetectionService::IngestBatch(StreamId id,
+                                     ensemfdet::IngestBatch batch) {
+  std::shared_ptr<StreamSession> session;
+  bool start_drain = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition("service is shutting down");
+    }
+    ENSEMFDET_ASSIGN_OR_RETURN(session, FindStream(id));
+    if (session->closed) {
+      return Status::FailedPrecondition("stream #" + std::to_string(id) +
+                                        " is closed");
+    }
+    if (!session->error.ok()) return session->error;
+    if (static_cast<int64_t>(session->queue.size()) >=
+        session->config.max_queued_batches) {
+      return Status::ResourceExhausted(
+          "stream #" + std::to_string(id) + " queue full (" +
+          std::to_string(session->config.max_queued_batches) +
+          " batches pending); retry later");
+    }
+    session->queue.push_back(std::move(batch));
+    if (!session->draining) {
+      session->draining = true;
+      start_drain = true;
+      ++tasks_in_flight_;
+    }
+  }
+  if (start_drain) {
+    if (pool_ != nullptr) {
+      pool_->Submit([this, session] { DrainStream(session); });
+    } else {
+      DrainStream(session);  // inline: returns once the queue is empty
+    }
+  }
+  return Status::OK();
+}
+
+void DetectionService::DrainStream(
+    const std::shared_ptr<StreamSession>& session) {
+  while (true) {
+    ensemfdet::IngestBatch batch;
+    bool failed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (session->queue.empty()) {
+        session->draining = false;
+        job_done_cv_.notify_all();
+        if (--tasks_in_flight_ == 0) drained_cv_.notify_all();
+        return;
+      }
+      batch = std::move(session->queue.front());
+      session->queue.pop_front();
+      failed = !session->error.ok();
+    }
+    if (failed) continue;  // sticky error: drop the remaining batches
+
+    int64_t applied = 0;
+    Status error;
+    for (const Transaction& tx : batch.transactions) {
+      // A throw out of detection must become a session error, not a lost
+      // drain task (the destructor waits on tasks_in_flight_).
+      Result<std::optional<EnsemFDetReport>> fired =
+          [&]() -> Result<std::optional<EnsemFDetReport>> {
+        try {
+          return session->detector.Ingest(tx);
+        } catch (const std::exception& e) {
+          return Status::Internal(std::string("stream ingest threw: ") +
+                                  e.what());
+        } catch (...) {
+          return Status::Internal("stream ingest threw a non-exception");
+        }
+      }();
+      if (!fired.ok()) {
+        error = fired.status();
+        break;
+      }
+      ++applied;
+      if (fired->has_value()) {
+        RecordStreamReport(session, *std::move(*fired));
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    session->events += applied;
+    if (!error.ok() && session->error.ok()) session->error = error;
+    if (!error.ok()) job_done_cv_.notify_all();
+  }
+}
+
+void DetectionService::RecordStreamReport(
+    const std::shared_ptr<StreamSession>& session, EnsemFDetReport report) {
+  auto shared = std::make_shared<const EnsemFDetReport>(std::move(report));
+  // The drainer has exclusive detector access; last_version/last_stats are
+  // the detection that produced `report`.
+  const std::optional<GraphVersion>& version =
+      session->detector.last_version();
+  const std::optional<StreamingDetectionStats>& stats =
+      session->detector.last_stats();
+  ENSEMFDET_CHECK(version.has_value() && stats.has_value());
+  const uint64_t fingerprint = version->ContentFingerprint();
+
+  if (!session->config.publish_name.empty()) {
+    Result<GraphSnapshot> published =
+        registry_->PublishVersion(session->config.publish_name, *version);
+    if (!published.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (session->error.ok()) session->error = published.status();
+      job_done_cv_.notify_all();
+      return;
+    }
+  }
+  if (session->config.cache_reports) {
+    cache_.Insert(fingerprint, session->config_hash, shared);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  session->latest = std::move(shared);
+  ++session->reports;
+  session->latest_epoch = version->epoch();
+  session->latest_fingerprint = fingerprint;
+  session->latest_stats = *stats;
+  job_done_cv_.notify_all();
+}
+
+// Called with mu_ held.
+StreamState DetectionService::StreamStateLocked(
+    const StreamSession& session) const {
+  StreamState state;
+  state.id = session.id;
+  state.reports_generated = session.reports;
+  state.events_ingested = session.events;
+  state.batches_pending = static_cast<int64_t>(session.queue.size()) +
+                          (session.draining ? 1 : 0);
+  state.closed = session.closed;
+  state.error = session.error;
+  state.report = session.latest;
+  state.report_epoch = session.latest_epoch;
+  state.report_fingerprint = session.latest_fingerprint;
+  state.report_stats = session.latest_stats;
+  return state;
+}
+
+Result<StreamState> DetectionService::PollReport(StreamId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ENSEMFDET_ASSIGN_OR_RETURN(std::shared_ptr<StreamSession> session,
+                             FindStream(id));
+  return StreamStateLocked(*session);
+}
+
+Result<StreamState> DetectionService::WaitReport(StreamId id,
+                                                 uint64_t min_reports) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ENSEMFDET_ASSIGN_OR_RETURN(std::shared_ptr<StreamSession> session,
+                             FindStream(id));
+  job_done_cv_.wait(lock, [&] {
+    return session->reports >= min_reports || !session->error.ok() ||
+           (session->closed && session->queue.empty() &&
+            !session->draining);
+  });
+  return StreamStateLocked(*session);
+}
+
+// Called with mu_ held (released while waiting).
+void DetectionService::WaitStreamIdle(
+    std::unique_lock<std::mutex>* lock,
+    const std::shared_ptr<StreamSession>& session) {
+  job_done_cv_.wait(*lock, [&] {
+    return session->queue.empty() && !session->draining;
+  });
+}
+
+Result<StreamState> DetectionService::FinishStream(StreamId id) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ENSEMFDET_ASSIGN_OR_RETURN(session, FindStream(id));
+    if (session->closed) {
+      return Status::FailedPrecondition("stream #" + std::to_string(id) +
+                                        " is closed");
+    }
+    session->closed = true;  // no new batches
+    WaitStreamIdle(&lock, session);
+    // Claim the detector for the final detection (nothing else can start
+    // a drainer now: the queue is empty and the session is closed).
+    session->draining = true;
+  }
+
+  Status final_error;
+  if (session->error.ok()) {
+    Result<EnsemFDetReport> final_report = session->detector.DetectNow();
+    if (final_report.ok()) {
+      RecordStreamReport(session, *std::move(final_report));
+    } else {
+      final_error = final_report.status();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  session->draining = false;
+  if (!final_error.ok() && session->error.ok()) {
+    session->error = final_error;
+  }
+  StreamState state = StreamStateLocked(*session);
+  streams_.erase(id);
+  job_done_cv_.notify_all();
+  return state;
+}
+
+Status DetectionService::CloseStream(StreamId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ENSEMFDET_ASSIGN_OR_RETURN(std::shared_ptr<StreamSession> session,
+                             FindStream(id));
+  session->closed = true;
+  WaitStreamIdle(&lock, session);
+  streams_.erase(id);
+  job_done_cv_.notify_all();
+  return Status::OK();
+}
+
+int64_t DetectionService::open_streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(streams_.size());
 }
 
 }  // namespace ensemfdet

@@ -41,6 +41,8 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "ensemble/ensemfdet.h"
+#include "ingest/ingest_batch.h"
+#include "ingest/streaming_detector.h"
 #include "service/graph_registry.h"
 #include "service/result_cache.h"
 #include "stream/windowed_detector.h"
@@ -86,6 +88,58 @@ struct JobRequest {
 };
 
 using JobId = uint64_t;
+
+// ---------------------------------------------------------------------------
+// Streaming sessions: the incremental-ingest job kind. A session owns a
+// WindowedDetector wired onto a DynamicGraphStore; clients push
+// IngestBatches (async, per-session FIFO) and poll for the latest
+// dirty-scoped detection report. Every fired detection's GraphVersion is
+// registered in the GraphRegistry under `publish_name` (when set), so the
+// live window stays queryable by ordinary batch jobs, and the aggregated
+// report is inserted into the ResultCache keyed on
+// (version content fingerprint, streaming-salted config hash) — content
+// keys, independent of the base/delta split the store happened to be at.
+// ---------------------------------------------------------------------------
+
+using StreamId = uint64_t;
+
+struct StreamSessionConfig {
+  /// Window/ensemble/reorder configuration of the session's detector.
+  WindowedDetectorConfig detector;
+  /// Registry name each detected GraphVersion is (re-)published under;
+  /// empty = don't register.
+  std::string publish_name;
+  /// Insert each fired detection's report into the ResultCache.
+  bool cache_reports = true;
+  /// Backpressure: max batches queued (not yet applied) per session.
+  int64_t max_queued_batches = 64;
+};
+
+/// Hash of everything that affects a streaming session's detection output
+/// (the ensemble config, the dirty-scoping knobs) plus a streaming-mode
+/// salt: streamed reports aggregate per-component ensembles, which is a
+/// different (content-seeded) computation than batch EnsemFDet::Run, so
+/// the two must never share ResultCache entries for the same graph.
+uint64_t HashStreamingConfig(const WindowedDetectorConfig& config);
+
+/// Snapshot of a session's progress (PollReport / WaitReport result).
+struct StreamState {
+  StreamId id = 0;
+  /// Detections fired so far; the sequence number of `report`.
+  uint64_t reports_generated = 0;
+  int64_t events_ingested = 0;
+  int64_t batches_pending = 0;  ///< queued or mid-apply
+  bool closed = false;
+  /// First error the session hit (sticky; later batches are dropped).
+  Status error;
+
+  /// Latest detection (nullptr before the first fired detection).
+  std::shared_ptr<const EnsemFDetReport> report;
+  uint64_t report_epoch = 0;
+  uint64_t report_fingerprint = 0;
+  /// Dirty-scoping diagnostics of the latest detection.
+  StreamingDetectionStats report_stats;
+};
 
 enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 
@@ -178,6 +232,42 @@ class DetectionService {
   /// Convenience: Submit + Wait.
   Result<std::shared_ptr<const JobResult>> Detect(JobRequest request);
 
+  // --- Streaming sessions (see the StreamSessionConfig block comment).
+
+  /// Validates the config and opens a session. InvalidArgument on bad
+  /// window/interval/ensemble/backpressure parameters.
+  Result<StreamId> OpenStream(StreamSessionConfig config);
+
+  /// Enqueues a batch onto the session's FIFO and returns immediately
+  /// (with pool == nullptr the batch is applied inline). Batches are
+  /// applied in submission order by at most one worker at a time, so the
+  /// underlying detector needs no locking of its own. Fails with
+  /// ResourceExhausted when `max_queued_batches` is hit, NotFound for
+  /// unknown streams, FailedPrecondition once closed, or the session's
+  /// sticky error if it already failed.
+  Status IngestBatch(StreamId id, ensemfdet::IngestBatch batch);
+
+  /// Non-blocking snapshot of the session's progress and latest report.
+  Result<StreamState> PollReport(StreamId id) const;
+
+  /// Blocks until `reports_generated >= min_reports`, the queue fully
+  /// drains after a CloseStream/FinishStream, or the session errors
+  /// (sticky error returned as the state's `error`, not as this call's
+  /// Status — the state up to the failure is still meaningful).
+  Result<StreamState> WaitReport(StreamId id, uint64_t min_reports);
+
+  /// Drains the queue, forces a final detection over the current window
+  /// (reorder buffer flushed), registers/caches it like any fired
+  /// detection, closes and removes the session, and returns the final
+  /// state. The session id is invalid afterwards.
+  Result<StreamState> FinishStream(StreamId id);
+
+  /// Drains the queue and removes the session without a final detection.
+  Status CloseStream(StreamId id);
+
+  /// Sessions currently open.
+  int64_t open_streams() const;
+
   /// Jobs currently queued or running.
   int64_t pending_jobs() const;
 
@@ -195,6 +285,46 @@ class DetectionService {
     Status error;            // set when state == kFailed
     std::shared_ptr<const JobResult> result;  // set when state == kDone
   };
+
+  /// One streaming session. The service mutex guards every field except
+  /// `detector`, which is touched only by the single active drainer (the
+  /// `draining` flag arbitrates) — batches apply FIFO without holding the
+  /// service lock during detection.
+  struct StreamSession {
+    StreamId id = 0;
+    StreamSessionConfig config;
+    uint64_t config_hash = 0;  // HashStreamingConfig(config.detector)
+    WindowedDetector detector;
+    std::deque<ensemfdet::IngestBatch> queue;
+    bool draining = false;
+    bool closed = false;
+    Status error;  // sticky
+    uint64_t reports = 0;
+    int64_t events = 0;
+    std::shared_ptr<const EnsemFDetReport> latest;
+    uint64_t latest_epoch = 0;
+    uint64_t latest_fingerprint = 0;
+    StreamingDetectionStats latest_stats;
+
+    StreamSession(StreamSessionConfig cfg, ThreadPool* pool)
+        : config(std::move(cfg)),
+          config_hash(HashStreamingConfig(config.detector)),
+          detector(config.detector, pool) {}
+  };
+
+  /// Applies queued batches for one session until its queue is empty;
+  /// runs on a pool worker (or inline when pool == nullptr).
+  void DrainStream(const std::shared_ptr<StreamSession>& session);
+  /// Registers/caches one fired detection and publishes it as the
+  /// session's latest report.
+  void RecordStreamReport(const std::shared_ptr<StreamSession>& session,
+                          EnsemFDetReport report);
+  Result<std::shared_ptr<StreamSession>> FindStream(StreamId id) const;
+  /// Locked helper: snapshot a session into a StreamState.
+  StreamState StreamStateLocked(const StreamSession& session) const;
+  /// Blocks until the session's queue is drained and no drainer runs.
+  void WaitStreamIdle(std::unique_lock<std::mutex>* lock,
+                      const std::shared_ptr<StreamSession>& session);
 
   /// Submit, returning the job handle itself (Detect waits on the handle
   /// directly so finished-job retention can never evict it mid-wait).
@@ -225,6 +355,9 @@ class DetectionService {
   bool shutting_down_ = false;
   std::unordered_map<JobId, std::shared_ptr<Job>> jobs_;
   std::deque<JobId> finished_order_;  // retention FIFO
+
+  StreamId next_stream_id_ = 1;
+  std::unordered_map<StreamId, std::shared_ptr<StreamSession>> streams_;
 };
 
 }  // namespace ensemfdet

@@ -5,58 +5,9 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/logging.h"
 
 namespace ensemfdet {
-
-namespace {
-
-// Shared core of both FingerprintGraph overloads: one definition of the
-// byte stream, so the "CSR and adjacency forms fingerprint identically"
-// cache-key contract can never drift. `Graph` must expose num_users /
-// num_merchants / num_edges / has_weights / edge_weight.
-template <typename Graph>
-uint64_t FingerprintImpl(const Graph& graph, std::span<const Edge> edges) {
-  // Shape first: distinct shapes can never collide regardless of content
-  // hashing, and isolated nodes (which edges can't see) still matter for
-  // vote-table sizing.
-  uint64_t h = HashValue<uint64_t>(0x656e73656d66u);  // domain tag
-  h = HashCombine(h, HashValue(graph.num_users()));
-  h = HashCombine(h, HashValue(graph.num_merchants()));
-  h = HashCombine(h, HashValue(graph.num_edges()));
-
-  // Edge endpoints: Edge is two packed uint32s (no padding), and edge ids
-  // are a canonical order (GraphBuilder sorts + dedups), so hashing the
-  // raw array is stable.
-  static_assert(sizeof(Edge) == 2 * sizeof(uint32_t));
-  h = HashCombine(h, Hash64(edges.data(), edges.size_bytes()));
-
-  if (graph.has_weights()) {
-    uint64_t wh = 0;
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      wh = HashCombine(wh, HashValue(graph.edge_weight(e)));
-    }
-    h = HashCombine(h, wh);
-  }
-  return h;
-}
-
-}  // namespace
-
-uint64_t FingerprintGraph(const BipartiteGraph& graph) {
-  return FingerprintImpl(graph, graph.edges());
-}
-
-uint64_t FingerprintGraph(const CsrGraph& graph) {
-  // Reassemble the canonical endpoint-pair array (the user-side CSR is the
-  // merchant column in EdgeId order; edge_users is the user column) so the
-  // byte stream matches the BipartiteGraph overload exactly.
-  std::vector<Edge> edges(static_cast<size_t>(graph.num_edges()));
-  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-    edges[static_cast<size_t>(e)] = {graph.edge_user(e),
-                                     graph.edge_merchant(e)};
-  }
-  return FingerprintImpl(graph, edges);
-}
 
 Result<GraphSnapshot> GraphRegistry::Publish(const std::string& name,
                                              BipartiteGraph graph) {
@@ -75,6 +26,31 @@ Result<GraphSnapshot> GraphRegistry::Publish(
   // Fingerprint and CSR conversion outside the lock: both scan every edge.
   const uint64_t fingerprint = FingerprintGraph(*graph);
   auto csr = std::make_shared<const CsrGraph>(CsrGraph::FromBipartite(*graph));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  entry.version += 1;
+  entry.fingerprint = fingerprint;
+  entry.graph = std::move(graph);
+  entry.csr = std::move(csr);
+  return GraphSnapshot{name, entry.version, entry.fingerprint, entry.graph,
+                       entry.csr};
+}
+
+Result<GraphSnapshot> GraphRegistry::PublishVersion(
+    const std::string& name, const GraphVersion& version) {
+  if (name.empty()) {
+    return Status::InvalidArgument("registry: graph name must be non-empty");
+  }
+  // Materialization and fingerprinting outside the lock; the CSR is the
+  // version's own memoized copy (shared with every other consumer of the
+  // version), the adjacency form is rebuilt from the same live edge set.
+  std::shared_ptr<const CsrGraph> csr = version.MaterializeCsr();
+  auto graph = std::make_shared<const BipartiteGraph>(version.Materialize());
+  const uint64_t fingerprint = version.ContentFingerprint();
+  // The representation-independence contract this API exists for.
+  ENSEMFDET_DCHECK(FingerprintGraph(*graph) == fingerprint)
+      << "GraphVersion fingerprint diverged from the materialized graph";
 
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];

@@ -21,23 +21,14 @@
 #include "common/status.h"
 #include "graph/bipartite_graph.h"
 #include "graph/csr_graph.h"
+// FingerprintGraph historically lived here; it moved to the graph layer so
+// the ingest subsystem can stamp GraphVersions without a service
+// dependency. The include keeps every existing `FingerprintGraph` call
+// site through this header compiling unchanged.
+#include "graph/fingerprint.h"
+#include "ingest/graph_version.h"
 
 namespace ensemfdet {
-
-/// Stable 64-bit content hash of a graph: covers |U|, |V|, every edge's
-/// endpoints in id order, and per-edge weights when present. Two graphs
-/// with equal fingerprints are (modulo hash collision) structurally
-/// identical, so detection results over them are interchangeable.
-///
-/// @note Thread-safety: pure function; safe to call concurrently.
-uint64_t FingerprintGraph(const BipartiteGraph& graph);
-
-/// CSR overload with the same value contract:
-/// `FingerprintGraph(CsrGraph::FromBipartite(g)) == FingerprintGraph(g)`
-/// for every graph g — the fingerprint covers the CSR form, so cache keys
-/// derived from either representation are interchangeable (pinned by
-/// tests/csr_graph_test.cc).
-uint64_t FingerprintGraph(const CsrGraph& graph);
 
 /// One published graph: shared, immutable, fingerprinted. Both
 /// representations are materialized at Publish() time so every job over
@@ -69,6 +60,18 @@ class GraphRegistry {
   /// Publishes an already-shared graph without copying it.
   Result<GraphSnapshot> Publish(const std::string& name,
                                 std::shared_ptr<const BipartiteGraph> graph);
+
+  /// Publishes the live edge set of an incremental-ingest GraphVersion
+  /// under `name`. The snapshot's CSR reuses the version's memoized
+  /// MaterializeCsr() (the frozen base itself when the delta-log is
+  /// empty), and the snapshot fingerprint is
+  /// version.ContentFingerprint() — equal to FingerprintGraph of the
+  /// materialized adjacency and CSR forms by the graph/fingerprint.h
+  /// contract, so ResultCache keys stay representation-independent: a
+  /// batch job over a streamed-then-registered graph and one over the
+  /// same content published from a BipartiteGraph share cache entries.
+  Result<GraphSnapshot> PublishVersion(const std::string& name,
+                                       const GraphVersion& version);
 
   /// Current snapshot for `name`; NotFound if absent.
   Result<GraphSnapshot> Get(const std::string& name) const;

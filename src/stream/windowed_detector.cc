@@ -1,9 +1,7 @@
 #include "stream/windowed_detector.h"
 
-#include <limits>
 #include <string>
-
-#include "graph/graph_builder.h"
+#include <utility>
 
 namespace ensemfdet {
 
@@ -11,31 +9,43 @@ WindowedDetector::WindowedDetector(WindowedDetectorConfig config,
                                    ThreadPool* pool)
     : config_(std::move(config)),
       pool_(pool),
-      newest_(std::numeric_limits<int64_t>::min()),
+      max_seen_(std::numeric_limits<int64_t>::min()),
       last_detection_(std::numeric_limits<int64_t>::min()) {}
 
-void WindowedDetector::EvictExpired() {
-  const int64_t cutoff = newest_ - config_.window;
-  while (!window_.empty() && window_.front().timestamp < cutoff) {
-    window_.pop_front();
-  }
-}
-
-Result<BipartiteGraph> WindowedDetector::BuildWindowGraph() const {
-  GraphBuilder builder(config_.num_users, config_.num_merchants);
-  builder.Reserve(static_cast<int64_t>(window_.size()));
-  for (const Transaction& tx : window_) {
-    builder.AddEdge(tx.user, tx.merchant);
-  }
-  return builder.Build(DuplicatePolicy::kKeepFirst);
-}
-
-Result<std::optional<EnsemFDetReport>> WindowedDetector::Ingest(
-    const Transaction& tx) {
+Status WindowedDetector::EnsureInitialized() {
+  if (store_.has_value()) return Status::OK();
   if (config_.window <= 0 || config_.detection_interval <= 0) {
     return Status::InvalidArgument(
         "window and detection_interval must be positive");
   }
+  if (config_.max_out_of_order < 0) {
+    return Status::InvalidArgument("max_out_of_order must be >= 0");
+  }
+  DynamicGraphStoreConfig store_config;
+  store_config.num_users = config_.num_users;
+  store_config.num_merchants = config_.num_merchants;
+  store_config.window = config_.window;
+  store_config.compaction_factor = config_.compaction_factor;
+  store_config.min_compaction_delta = config_.min_compaction_delta;
+  ENSEMFDET_ASSIGN_OR_RETURN(DynamicGraphStore store,
+                             DynamicGraphStore::Create(store_config));
+
+  StreamingDetectorConfig streaming_config;
+  streaming_config.ensemble = config_.ensemble;
+  streaming_config.min_component_edges = config_.min_component_edges;
+  streaming_config.component_cache_capacity =
+      config_.component_cache_capacity;
+  ENSEMFDET_ASSIGN_OR_RETURN(StreamingDetector streaming,
+                             StreamingDetector::Create(streaming_config));
+
+  store_.emplace(std::move(store));
+  streaming_.emplace(std::move(streaming));
+  return Status::OK();
+}
+
+Result<std::optional<EnsemFDetReport>> WindowedDetector::Ingest(
+    const Transaction& tx) {
+  ENSEMFDET_RETURN_NOT_OK(EnsureInitialized());
   if (tx.user >= config_.num_users) {
     return Status::InvalidArgument("user id " + std::to_string(tx.user) +
                                    " outside configured universe");
@@ -45,37 +55,82 @@ Result<std::optional<EnsemFDetReport>> WindowedDetector::Ingest(
         "merchant id " + std::to_string(tx.merchant) +
         " outside configured universe");
   }
-  if (newest_ != std::numeric_limits<int64_t>::min() &&
-      tx.timestamp < newest_) {
+  // Watermark check against the slack (slack 0 ⇒ strict non-decreasing,
+  // the original contract).
+  if (max_seen_ != std::numeric_limits<int64_t>::min() &&
+      tx.timestamp < max_seen_ - config_.max_out_of_order) {
     return Status::FailedPrecondition(
         "out-of-order timestamp " + std::to_string(tx.timestamp) +
-        " after " + std::to_string(newest_));
+        " after " + std::to_string(max_seen_) + " (slack " +
+        std::to_string(config_.max_out_of_order) + ")");
   }
+  reorder_.push({tx.timestamp, next_seq_++, tx});
+  if (tx.timestamp > max_seen_) max_seen_ = tx.timestamp;
+  return Release(max_seen_ - config_.max_out_of_order,
+                 /*advance_clock=*/true);
+}
 
-  newest_ = tx.timestamp;
-  window_.push_back(tx);
-  EvictExpired();
+Result<std::optional<EnsemFDetReport>> WindowedDetector::Release(
+    int64_t watermark, bool advance_clock) {
+  // Apply every due event first, then detect at most once: a release
+  // burst that crosses several boundaries (large slack, small interval)
+  // yields one detection over the fully advanced window instead of
+  // computing intermediate reports nobody could observe.
+  bool crossed = false;
+  while (!reorder_.empty() && reorder_.top().timestamp <= watermark) {
+    const Transaction tx = reorder_.top().tx;
+    reorder_.pop();
+    ENSEMFDET_RETURN_NOT_OK(Feed(tx, advance_clock, &crossed));
+  }
+  if (!crossed) return std::optional<EnsemFDetReport>(std::nullopt);
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport report, RunDetection());
+  return std::optional<EnsemFDetReport>(std::move(report));
+}
 
+Status WindowedDetector::Feed(const Transaction& tx, bool advance_clock,
+                              bool* crossed_boundary) {
+  IngestBatch batch;
+  batch.transactions.push_back(tx);
+  ENSEMFDET_ASSIGN_OR_RETURN(IngestStats stats, store_->Apply(batch));
+  (void)stats;
+
+  if (!advance_clock) {
+    // DetectNow flush: the window advances but the periodic clock is not
+    // consulted (DetectNow itself produces the report).
+    return Status::OK();
+  }
   if (last_detection_ == std::numeric_limits<int64_t>::min()) {
     // The stream's clock starts at the first event; first detection fires
     // one full interval later.
     last_detection_ = tx.timestamp;
-    return std::optional<EnsemFDetReport>(std::nullopt);
+    return Status::OK();
   }
   if (tx.timestamp - last_detection_ < config_.detection_interval) {
-    return std::optional<EnsemFDetReport>(std::nullopt);
+    return Status::OK();
   }
   last_detection_ = tx.timestamp;
-  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport report, DetectNow());
-  return std::optional<EnsemFDetReport>(std::move(report));
+  *crossed_boundary = true;
+  return Status::OK();
+}
+
+Result<EnsemFDetReport> WindowedDetector::RunDetection() {
+  GraphVersion version = store_->Publish();
+  ENSEMFDET_ASSIGN_OR_RETURN(StreamingReport streamed,
+                             streaming_->Detect(version, pool_));
+  last_stats_ = streamed.stats;
+  last_version_ = std::move(version);
+  return std::move(streamed.report);
 }
 
 Result<EnsemFDetReport> WindowedDetector::DetectNow() {
-  ENSEMFDET_ASSIGN_OR_RETURN(BipartiteGraph graph, BuildWindowGraph());
-  EnsemFDetConfig cfg = config_.ensemble;
-  // Each run draws fresh ensemble randomness; deterministic per run index.
-  cfg.seed = config_.ensemble.seed + (detection_count_++) * 0x9e3779b9ULL;
-  return EnsemFDet(cfg).Run(graph, pool_);
+  ENSEMFDET_RETURN_NOT_OK(EnsureInitialized());
+  // Flush the reorder buffer: everything buffered is in-window data and a
+  // forced detection should see it.
+  ENSEMFDET_ASSIGN_OR_RETURN(
+      std::optional<EnsemFDetReport> ignored,
+      Release(std::numeric_limits<int64_t>::max(), /*advance_clock=*/false));
+  (void)ignored;
+  return RunDetection();
 }
 
 }  // namespace ensemfdet

@@ -9,29 +9,43 @@
 // Each run yields a full EnsemFDetReport over the windowed graph, so the
 // T-dial and vote diagnostics work exactly as in batch mode.
 //
-// Timestamps must be fed non-decreasing (a real ingestion pipeline sorts
-// or slightly buffers); out-of-order events fail with InvalidArgument so
-// silent miswindowing is impossible.
+// Since the incremental-ingest rewire (DESIGN.md §"Incremental ingest"),
+// the detector no longer rebuilds the window graph per run: events feed a
+// DynamicGraphStore (base CSR + delta-log, O(|delta|) snapshots) and
+// detection runs through the dirty-scoped StreamingDetector, which re-runs
+// the ensemble only on connected components the window slide actually
+// touched and replays clean components' votes from its cache — bit-exact
+// against a full-window rerun. Consequently every run's randomness is
+// *content-derived* (per-component seeds hashed from the component
+// fingerprint), so an unchanged window re-detects identically instead of
+// drawing fresh ensemble noise per run index as the pre-rewire detector
+// did.
+//
+// Timestamps must arrive non-decreasing up to the configured
+// `max_out_of_order` slack: an event may run at most that far behind the
+// newest timestamp seen, and is held in a small reorder buffer until the
+// stream has advanced past it (watermark = newest − slack). The default
+// slack of 0 preserves the original contract — any regression fails with
+// FailedPrecondition so silent miswindowing is impossible.
 #ifndef ENSEMFDET_STREAM_WINDOWED_DETECTOR_H_
 #define ENSEMFDET_STREAM_WINDOWED_DETECTOR_H_
 
 #include <cstdint>
-#include <deque>
+#include <functional>
+#include <limits>
 #include <optional>
+#include <queue>
+#include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "ensemble/ensemfdet.h"
-#include "graph/bipartite_graph.h"
+#include "ingest/dynamic_graph_store.h"
+#include "ingest/graph_version.h"
+#include "ingest/ingest_batch.h"  // re-exports Transaction for callers
+#include "ingest/streaming_detector.h"
 
 namespace ensemfdet {
-
-/// One observed purchase event.
-struct Transaction {
-  int64_t timestamp = 0;  ///< any monotone clock (seconds, ms, ticks)
-  UserId user = 0;
-  MerchantId merchant = 0;
-};
 
 struct WindowedDetectorConfig {
   /// Node universes (ids arriving outside them are rejected).
@@ -44,6 +58,20 @@ struct WindowedDetectorConfig {
   int64_t detection_interval = 600;
   /// Ensemble configuration used for every detection run.
   EnsemFDetConfig ensemble;
+
+  /// Reorder slack: an event may arrive up to this many timestamp units
+  /// behind the newest event seen (it waits in a reorder buffer until the
+  /// watermark passes it). 0 = require non-decreasing timestamps, the
+  /// original behavior.
+  int64_t max_out_of_order = 0;
+  /// Dirty-scoped detection: components with fewer live edges than this
+  /// are skipped (see StreamingDetectorConfig::min_component_edges).
+  int64_t min_component_edges = 1;
+  /// Component-report cache entries retained for clean-component replay.
+  size_t component_cache_capacity = 4096;
+  /// Store compaction knobs (DynamicGraphStoreConfig).
+  double compaction_factor = 0.25;
+  int64_t min_compaction_delta = 1024;
 };
 
 class WindowedDetector {
@@ -51,31 +79,102 @@ class WindowedDetector {
   explicit WindowedDetector(WindowedDetectorConfig config,
                             ThreadPool* pool = nullptr);
 
-  /// Feeds one event. Returns a report when this event crossed a
-  /// detection boundary (std::nullopt otherwise), or an error Status on
-  /// out-of-order timestamps / out-of-range ids.
+  /// Feeds one event. Returns a report when this event (or an event it
+  /// released from the reorder buffer) crossed a detection boundary
+  /// (std::nullopt otherwise), or an error Status on out-of-range ids /
+  /// timestamps older than the reorder slack allows.
+  ///
+  /// @note When one Ingest releases several buffered events that cross
+  ///       multiple detection boundaries at once (large slack, small
+  ///       interval), a single detection runs over the fully released
+  ///       window and is returned — boundaries are never silently
+  ///       detected-and-discarded, and no ensemble work is wasted on
+  ///       intermediate windows no caller could observe.
   Result<std::optional<EnsemFDetReport>> Ingest(const Transaction& tx);
 
-  /// Forces a detection over the current window (e.g. at stream end).
+  /// Forces a detection over the current window (e.g. at stream end). Any
+  /// reorder-buffered events are flushed into the window first; flushed
+  /// events do not advance the periodic detection clock.
   Result<EnsemFDetReport> DetectNow();
 
-  /// Events currently inside the window.
+  /// Events currently inside the window (reorder-buffered events are not
+  /// yet counted).
   int64_t window_size() const {
-    return static_cast<int64_t>(window_.size());
+    return store_.has_value() ? store_->window_events() : 0;
   }
-  /// Timestamp of the newest ingested event (INT64_MIN before any).
-  int64_t newest_timestamp() const { return newest_; }
+  /// Timestamp of the newest event applied to the window (INT64_MIN
+  /// before any).
+  int64_t newest_timestamp() const {
+    return store_.has_value() ? store_->newest_timestamp()
+                              : std::numeric_limits<int64_t>::min();
+  }
+  /// Events waiting in the reorder buffer.
+  int64_t reorder_buffered() const {
+    return static_cast<int64_t>(reorder_.size());
+  }
+
+  /// Diagnostics of the most recent detection (nullopt before any):
+  /// dirty/clean component counts, reuse fractions.
+  const std::optional<StreamingDetectionStats>& last_stats() const {
+    return last_stats_;
+  }
+  /// The GraphVersion the most recent detection ran over (nullopt before
+  /// any) — what a service session registers/publishes.
+  const std::optional<GraphVersion>& last_version() const {
+    return last_version_;
+  }
+  /// Clean-component replay cache counters (zeros before first ingest).
+  StreamingCacheStats component_cache_stats() const {
+    return streaming_.has_value() ? streaming_->cache_stats()
+                                  : StreamingCacheStats{};
+  }
+  /// Store lifetime counters (zeros before first ingest).
+  DynamicGraphStoreStats store_stats() const {
+    return store_.has_value() ? store_->stats() : DynamicGraphStoreStats{};
+  }
 
  private:
-  void EvictExpired();
-  Result<BipartiteGraph> BuildWindowGraph() const;
+  /// Lazily constructs the store + streaming detector, validating the
+  /// configuration (kept out of the constructor so bad configs surface as
+  /// Status, matching the original contract).
+  Status EnsureInitialized();
+  /// Applies one in-order event to the store and advances the detection
+  /// clock; sets `*crossed_boundary` when a detection is due. With
+  /// `advance_clock` false (DetectNow flushes) only the window advances.
+  Status Feed(const Transaction& tx, bool advance_clock,
+              bool* crossed_boundary);
+  /// Pops every buffered event at or below the watermark into the window,
+  /// then runs at most one detection if any released event crossed a
+  /// boundary (never when `advance_clock` is false).
+  Result<std::optional<EnsemFDetReport>> Release(int64_t watermark,
+                                                 bool advance_clock);
+  Result<EnsemFDetReport> RunDetection();
 
   WindowedDetectorConfig config_;
   ThreadPool* pool_;
-  std::deque<Transaction> window_;
-  int64_t newest_;
+
+  std::optional<DynamicGraphStore> store_;
+  std::optional<StreamingDetector> streaming_;
+
+  // Reorder buffer: min-heap on (timestamp, arrival sequence) so equal
+  // timestamps release in arrival order — deterministic for any input.
+  struct Pending {
+    int64_t timestamp;
+    uint64_t seq;
+    Transaction tx;
+    bool operator>(const Pending& other) const {
+      if (timestamp != other.timestamp) return timestamp > other.timestamp;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      reorder_;
+  uint64_t next_seq_ = 0;
+  int64_t max_seen_;
+
   int64_t last_detection_;
-  uint64_t detection_count_ = 0;  // salts the ensemble seed per run
+  std::optional<StreamingDetectionStats> last_stats_;
+  std::optional<GraphVersion> last_version_;
 };
 
 }  // namespace ensemfdet

@@ -1,0 +1,282 @@
+// The incremental-ingest acceptance property: dirty-scoped streaming
+// re-detection is *bit-exact* against a full-window rerun — votes,
+// weighted votes, and per-member structural stats — across seeds, all
+// four sampling methods, cache evictions, and thread-pool widths
+// (wall-clock `seconds` and `arena_grow_events` are the only fields
+// allowed to differ; they measure the run, not the result).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "datagen/generator.h"
+#include "datagen/transaction_stream.h"
+#include "ingest/dynamic_graph_store.h"
+#include "ingest/streaming_detector.h"
+
+namespace ensemfdet {
+namespace {
+
+// Bit-exact report comparison (see file comment for the two exclusions).
+void ExpectReportsIdentical(const EnsemFDetReport& a,
+                            const EnsemFDetReport& b, const char* what) {
+  ASSERT_EQ(a.num_samples, b.num_samples) << what;
+  ASSERT_EQ(a.votes.num_users(), b.votes.num_users()) << what;
+  ASSERT_EQ(a.votes.num_merchants(), b.votes.num_merchants()) << what;
+  for (UserId u = 0; u < a.votes.num_users(); ++u) {
+    ASSERT_EQ(a.votes.user_votes(u), b.votes.user_votes(u))
+        << what << " user " << u;
+  }
+  for (MerchantId v = 0; v < a.votes.num_merchants(); ++v) {
+    ASSERT_EQ(a.votes.merchant_votes(v), b.votes.merchant_votes(v))
+        << what << " merchant " << v;
+  }
+  // Weighted votes must be identical *bits*, not approximately equal —
+  // both paths accumulate in the same order by construction.
+  ASSERT_EQ(a.weighted_user_votes, b.weighted_user_votes) << what;
+  ASSERT_EQ(a.weighted_merchant_votes, b.weighted_merchant_votes) << what;
+  ASSERT_EQ(a.members.size(), b.members.size()) << what;
+  for (size_t i = 0; i < a.members.size(); ++i) {
+    ASSERT_EQ(a.members[i].sample_users, b.members[i].sample_users)
+        << what << " member " << i;
+    ASSERT_EQ(a.members[i].sample_merchants, b.members[i].sample_merchants)
+        << what << " member " << i;
+    ASSERT_EQ(a.members[i].sample_edges, b.members[i].sample_edges)
+        << what << " member " << i;
+    ASSERT_EQ(a.members[i].num_blocks, b.members[i].num_blocks)
+        << what << " member " << i;
+  }
+}
+
+// A fragmented campaign-day stream: sparse background (many small
+// components) plus dense fraud bursts, so window slides leave plenty of
+// clean components for the incremental path to reuse.
+std::vector<Transaction> ParityStream(uint64_t seed) {
+  DataGenConfig config;
+  config.num_users = 500;
+  config.num_merchants = 300;
+  config.num_edges = 900;
+  FraudGroupSpec group;
+  group.num_users = 16;
+  group.num_merchants = 6;
+  group.edges_per_user = 4.0;
+  group.camouflage_per_user = 0.0;
+  config.fraud_groups.push_back(group);
+  config.fraud_groups.push_back(group);
+  config.seed = seed;
+  Dataset dataset = GenerateDataset(config).ValueOrDie();
+
+  StreamTimelineConfig timeline;
+  timeline.horizon = 20000;
+  timeline.burst_duration = 1500;
+  timeline.seed = seed + 17;
+  return BuildTransactionStream(dataset, timeline).ValueOrDie();
+}
+
+StreamingDetectorConfig DetectorConfig(SampleMethod method, uint64_t seed) {
+  StreamingDetectorConfig config;
+  config.ensemble.method = method;
+  config.ensemble.num_samples = 5;
+  config.ensemble.ratio = 0.35;
+  config.ensemble.seed = seed;
+  config.ensemble.fdet.max_blocks = 8;
+  return config;
+}
+
+// Drives one (seed, method) combination: a warm incremental detector vs a
+// from-scratch rerun at every interval.
+void RunParityCase(SampleMethod method, uint64_t seed, double reweight_ratio,
+                   ThreadPool* pool) {
+  const std::vector<Transaction> events = ParityStream(seed);
+
+  DynamicGraphStoreConfig store_config;
+  store_config.num_users = 500;
+  store_config.num_merchants = 300;
+  store_config.window = 6000;
+  store_config.min_compaction_delta = 64;  // exercise compaction mid-run
+  auto store = DynamicGraphStore::Create(store_config).ValueOrDie();
+
+  StreamingDetectorConfig detector_config = DetectorConfig(method, seed);
+  detector_config.ensemble.reweight_edges = reweight_ratio > 0;
+  auto warm = StreamingDetector::Create(detector_config).ValueOrDie();
+
+  int64_t reused_total = 0;
+  int64_t intervals = 0;
+  size_t next = 0;
+  const size_t interval_events = events.size() / 7;
+  while (next < events.size()) {
+    IngestBatch batch;
+    const size_t end = std::min(events.size(), next + interval_events);
+    batch.transactions.assign(events.begin() + next, events.begin() + end);
+    next = end;
+    ASSERT_TRUE(store.Apply(batch).ok());
+
+    GraphVersion version = store.Publish();
+    StreamingReport incremental = warm.Detect(version, pool).ValueOrDie();
+    // The comparator: an identically configured detector with an empty
+    // cache — every component recomputed from scratch.
+    auto fresh = StreamingDetector::Create(detector_config).ValueOrDie();
+    StreamingReport full = fresh.Detect(version, pool).ValueOrDie();
+
+    ExpectReportsIdentical(incremental.report, full.report,
+                           SampleMethodName(method));
+    ASSERT_EQ(incremental.fingerprint, full.fingerprint);
+    ASSERT_EQ(incremental.stats.components_eligible,
+              full.stats.components_eligible);
+    ASSERT_EQ(full.stats.components_reused, 0);
+    reused_total += incremental.stats.components_reused;
+    ++intervals;
+  }
+  ASSERT_GE(intervals, 5);
+  // The incremental path must have actually reused work, or this test
+  // proves nothing about dirty scoping.
+  EXPECT_GT(reused_total, 0) << SampleMethodName(method);
+}
+
+TEST(IngestParityTest, RandomEdgeAcrossSeeds) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    RunParityCase(SampleMethod::kRandomEdge, seed, 0.0, nullptr);
+  }
+}
+
+TEST(IngestParityTest, OneSideUserAcrossSeeds) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    RunParityCase(SampleMethod::kOneSideUser, seed, 0.0, nullptr);
+  }
+}
+
+TEST(IngestParityTest, OneSideMerchantAcrossSeeds) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    RunParityCase(SampleMethod::kOneSideMerchant, seed, 0.0, nullptr);
+  }
+}
+
+TEST(IngestParityTest, TwoSideAcrossSeeds) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    RunParityCase(SampleMethod::kTwoSide, seed, 0.0, nullptr);
+  }
+}
+
+TEST(IngestParityTest, ReweightedResOnPool) {
+  ThreadPool pool(4);
+  RunParityCase(SampleMethod::kRandomEdge, 21u, 1.0, &pool);
+}
+
+TEST(IngestParityTest, PoolWidthDoesNotChangeResults) {
+  const std::vector<Transaction> events = ParityStream(31);
+  DynamicGraphStoreConfig store_config;
+  store_config.num_users = 500;
+  store_config.num_merchants = 300;
+  store_config.window = 6000;
+  auto store = DynamicGraphStore::Create(store_config).ValueOrDie();
+  IngestBatch batch;
+  batch.transactions = events;
+  ASSERT_TRUE(store.Apply(batch).ok());
+  GraphVersion version = store.Publish();
+
+  StreamingDetectorConfig config =
+      DetectorConfig(SampleMethod::kRandomEdge, 31);
+  auto sequential = StreamingDetector::Create(config).ValueOrDie();
+  StreamingReport a = sequential.Detect(version, nullptr).ValueOrDie();
+  ThreadPool pool(4);
+  auto parallel = StreamingDetector::Create(config).ValueOrDie();
+  StreamingReport b = parallel.Detect(version, &pool).ValueOrDie();
+  ExpectReportsIdentical(a.report, b.report, "pool width");
+}
+
+TEST(IngestParityTest, CacheEvictionNeverChangesResults) {
+  // Capacity 1: almost every component is evicted between detections;
+  // results must not move.
+  const std::vector<Transaction> events = ParityStream(41);
+  DynamicGraphStoreConfig store_config;
+  store_config.num_users = 500;
+  store_config.num_merchants = 300;
+  store_config.window = 6000;
+  auto store = DynamicGraphStore::Create(store_config).ValueOrDie();
+
+  StreamingDetectorConfig config =
+      DetectorConfig(SampleMethod::kTwoSide, 41);
+  StreamingDetectorConfig tiny = config;
+  tiny.component_cache_capacity = 1;
+  auto warm = StreamingDetector::Create(tiny).ValueOrDie();
+
+  size_t next = 0;
+  const size_t step = events.size() / 4;
+  while (next < events.size()) {
+    IngestBatch batch;
+    const size_t end = std::min(events.size(), next + step);
+    batch.transactions.assign(events.begin() + next, events.begin() + end);
+    next = end;
+    ASSERT_TRUE(store.Apply(batch).ok());
+    GraphVersion version = store.Publish();
+    StreamingReport incremental = warm.Detect(version, nullptr).ValueOrDie();
+    auto fresh = StreamingDetector::Create(config).ValueOrDie();
+    StreamingReport full = fresh.Detect(version, nullptr).ValueOrDie();
+    ExpectReportsIdentical(incremental.report, full.report, "evicting");
+  }
+  EXPECT_GT(warm.cache_stats().evictions, 0);
+}
+
+TEST(IngestParityTest, EmptyAndDegenerateVersions) {
+  DynamicGraphStoreConfig store_config;
+  store_config.num_users = 10;
+  store_config.num_merchants = 10;
+  store_config.window = 100;
+  auto store = DynamicGraphStore::Create(store_config).ValueOrDie();
+  StreamingDetectorConfig config =
+      DetectorConfig(SampleMethod::kRandomEdge, 7);
+  auto detector = StreamingDetector::Create(config).ValueOrDie();
+
+  // Empty window.
+  GraphVersion empty = store.Publish();
+  StreamingReport r0 = detector.Detect(empty, nullptr).ValueOrDie();
+  EXPECT_EQ(r0.report.num_samples, config.ensemble.num_samples);
+  EXPECT_EQ(r0.stats.components_total, 0);
+  EXPECT_EQ(r0.report.votes.max_user_votes(), 0);
+
+  // Single edge.
+  IngestBatch one;
+  one.transactions.push_back({0, 3, 4});
+  ASSERT_TRUE(store.Apply(one).ok());
+  GraphVersion single = store.Publish();
+  StreamingReport r1 = detector.Detect(single, nullptr).ValueOrDie();
+  EXPECT_EQ(r1.stats.components_total, 1);
+  EXPECT_GT(r1.report.votes.user_votes(3), 0);
+}
+
+TEST(IngestParityTest, MinComponentEdgesPrunesDebris) {
+  DynamicGraphStoreConfig store_config;
+  store_config.num_users = 50;
+  store_config.num_merchants = 50;
+  store_config.window = 1000;
+  auto store = DynamicGraphStore::Create(store_config).ValueOrDie();
+  IngestBatch batch;
+  // One dense 4x3 block + three singleton edges.
+  int64_t t = 0;
+  for (UserId u = 0; u < 4; ++u) {
+    for (MerchantId v = 0; v < 3; ++v) {
+      batch.transactions.push_back({t++, u, v});
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    batch.transactions.push_back({t++, static_cast<UserId>(20 + i),
+                                  static_cast<MerchantId>(20 + i)});
+  }
+  ASSERT_TRUE(store.Apply(batch).ok());
+  GraphVersion version = store.Publish();
+
+  StreamingDetectorConfig config =
+      DetectorConfig(SampleMethod::kRandomEdge, 9);
+  config.min_component_edges = 2;
+  auto detector = StreamingDetector::Create(config).ValueOrDie();
+  StreamingReport report = detector.Detect(version, nullptr).ValueOrDie();
+  EXPECT_EQ(report.stats.components_total, 4);
+  EXPECT_EQ(report.stats.components_eligible, 1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(report.report.votes.user_votes(20 + i), 0)
+        << "pruned debris component must not vote";
+  }
+}
+
+}  // namespace
+}  // namespace ensemfdet

@@ -122,8 +122,88 @@ TEST(TransactionStreamTest, RejectsBadConfig) {
   cfg.horizon = 0;
   EXPECT_FALSE(BuildTransactionStream(data, cfg).ok());
   cfg.horizon = 100;
-  cfg.burst_duration = 200;
+  cfg.burst_duration = 200;  // burst_duration > horizon
+  auto too_long = BuildTransactionStream(data, cfg);
+  ASSERT_FALSE(too_long.ok());
+  EXPECT_EQ(too_long.status().code(), StatusCode::kInvalidArgument);
+  cfg.burst_duration = 0;
   EXPECT_FALSE(BuildTransactionStream(data, cfg).ok());
+  // burst_duration == horizon is the degenerate-but-legal boundary: one
+  // burst window spanning the whole day.
+  cfg.burst_duration = 100;
+  auto boundary = BuildTransactionStream(data, cfg).ValueOrDie();
+  EXPECT_EQ(static_cast<int64_t>(boundary.size()), data.graph.num_edges());
+  for (const Transaction& tx : boundary) {
+    EXPECT_GE(tx.timestamp, 0);
+    EXPECT_LT(tx.timestamp, cfg.horizon);
+  }
+}
+
+TEST(TransactionStreamTest, ZeroFraudGroupsIsAllBackground) {
+  DataGenConfig config;
+  config.num_users = 200;
+  config.num_merchants = 80;
+  config.num_edges = 600;
+  config.seed = 5;  // no fraud groups at all
+  Dataset data = GenerateDataset(config).ValueOrDie();
+  ASSERT_TRUE(data.fraud_user_groups.empty());
+
+  StreamTimelineConfig cfg;
+  cfg.horizon = 5000;
+  cfg.burst_duration = 100;
+  auto events = BuildTransactionStream(data, cfg).ValueOrDie();
+  EXPECT_EQ(static_cast<int64_t>(events.size()), data.graph.num_edges());
+  int64_t prev = -1;
+  for (const Transaction& tx : events) {
+    EXPECT_GE(tx.timestamp, prev);
+    prev = tx.timestamp;
+    EXPECT_GE(tx.timestamp, 0);
+    EXPECT_LT(tx.timestamp, cfg.horizon);
+  }
+}
+
+TEST(TransactionStreamTest, TimestampTiesKeepEdgeIdOrder) {
+  // horizon == burst_duration == 1 forces every timestamp to 0; the
+  // stable sort must then preserve canonical edge-id order exactly.
+  Dataset data = StreamDataset();
+  StreamTimelineConfig cfg;
+  cfg.horizon = 1;
+  cfg.burst_duration = 1;
+  auto events = BuildTransactionStream(data, cfg).ValueOrDie();
+  ASSERT_EQ(static_cast<int64_t>(events.size()), data.graph.num_edges());
+  for (EdgeId e = 0; e < data.graph.num_edges(); ++e) {
+    const Transaction& tx = events[static_cast<size_t>(e)];
+    EXPECT_EQ(tx.timestamp, 0);
+    EXPECT_EQ(tx.user, data.graph.edge(e).user);
+    EXPECT_EQ(tx.merchant, data.graph.edge(e).merchant);
+  }
+}
+
+TEST(TransactionStreamTest, SliceIntoBatchesPreservesOrderAndBounds) {
+  Dataset data = StreamDataset();
+  StreamTimelineConfig cfg;
+  auto events = BuildTransactionStream(data, cfg).ValueOrDie();
+  EXPECT_FALSE(SliceIntoBatches(events, 0).ok());
+
+  auto batches = SliceIntoBatches(events, 64).ValueOrDie();
+  size_t total = 0;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    EXPECT_LE(batches[b].transactions.size(), 64u);
+    if (b + 1 < batches.size()) {
+      EXPECT_EQ(batches[b].transactions.size(), 64u);
+    }
+    for (const Transaction& tx : batches[b].transactions) {
+      EXPECT_EQ(tx.timestamp, events[total].timestamp);
+      EXPECT_EQ(tx.user, events[total].user);
+      EXPECT_EQ(tx.merchant, events[total].merchant);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, events.size());
+
+  // Degenerate inputs: empty log → no batches; batch larger than the log.
+  EXPECT_TRUE(SliceIntoBatches({}, 10).ValueOrDie().empty());
+  EXPECT_EQ(SliceIntoBatches(events, 1 << 20).ValueOrDie().size(), 1u);
 }
 
 TEST(TransactionStreamTest, OneEventPerEdgeSortedInHorizon) {

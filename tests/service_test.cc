@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "datagen/transaction_stream.h"
 #include "graph/graph_builder.h"
 #include "service/graph_registry.h"
 #include "service/result_cache.h"
@@ -580,6 +581,237 @@ TEST(DetectionServiceTest, DetectSurvivesFinishedJobEviction) {
     EXPECT_TRUE(statuses[c].ok()) << "client " << c << ": "
                                   << statuses[c].ToString();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sessions (OpenStream / IngestBatch / PollReport)
+// ---------------------------------------------------------------------------
+
+StreamSessionConfig SmallStreamSession(uint64_t seed = 17) {
+  StreamSessionConfig config;
+  config.detector.num_users = 120;
+  config.detector.num_merchants = 60;
+  config.detector.window = 400;
+  config.detector.detection_interval = 100;
+  config.detector.ensemble = SmallConfig(seed);
+  config.detector.ensemble.num_samples = 6;
+  return config;
+}
+
+// A timestamped stream over the planted graph: one event per edge, dense
+// block first (a burst), then background.
+std::vector<Transaction> PlantedStream() {
+  BipartiteGraph graph = PlantedGraph();
+  std::vector<Transaction> events;
+  int64_t t = 0;
+  for (const Edge& e : graph.edges()) {
+    events.push_back({t++, e.user, e.merchant});
+  }
+  return events;
+}
+
+TEST(StreamSessionTest, OpenStreamValidatesConfig) {
+  GraphRegistry registry;
+  DetectionService service(&registry, nullptr);
+  StreamSessionConfig bad = SmallStreamSession();
+  bad.detector.window = 0;
+  EXPECT_FALSE(service.OpenStream(bad).ok());
+  bad = SmallStreamSession();
+  bad.detector.ensemble.ratio = 1.5;
+  EXPECT_FALSE(service.OpenStream(bad).ok());
+  bad = SmallStreamSession();
+  bad.max_queued_batches = 0;
+  EXPECT_FALSE(service.OpenStream(bad).ok());
+  bad = SmallStreamSession();
+  bad.detector.max_out_of_order = -3;
+  EXPECT_FALSE(service.OpenStream(bad).ok());
+  // Store knobs must fail synchronously here, not as a sticky session
+  // error on the first batch (the detector builds its store lazily).
+  bad = SmallStreamSession();
+  bad.detector.compaction_factor = 0.0;
+  EXPECT_FALSE(service.OpenStream(bad).ok());
+  bad = SmallStreamSession();
+  bad.detector.min_compaction_delta = 0;
+  EXPECT_FALSE(service.OpenStream(bad).ok());
+  EXPECT_TRUE(service.OpenStream(SmallStreamSession()).ok());
+}
+
+TEST(StreamSessionTest, IngestPollFinishLifecycle) {
+  GraphRegistry registry;
+  DetectionService service(&registry, nullptr);  // inline execution
+  StreamSessionConfig config = SmallStreamSession();
+  config.publish_name = "live";
+  StreamId id = service.OpenStream(config).ValueOrDie();
+  EXPECT_EQ(service.open_streams(), 1);
+
+  auto batches = SliceIntoBatches(PlantedStream(), 50).ValueOrDie();
+  for (const IngestBatch& batch : batches) {
+    ASSERT_TRUE(service.IngestBatch(id, batch).ok());
+  }
+  StreamState state = service.PollReport(id).ValueOrDie();
+  EXPECT_TRUE(state.error.ok());
+  EXPECT_EQ(state.events_ingested,
+            static_cast<int64_t>(PlantedStream().size()));
+  EXPECT_GT(state.reports_generated, 0u);
+  ASSERT_NE(state.report, nullptr);
+  EXPECT_EQ(state.report->num_samples, 6);
+  EXPECT_GT(state.report_stats.components_total, 0);
+
+  // Every fired detection registered its version under "live".
+  GraphSnapshot snapshot = registry.Get("live").ValueOrDie();
+  EXPECT_EQ(snapshot.fingerprint, state.report_fingerprint);
+  EXPECT_EQ(snapshot.version, state.reports_generated);
+
+  // Finish: final forced detection, session removed.
+  StreamState final_state = service.FinishStream(id).ValueOrDie();
+  EXPECT_TRUE(final_state.error.ok());
+  EXPECT_EQ(final_state.reports_generated, state.reports_generated + 1);
+  ASSERT_NE(final_state.report, nullptr);
+  EXPECT_EQ(service.open_streams(), 0);
+  EXPECT_FALSE(service.PollReport(id).ok());
+  EXPECT_FALSE(service.IngestBatch(id, {}).ok());
+
+  // The dense planted block out-votes background in the final report.
+  const EnsemFDetReport& report = *final_state.report;
+  double block = 0, background = 0;
+  for (UserId u = 0; u < 10; ++u) block += report.votes.user_votes(u);
+  for (UserId u = 10; u < 120; ++u) background += report.votes.user_votes(u);
+  EXPECT_GT(block / 10.0, background / 110.0);
+}
+
+TEST(StreamSessionTest, StreamedReportsLandInResultCacheByContentKey) {
+  GraphRegistry registry;
+  DetectionService service(&registry, nullptr);
+  StreamSessionConfig config = SmallStreamSession();
+  StreamId id = service.OpenStream(config).ValueOrDie();
+  IngestBatch all;
+  all.transactions = PlantedStream();
+  ASSERT_TRUE(service.IngestBatch(id, all).ok());
+  StreamState state = service.FinishStream(id).ValueOrDie();
+  ASSERT_TRUE(state.error.ok());
+  ASSERT_NE(state.report, nullptr);
+
+  // The latest report is retrievable from the shared ResultCache under
+  // (content fingerprint, streaming-salted config hash)…
+  auto cached = service.cache().Lookup(
+      state.report_fingerprint, HashStreamingConfig(config.detector));
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached.get(), state.report.get());
+  // …and the streaming salt keeps it disjoint from batch-job keys over
+  // the very same graph+ensemble config.
+  EXPECT_NE(HashStreamingConfig(config.detector),
+            HashEnsemFDetConfig(config.detector.ensemble));
+}
+
+TEST(StreamSessionTest, RegisteredVersionIsRepresentationIndependent) {
+  GraphRegistry registry;
+  ThreadPool pool(2);
+  DetectionService service(&registry, &pool);
+  StreamSessionConfig config = SmallStreamSession();
+  config.publish_name = "live";
+  StreamId id = service.OpenStream(config).ValueOrDie();
+  IngestBatch all;
+  all.transactions = PlantedStream();
+  ASSERT_TRUE(service.IngestBatch(id, all).ok());
+  StreamState state = service.FinishStream(id).ValueOrDie();
+  ASSERT_TRUE(state.error.ok());
+
+  // A batch ensemble job over the streamed-then-registered graph…
+  JobRequest request;
+  request.graph_name = "live";
+  request.ensemble = SmallConfig(23);
+  auto first = service.Detect(request).ValueOrDie();
+  EXPECT_FALSE(first->cache_hit);
+
+  // …shares cache entries with the same content published from a plain
+  // BipartiteGraph (the window held every event, so the live graph is
+  // exactly PlantedGraph).
+  GraphSnapshot republished =
+      registry.Publish("copy", PlantedGraph()).ValueOrDie();
+  EXPECT_EQ(republished.fingerprint, state.report_fingerprint);
+  request.graph_name = "copy";
+  auto second = service.Detect(request).ValueOrDie();
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->report.get(), first->report.get());
+}
+
+TEST(StreamSessionTest, StickyErrorSurfacesAndDropsLaterBatches) {
+  GraphRegistry registry;
+  DetectionService service(&registry, nullptr);
+  StreamId id = service.OpenStream(SmallStreamSession()).ValueOrDie();
+  IngestBatch good;
+  good.transactions.push_back({100, 1, 1});
+  ASSERT_TRUE(service.IngestBatch(id, good).ok());
+  IngestBatch regressing;
+  regressing.transactions.push_back({5, 2, 2});  // far beyond slack 0
+  ASSERT_TRUE(service.IngestBatch(id, regressing).ok());  // fails async
+
+  StreamState state = service.WaitReport(id, /*min_reports=*/0).ValueOrDie();
+  EXPECT_FALSE(state.error.ok());
+  EXPECT_EQ(state.error.code(), StatusCode::kFailedPrecondition);
+  // Subsequent ingests surface the sticky error immediately.
+  EXPECT_FALSE(service.IngestBatch(id, good).ok());
+  // Finish still works: it reports the error state and removes the
+  // session.
+  StreamState final_state = service.FinishStream(id).ValueOrDie();
+  EXPECT_FALSE(final_state.error.ok());
+  EXPECT_EQ(service.open_streams(), 0);
+}
+
+TEST(StreamSessionTest, ParallelSessionsAreIsolated) {
+  GraphRegistry registry;
+  ThreadPool pool(4);
+  DetectionService service(&registry, &pool);
+  StreamSessionConfig a_config = SmallStreamSession(100);
+  StreamSessionConfig b_config = SmallStreamSession(200);
+  StreamId a = service.OpenStream(a_config).ValueOrDie();
+  StreamId b = service.OpenStream(b_config).ValueOrDie();
+
+  auto batches = SliceIntoBatches(PlantedStream(), 30).ValueOrDie();
+  for (const IngestBatch& batch : batches) {
+    ASSERT_TRUE(service.IngestBatch(a, batch).ok());
+    ASSERT_TRUE(service.IngestBatch(b, batch).ok());
+  }
+  StreamState sa = service.FinishStream(a).ValueOrDie();
+  StreamState sb = service.FinishStream(b).ValueOrDie();
+  ASSERT_TRUE(sa.error.ok());
+  ASSERT_TRUE(sb.error.ok());
+  // Same content, same universe → same fingerprint; independent seeds →
+  // independent reports, but both detected the planted block.
+  EXPECT_EQ(sa.report_fingerprint, sb.report_fingerprint);
+  EXPECT_EQ(sa.events_ingested, sb.events_ingested);
+  ASSERT_NE(sa.report, nullptr);
+  ASSERT_NE(sb.report, nullptr);
+}
+
+TEST(StreamSessionTest, CloseStreamDrainsAndRemoves) {
+  GraphRegistry registry;
+  ThreadPool pool(2);
+  DetectionService service(&registry, &pool);
+  StreamId id = service.OpenStream(SmallStreamSession()).ValueOrDie();
+  auto batches = SliceIntoBatches(PlantedStream(), 40).ValueOrDie();
+  for (const IngestBatch& batch : batches) {
+    ASSERT_TRUE(service.IngestBatch(id, batch).ok());
+  }
+  ASSERT_TRUE(service.CloseStream(id).ok());
+  EXPECT_EQ(service.open_streams(), 0);
+  EXPECT_FALSE(service.PollReport(id).ok());
+}
+
+TEST(StreamSessionTest, DestructorDrainsActiveSessions) {
+  GraphRegistry registry;
+  ThreadPool pool(2);
+  {
+    DetectionService service(&registry, &pool);
+    StreamId id = service.OpenStream(SmallStreamSession()).ValueOrDie();
+    auto batches = SliceIntoBatches(PlantedStream(), 60).ValueOrDie();
+    for (const IngestBatch& batch : batches) {
+      ASSERT_TRUE(service.IngestBatch(id, batch).ok());
+    }
+    // ~DetectionService must block until the drainer finishes; otherwise
+    // the session worker would touch freed service state.
+  }
+  SUCCEED();
 }
 
 TEST(DetectionServiceTest, DestructorDrainsInFlightJobs) {

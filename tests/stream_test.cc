@@ -1,6 +1,8 @@
 // Tests for the sliding-window streaming detector.
 #include "stream/windowed_detector.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -159,6 +161,146 @@ TEST(WindowedDetectorTest, StreamingFindsInjectedBurst) {
   ring /= 10.0;
   background /= 80.0;
   EXPECT_GT(ring, background) << "burst ring should out-vote background";
+}
+
+// --- Reorder slack (max_out_of_order) --------------------------------------
+
+TEST(WindowedDetectorTest, RejectsRegressionBeyondSlack) {
+  auto cfg = SmallStreamConfig();
+  cfg.max_out_of_order = 10;
+  WindowedDetector detector(cfg);
+  ASSERT_TRUE(detector.Ingest({100, 0, 0}).ok());
+  EXPECT_TRUE(detector.Ingest({90, 1, 1}).ok());  // exactly at the slack
+  auto too_old = detector.Ingest({89, 2, 2});
+  ASSERT_FALSE(too_old.ok());
+  EXPECT_EQ(too_old.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WindowedDetectorTest, NegativeSlackRejected) {
+  auto cfg = SmallStreamConfig();
+  cfg.max_out_of_order = -1;
+  WindowedDetector detector(cfg);
+  EXPECT_FALSE(detector.Ingest({0, 0, 0}).ok());
+}
+
+TEST(WindowedDetectorTest, SlackBuffersUntilWatermarkPasses) {
+  auto cfg = SmallStreamConfig();
+  cfg.max_out_of_order = 20;
+  WindowedDetector detector(cfg);
+  ASSERT_TRUE(detector.Ingest({10, 0, 0}).ok());
+  // Watermark is 10 - 20 < 0: nothing released yet.
+  EXPECT_EQ(detector.window_size(), 0);
+  EXPECT_EQ(detector.reorder_buffered(), 1);
+  // Advance far enough that t=10 (and the late t=15) must release.
+  ASSERT_TRUE(detector.Ingest({40, 1, 1}).ok());
+  ASSERT_TRUE(detector.Ingest({35, 2, 2}).ok());  // late but inside slack
+  ASSERT_TRUE(detector.Ingest({60, 3, 3}).ok());  // watermark → 40
+  EXPECT_EQ(detector.window_size(), 3);           // 10, 35, 40 released
+  EXPECT_EQ(detector.reorder_buffered(), 1);      // 60 still held
+  // DetectNow flushes the buffer into the window first.
+  ASSERT_TRUE(detector.DetectNow().ok());
+  EXPECT_EQ(detector.window_size(), 4);
+  EXPECT_EQ(detector.reorder_buffered(), 0);
+}
+
+TEST(WindowedDetectorTest, SlackedShuffleMatchesInOrderFeed) {
+  // The same event *set* must yield the same final report whether it
+  // arrives sorted (slack 0) or locally shuffled within the slack —
+  // detection randomness is content-derived, so this is bit-exact.
+  auto cfg = SmallStreamConfig();
+  cfg.window = 500;
+  std::vector<Transaction> sorted;
+  Rng rng(99);
+  int64_t t = 0;
+  for (int i = 0; i < 120; ++i) {
+    t += static_cast<int64_t>(rng.NextBounded(3));
+    sorted.push_back({t, static_cast<UserId>(rng.NextBounded(40)),
+                      static_cast<MerchantId>(rng.NextBounded(20))});
+  }
+  std::vector<Transaction> shuffled = sorted;
+  // Swap adjacent pairs: each event regresses by at most a few ticks.
+  for (size_t i = 0; i + 1 < shuffled.size(); i += 2) {
+    std::swap(shuffled[i], shuffled[i + 1]);
+  }
+
+  WindowedDetector in_order(cfg);
+  for (const Transaction& tx : sorted) {
+    ASSERT_TRUE(in_order.Ingest(tx).ok());
+  }
+  auto cfg_slack = cfg;
+  cfg_slack.max_out_of_order = 10;
+  WindowedDetector slacked(cfg_slack);
+  for (const Transaction& tx : shuffled) {
+    ASSERT_TRUE(slacked.Ingest(tx).ok());
+  }
+
+  auto a = in_order.DetectNow().ValueOrDie();
+  auto b = slacked.DetectNow().ValueOrDie();
+  ASSERT_EQ(a.votes.num_users(), b.votes.num_users());
+  for (UserId u = 0; u < a.votes.num_users(); ++u) {
+    ASSERT_EQ(a.votes.user_votes(u), b.votes.user_votes(u)) << "user " << u;
+  }
+  ASSERT_EQ(a.weighted_user_votes, b.weighted_user_votes);
+}
+
+TEST(WindowedDetectorTest, ReleaseBurstYieldsOneDetectionOverFullWindow) {
+  // A watermark jump that releases events spanning several detection
+  // intervals must produce exactly one report (over the fully released
+  // window), not fire-and-discard intermediates.
+  auto cfg = SmallStreamConfig();   // interval = 50
+  cfg.max_out_of_order = 1000;      // buffer everything
+  WindowedDetector detector(cfg);
+  for (int64_t t = 0; t < 300; t += 10) {
+    auto r = detector.Ingest(
+        {t, static_cast<UserId>(t % 50), static_cast<MerchantId>(t % 20)});
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->has_value());  // all buffered, nothing released
+  }
+  // Watermark jumps to 1500: every buffered event releases at once,
+  // crossing ~5 interval boundaries (the t=2500 event itself stays
+  // buffered; the window then covers [190, 290] after eviction).
+  auto burst = detector.Ingest({2500, 1, 1});
+  ASSERT_TRUE(burst.ok());
+  ASSERT_TRUE(burst->has_value());
+  EXPECT_EQ(detector.window_size(), 11);
+  EXPECT_EQ(detector.reorder_buffered(), 1);
+  // The single report covers the whole released window.
+  ASSERT_TRUE(detector.last_version().has_value());
+  EXPECT_EQ(detector.last_version()->num_edges(),
+            detector.last_stats()->edges_total);
+}
+
+// --- Incremental-detection diagnostics -------------------------------------
+
+TEST(WindowedDetectorTest, ExposesDirtyScopingDiagnostics) {
+  auto cfg = SmallStreamConfig();
+  cfg.window = 200;
+  cfg.detection_interval = 100;
+  WindowedDetector detector(cfg);
+  EXPECT_FALSE(detector.last_stats().has_value());
+
+  int64_t t = 0;
+  int detections = 0;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    Transaction tx{t, static_cast<UserId>(rng.NextBounded(100)),
+                   static_cast<MerchantId>(rng.NextBounded(40))};
+    auto fired = detector.Ingest(tx);
+    ASSERT_TRUE(fired.ok());
+    if (fired->has_value()) ++detections;
+    t += 2;
+  }
+  ASSERT_GT(detections, 2);
+  ASSERT_TRUE(detector.last_stats().has_value());
+  ASSERT_TRUE(detector.last_version().has_value());
+  const StreamingDetectionStats& stats = *detector.last_stats();
+  EXPECT_GT(stats.components_total, 0);
+  EXPECT_EQ(stats.components_reused + stats.components_recomputed,
+            stats.components_eligible);
+  // Across the run, clean components must actually have been replayed.
+  EXPECT_GT(detector.component_cache_stats().hits, 0);
+  // And the store must have seen evictions + structural removals.
+  EXPECT_GT(detector.store_stats().events_evicted, 0);
 }
 
 }  // namespace

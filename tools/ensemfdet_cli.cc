@@ -118,6 +118,12 @@ int Usage() {
       "               [--seed=42] [--threads=0] [--repeat=1] [--no-cache]\n"
       "               [--top=25]\n"
       "  evaluate     --graph=FILE --labels=FILE [detect flags] [--curve]\n"
+      "  stream-replay [--preset=dataset1] [--scale=0.01] [--seed=7]\n"
+      "               [--horizon=86400] [--burst=1800] [--window=14400]\n"
+      "               [--interval=1200] [--batch=256] [--n=80] [--s=0.1]\n"
+      "               [--method=random_edge] [--t=N/10] [--threads=0]\n"
+      "               [--max-out-of-order=0] [--min-component-edges=1]\n"
+      "               [--register=stream]\n"
       "  bench-smoke  [--scale=0.004] [--seed=7] [--threads=0]\n"
       "  bench-report [--scale=0.02] [--seed=7] [--repeats=5] [--n=16]\n"
       "               [--s=0.1] [--threads=0] [--out-dir=.]\n");
@@ -174,6 +180,19 @@ ThreadPool* PoolFromFlag(int threads) {
     return &*owned;
   }
   return &DefaultThreadPool();
+}
+
+// The full ResultCache counter set (hit/miss/insertion/eviction — the
+// previously collected-but-invisible stats), shared by detect / evaluate /
+// stream-replay.
+void PrintCacheStats(DetectionService& service) {
+  ResultCacheStats stats = service.cache_stats();
+  std::fprintf(stderr,
+               "[cache] %lld lookups: %lld hits, %lld misses; "
+               "%lld insertions, %lld evictions, %lld entries retained\n",
+               (long long)stats.lookups(), (long long)stats.hits,
+               (long long)stats.misses, (long long)stats.insertions,
+               (long long)stats.evictions, (long long)service.cache().size());
 }
 
 // Shared by detect/evaluate: assemble the ensemble config from flags.
@@ -328,11 +347,7 @@ int RunDetectJobs(Flags& flags, DetectionService& service, DetectRun* run) {
                  (*result)->cache_hit ? " (result cache hit)" : "");
     run->result = std::move(result).value();
   }
-  ResultCacheStats stats = service.cache_stats();
-  std::fprintf(stderr,
-               "[cache] %lld lookups: %lld hits, %lld misses, %lld entries\n",
-               (long long)stats.lookups(), (long long)stats.hits,
-               (long long)stats.misses, (long long)service.cache().size());
+  PrintCacheStats(service);
   return 0;
 }
 
@@ -536,6 +551,158 @@ int CmdBenchSmoke(Flags& flags) {
 }
 
 // ---------------------------------------------------------------------------
+// stream-replay: replay a synthetic campaign-day transaction stream
+// through a DetectionService streaming session — the incremental-ingest
+// subsystem end to end: batches feed a DynamicGraphStore, every interval
+// runs dirty-scoped re-detection (clean components replayed from cache),
+// every fired detection's GraphVersion is registered in the GraphRegistry,
+// and the final forced detection's suspicious users go to stdout.
+// ---------------------------------------------------------------------------
+int CmdStreamReplay(Flags& flags) {
+  const std::string preset_name = flags.GetString("preset", "dataset1");
+  const double scale = flags.GetDouble("scale", 0.01);
+  const uint64_t seed = flags.GetUint64("seed", 7);
+  const int64_t horizon = flags.GetInt("horizon", 86400);
+  const int64_t burst = flags.GetInt("burst", 1800);
+  const int64_t window = flags.GetInt("window", 14400);
+  const int64_t interval = flags.GetInt("interval", 1200);
+  const int batch_events = flags.GetInt("batch", 256);
+  const int t_flag = flags.GetInt("t", -1);
+  const std::string register_name = flags.GetString("register", "stream");
+  ThreadPool* pool = PoolFromFlag(flags.GetInt("threads", 0));
+
+  StreamSessionConfig session;
+  session.detector.window = window;
+  session.detector.detection_interval = interval;
+  session.detector.max_out_of_order = flags.GetInt("max-out-of-order", 0);
+  session.detector.min_component_edges =
+      flags.GetInt("min-component-edges", 1);
+  session.detector.ensemble = EnsembleFromFlags(flags);
+  session.publish_name = register_name;
+  flags.DieOnUnknown();
+
+  auto preset = ParsePreset(preset_name);
+  if (!preset.ok()) {
+    std::fprintf(stderr, "error: %s\n", preset.status().ToString().c_str());
+    return 2;
+  }
+  auto dataset = GenerateJdPreset(*preset, scale, seed);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  StreamTimelineConfig timeline;
+  timeline.horizon = horizon;
+  timeline.burst_duration = burst;
+  timeline.seed = seed + 1;
+  auto events = BuildTransactionStream(*dataset, timeline);
+  if (!events.ok()) {
+    std::fprintf(stderr, "error: %s\n", events.status().ToString().c_str());
+    return 1;
+  }
+  auto batches = SliceIntoBatches(*events, batch_events);
+  if (!batches.ok()) {
+    std::fprintf(stderr, "error: %s\n", batches.status().ToString().c_str());
+    return 1;
+  }
+  session.detector.num_users = dataset->graph.num_users();
+  session.detector.num_merchants = dataset->graph.num_merchants();
+  // This tool enqueues the whole replay up front while one drainer does
+  // the detections; size the session queue to the replay so backpressure
+  // (meant for live producers that can retry) never aborts it.
+  session.max_queued_batches =
+      std::max<int64_t>(64, static_cast<int64_t>(batches->size()));
+  std::fprintf(stderr,
+               "[stream-replay] %s scale=%.4g: %zu events in %zu batches, "
+               "window=%lld interval=%lld\n",
+               preset_name.c_str(), scale, events->size(), batches->size(),
+               (long long)window, (long long)interval);
+
+  GraphRegistry registry;
+  DetectionService service(&registry, pool);
+  auto stream = service.OpenStream(session);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "error: %s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+
+  WallTimer timer;
+  uint64_t reported = 0;
+  for (const IngestBatch& batch : *batches) {
+    Status st = service.IngestBatch(*stream, batch);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    // Narrate each fired detection as the stream advances (poll is
+    // non-blocking; with a pool the report may trail the ingest).
+    auto state = service.PollReport(*stream);
+    if (state.ok() && state->reports_generated > reported) {
+      reported = state->reports_generated;
+      const StreamingDetectionStats& s = state->report_stats;
+      std::fprintf(stderr,
+                   "[stream-replay] report #%llu epoch=%llu: %lld "
+                   "components (%lld reused, %lld recomputed, %.0f%% of "
+                   "edges clean)\n",
+                   (unsigned long long)reported,
+                   (unsigned long long)state->report_epoch,
+                   (long long)s.components_eligible,
+                   (long long)s.components_reused,
+                   (long long)s.components_recomputed,
+                   s.edges_total > 0
+                       ? 100.0 * (1.0 - (double)s.edges_recomputed /
+                                            (double)s.edges_total)
+                       : 0.0);
+    }
+  }
+  auto final_state = service.FinishStream(*stream);
+  if (!final_state.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 final_state.status().ToString().c_str());
+    return 1;
+  }
+  if (!final_state->error.ok()) {
+    std::fprintf(stderr, "error: stream failed: %s\n",
+                 final_state->error.ToString().c_str());
+    return 1;
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  std::fprintf(stderr,
+               "[stream-replay] %lld events, %llu detections in %s "
+               "(%.0f events/s incl. detection)\n",
+               (long long)final_state->events_ingested,
+               (unsigned long long)final_state->reports_generated,
+               FormatDuration(seconds).c_str(),
+               seconds > 0 ? final_state->events_ingested / seconds : 0.0);
+  if (!register_name.empty()) {
+    auto snapshot = registry.Get(register_name);
+    if (snapshot.ok()) {
+      std::fprintf(stderr,
+                   "[stream-replay] registry '%s' v%llu fingerprint "
+                   "%016llx (%lld edges live)\n",
+                   register_name.c_str(),
+                   (unsigned long long)snapshot->version,
+                   (unsigned long long)snapshot->fingerprint,
+                   (long long)snapshot->graph->num_edges());
+    }
+  }
+  PrintCacheStats(service);
+
+  const EnsemFDetConfig& ensemble = session.detector.ensemble;
+  const int threshold =
+      t_flag > 0 ? t_flag : std::max(1, ensemble.num_samples / 10);
+  auto suspicious = final_state->report->AcceptedUsers(threshold);
+  std::fprintf(stderr,
+               "[stream-replay] final window: N=%d S=%.3f T=%d -> %zu "
+               "suspicious users\n",
+               ensemble.num_samples, ensemble.ratio, threshold,
+               suspicious.size());
+  for (UserId u : suspicious) std::printf("%u\n", u);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // bench-report: emit the BENCH_peeling.json / BENCH_ensemble.json perf
 // baselines (bench/README.md documents the schema; CI validates and
 // uploads them). The measurements live in bench/perf_harness.cc so the
@@ -570,7 +737,12 @@ int CmdBenchReport(Flags& flags) {
     return 1;
   }
 
+  bench::StreamBenchOptions stream;
+  stream.seed = graph_spec.seed;
+  stream.repeats = std::max(1, repeats / 2);
+
   bench::EnsembleBenchSummary ensemble_summary;
+  bench::StreamBenchSummary stream_summary;
   struct Report {
     const char* file;
     Result<std::string> json;
@@ -578,6 +750,7 @@ int CmdBenchReport(Flags& flags) {
       {"BENCH_peeling.json", bench::RunPeelingBench(peeling)},
       {"BENCH_ensemble.json",
        bench::RunEnsembleBench(ensemble, &ensemble_summary)},
+      {"BENCH_stream.json", bench::RunStreamBench(stream, &stream_summary)},
   };
   for (Report& report : reports) {
     if (!report.json.ok()) {
@@ -603,6 +776,15 @@ int CmdBenchReport(Flags& flags) {
                "across a warm run (%.3g per member; 0 == perfect reuse)\n",
                static_cast<long long>(ensemble_summary.arena_grow_events),
                ensemble_summary.arena_grow_per_member);
+  std::fprintf(stderr,
+               "[bench-report] stream incremental vs full-rebuild: %.2fx "
+               "(%.0f vs %.0f events/s, %.0f%% component reuse, vote "
+               "parity verified at %lld boundaries)\n",
+               stream_summary.incremental_speedup,
+               stream_summary.events_per_second_incremental,
+               stream_summary.events_per_second_full_rebuild,
+               100.0 * stream_summary.component_reuse_fraction,
+               static_cast<long long>(stream_summary.detections));
   return 0;
 }
 
@@ -615,6 +797,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "detect") return CmdDetect(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "stream-replay") return CmdStreamReplay(flags);
   if (command == "bench-smoke") return CmdBenchSmoke(flags);
   if (command == "bench-report") return CmdBenchReport(flags);
   if (command == "help" || command == "--help") return Usage();
