@@ -1,0 +1,43 @@
+// bench_storage: the snapshot-loading perf baseline. Loads the same
+// dataset1-preset graph three ways — TSV parse, streaming binary read of a
+// .efg snapshot, and mmap zero-copy open (without and with fingerprint
+// verification) — verifies every reader reproduces the writer's content
+// fingerprint, and writes BENCH_storage.json (schema: bench/README.md).
+//
+// Environment knobs: ENSEMFDET_SCALE (default 0.02), ENSEMFDET_SEED
+// (default 7), ENSEMFDET_REPEATS (default 5), ENSEMFDET_BENCH_OUT
+// (default ./BENCH_storage.json, "-" = stdout only).
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "perf_harness.h"
+
+int main() {
+  using namespace ensemfdet;
+  bench::StorageBenchOptions options;
+  options.graph.scale = GetEnvDouble("ENSEMFDET_SCALE", options.graph.scale);
+  options.graph.seed = static_cast<uint64_t>(
+      GetEnvInt64("ENSEMFDET_SEED", static_cast<int64_t>(options.graph.seed)));
+  options.repeats = GetEnvInt("ENSEMFDET_REPEATS", options.repeats);
+
+  auto json = bench::RunStorageBench(options);
+  if (!json.ok()) {
+    std::fprintf(stderr, "bench_storage: %s\n",
+                 json.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(json->c_str(), stdout);
+
+  const std::string out_path =
+      GetEnvString("ENSEMFDET_BENCH_OUT", "BENCH_storage.json");
+  if (out_path != "-") {
+    Status st = bench::WriteTextFile(out_path, *json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_storage: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench_storage] wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

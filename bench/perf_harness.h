@@ -95,10 +95,40 @@ struct StreamBenchSummary {
   double edge_recompute_fraction = 0.0;
 };
 
+struct StorageBenchOptions {
+  PerfGraphSpec graph;
+  int repeats = 5;
+  /// Directory for the transient bench files (TSV + .efg); empty = the
+  /// system temp directory.
+  std::string scratch_dir;
+};
+
+/// Headline numbers of the storage bench, duplicated out of the JSON.
+struct StorageBenchSummary {
+  /// tsv_parse ÷ mmap_open_verified seconds — the PR acceptance headline
+  /// (snapshot loading must beat TSV parsing even when it re-hashes the
+  /// whole payload).
+  double mmap_verified_speedup_vs_tsv = 0.0;
+  /// tsv_parse ÷ binary_read (the streaming, owning-copy reader).
+  double binary_read_speedup_vs_tsv = 0.0;
+  double tsv_bytes = 0.0;
+  double efg_bytes = 0.0;
+};
+
 /// Runs the peeling bench (adjacency vs CSR, single peel + full FDET) and
 /// returns the BENCH_peeling.json document. Fails with Internal if the
 /// CSR path's results are not identical to the adjacency path's.
 Result<std::string> RunPeelingBench(const PeelingBenchOptions& options);
+
+/// Runs the storage bench and returns the BENCH_storage.json document
+/// (schema_version 1): the same dataset1-preset graph loaded three ways —
+/// TSV parse, streaming binary read, and mmap zero-copy open (without and
+/// with fingerprint verification) — plus file sizes and speedups. Before
+/// anything is timed it writes the snapshot and verifies that BOTH
+/// readers reproduce the writer's content fingerprint, refusing to emit
+/// (Internal) on any mismatch.
+Result<std::string> RunStorageBench(const StorageBenchOptions& options,
+                                    StorageBenchSummary* summary = nullptr);
 
 /// Runs the incremental-ingest stream bench and returns the
 /// BENCH_stream.json document (schema_version 1): the same

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "graph/graph_builder.h"
+#include "storage/snapshot_writer.h"
 
 namespace ensemfdet {
 
@@ -152,6 +153,32 @@ void DynamicGraphStore::Compact() {
   ++stats_.compactions;
 }
 
+DynamicGraphStore::SortedDelta DynamicGraphStore::BuildSortedDelta() const {
+  SortedDelta delta;
+  delta.adds.reserve(added_.size());
+  // Packed keys sort as canonical (user, merchant) pairs, and std::set
+  // iterates them ascending.
+  for (uint64_t key : added_) {
+    delta.adds.push_back({static_cast<UserId>(key >> 32),
+                          static_cast<MerchantId>(key & 0xffffffffu)});
+  }
+  delta.adds_by_merchant = delta.adds;
+  std::sort(delta.adds_by_merchant.begin(), delta.adds_by_merchant.end(),
+            [](const Edge& a, const Edge& b) {
+              if (a.merchant != b.merchant) return a.merchant < b.merchant;
+              return a.user < b.user;
+            });
+  delta.dead.assign(dead_.begin(), dead_.end());
+  std::sort(delta.dead.begin(), delta.dead.end());
+  delta.touched_users.assign(touched_users_.begin(), touched_users_.end());
+  std::sort(delta.touched_users.begin(), delta.touched_users.end());
+  delta.touched_merchants.assign(touched_merchants_.begin(),
+                                 touched_merchants_.end());
+  std::sort(delta.touched_merchants.begin(),
+            delta.touched_merchants.end());
+  return delta;
+}
+
 GraphVersion DynamicGraphStore::Publish() {
   const int64_t threshold =
       std::max(config_.min_compaction_delta,
@@ -167,30 +194,181 @@ GraphVersion DynamicGraphStore::Publish() {
   rep->compacted = compact_now;
   rep->base = base_;
 
-  rep->adds.reserve(added_.size());
-  for (uint64_t key : added_) {
-    rep->adds.push_back({static_cast<UserId>(key >> 32),
-                         static_cast<MerchantId>(key & 0xffffffffu)});
-  }
-  rep->adds_by_merchant = rep->adds;
-  std::sort(rep->adds_by_merchant.begin(), rep->adds_by_merchant.end(),
-            [](const Edge& a, const Edge& b) {
-              if (a.merchant != b.merchant) return a.merchant < b.merchant;
-              return a.user < b.user;
-            });
-  rep->dead.assign(dead_.begin(), dead_.end());
-  std::sort(rep->dead.begin(), rep->dead.end());
-
-  rep->touched_users.assign(touched_users_.begin(), touched_users_.end());
-  std::sort(rep->touched_users.begin(), rep->touched_users.end());
-  rep->touched_merchants.assign(touched_merchants_.begin(),
-                                touched_merchants_.end());
-  std::sort(rep->touched_merchants.begin(), rep->touched_merchants.end());
+  SortedDelta delta = BuildSortedDelta();
+  rep->adds = std::move(delta.adds);
+  rep->adds_by_merchant = std::move(delta.adds_by_merchant);
+  rep->dead = std::move(delta.dead);
+  rep->touched_users = std::move(delta.touched_users);
+  rep->touched_merchants = std::move(delta.touched_merchants);
   touched_users_.clear();
   touched_merchants_.clear();
 
   ++stats_.publishes;
   return GraphVersion(std::move(rep));
+}
+
+Status DynamicGraphStore::SaveCheckpoint(
+    const std::string& path, const storage::DetectorClockRecord* clock,
+    std::span<const storage::ReorderEventRecord> reorder) const {
+  const SortedDelta delta = BuildSortedDelta();
+
+  // The header fingerprint covers the live set (base − dead + adds); a
+  // transient version over shared state computes it with the one shared
+  // merge + hash recipe.
+  const uint64_t fingerprint =
+      GraphVersion::FromSnapshotParts(epoch_, config_.num_users,
+                                      config_.num_merchants,
+                                      /*compacted=*/false, base_,
+                                      delta.adds, delta.dead, {}, {})
+          .ContentFingerprint();
+
+  storage::SnapshotWriter writer(storage::PayloadKind::kStoreCheckpoint,
+                                 config_.num_users, config_.num_merchants,
+                                 live_edges(), fingerprint);
+  storage::AddCsrGraphSections(&writer, *base_);
+  storage::VersionScalarsRecord scalars;
+  scalars.epoch = epoch_;
+  writer.AddSection(storage::SectionId::kVersionScalars, &scalars,
+                    sizeof(scalars));
+  writer.AddSection(storage::SectionId::kDeltaAdds, delta.adds.data(),
+                    delta.adds.size() * sizeof(Edge));
+  writer.AddSection(storage::SectionId::kDeltaDead, delta.dead.data(),
+                    delta.dead.size() * sizeof(EdgeId));
+  writer.AddSection(storage::SectionId::kTouchedUsers,
+                    delta.touched_users.data(),
+                    delta.touched_users.size() * sizeof(UserId));
+  writer.AddSection(storage::SectionId::kTouchedMerchants,
+                    delta.touched_merchants.data(),
+                    delta.touched_merchants.size() * sizeof(MerchantId));
+
+  storage::StoreStateRecord state;
+  state.cfg_num_users = config_.num_users;
+  state.cfg_num_merchants = config_.num_merchants;
+  state.cfg_window = config_.window;
+  state.cfg_compaction_factor = config_.compaction_factor;
+  state.cfg_min_compaction_delta = config_.min_compaction_delta;
+  state.newest_timestamp = newest_;
+  state.epoch = epoch_;
+  state.events_ingested = stats_.events_ingested;
+  state.events_evicted = stats_.events_evicted;
+  state.edges_added = stats_.edges_added;
+  state.edges_removed = stats_.edges_removed;
+  state.publishes = stats_.publishes;
+  state.compactions = stats_.compactions;
+  writer.AddSection(storage::SectionId::kStoreState, &state, sizeof(state));
+
+  std::vector<storage::SnapshotTransaction> window;
+  window.reserve(window_.size());
+  for (const Transaction& tx : window_) {
+    window.push_back({tx.timestamp, tx.user, tx.merchant});
+  }
+  writer.AddSection(storage::SectionId::kWindowEvents, window.data(),
+                    window.size() * sizeof(storage::SnapshotTransaction));
+
+  if (clock != nullptr) {
+    writer.AddSection(storage::SectionId::kDetectorClock, clock,
+                      sizeof(*clock));
+    writer.AddSection(
+        storage::SectionId::kReorderEvents, reorder.data(),
+        reorder.size() * sizeof(storage::ReorderEventRecord));
+  }
+  return writer.Write(path);
+}
+
+Result<DynamicGraphStore> DynamicGraphStore::FromCheckpoint(
+    storage::StoreCheckpointParts parts) {
+  DynamicGraphStoreConfig config;
+  config.num_users = parts.state.cfg_num_users;
+  config.num_merchants = parts.state.cfg_num_merchants;
+  config.window = parts.state.cfg_window;
+  config.compaction_factor = parts.state.cfg_compaction_factor;
+  config.min_compaction_delta = parts.state.cfg_min_compaction_delta;
+  ENSEMFDET_ASSIGN_OR_RETURN(DynamicGraphStore store,
+                             DynamicGraphStore::Create(config));
+
+  store.base_ =
+      std::make_shared<const CsrGraph>(std::move(parts.version.base));
+  store.epoch_ = parts.state.epoch;
+  store.newest_ = parts.state.newest_timestamp;
+  store.stats_.events_ingested = parts.state.events_ingested;
+  store.stats_.events_evicted = parts.state.events_evicted;
+  store.stats_.edges_added = parts.state.edges_added;
+  store.stats_.edges_removed = parts.state.edges_removed;
+  store.stats_.publishes = parts.state.publishes;
+  store.stats_.compactions = parts.state.compactions;
+  for (const Edge& e : parts.version.adds) {
+    store.added_.insert(PackEdge(e.user, e.merchant));
+  }
+  store.dead_.insert(parts.version.dead.begin(), parts.version.dead.end());
+  store.touched_users_.insert(parts.version.touched_users.begin(),
+                              parts.version.touched_users.end());
+  store.touched_merchants_.insert(parts.version.touched_merchants.begin(),
+                                  parts.version.touched_merchants.end());
+  for (const storage::SnapshotTransaction& tx : parts.window) {
+    store.window_.push_back({tx.timestamp, tx.user, tx.merchant});
+    ++store.multiplicity_[PackEdge(tx.user, tx.merchant)];
+  }
+
+  // The reader proved per-section invariants; what remains is the
+  // cross-section consistency the store's CHECKed invariants depend on —
+  // a checkpoint whose window disagrees with its base/delta must fail
+  // here as a Status, not abort (or corrupt) later.
+  const int64_t live = store.base_->num_edges() -
+                       static_cast<int64_t>(store.dead_.size()) +
+                       static_cast<int64_t>(store.added_.size());
+  if (static_cast<int64_t>(store.multiplicity_.size()) != live) {
+    return Status::IOError(
+        "corrupt checkpoint: window events disagree with base/delta live "
+        "set (" +
+        std::to_string(store.multiplicity_.size()) + " distinct vs " +
+        std::to_string(live) + " live)");
+  }
+  for (const auto& [key, mult] : store.multiplicity_) {
+    const UserId u = static_cast<UserId>(key >> 32);
+    const MerchantId v = static_cast<MerchantId>(key & 0xffffffffu);
+    const EdgeId base_edge = store.FindBaseEdge(u, v);
+    const bool live_here = base_edge >= 0 ? store.dead_.count(base_edge) == 0
+                                          : store.added_.count(key) == 1;
+    if (!live_here) {
+      return Status::IOError(
+          "corrupt checkpoint: window edge (" + std::to_string(u) + ", " +
+          std::to_string(v) + ") is not live in base/delta");
+    }
+    if (base_edge >= 0 && store.added_.count(key) != 0) {
+      return Status::IOError(
+          "corrupt checkpoint: base edge also present in delta adds");
+    }
+  }
+  if (!store.window_.empty() &&
+      store.newest_ < store.window_.back().timestamp) {
+    return Status::IOError(
+        "corrupt checkpoint: newest timestamp behind the window");
+  }
+
+  // End-to-end integrity gate: the restored live set must hash to the
+  // writer's fingerprint.
+  std::vector<EdgeId> dead(store.dead_.begin(), store.dead_.end());
+  std::sort(dead.begin(), dead.end());
+  const uint64_t fingerprint =
+      GraphVersion::FromSnapshotParts(store.epoch_, config.num_users,
+                                      config.num_merchants,
+                                      /*compacted=*/false, store.base_,
+                                      parts.version.adds, std::move(dead),
+                                      {}, {})
+          .ContentFingerprint();
+  if (fingerprint != parts.version.content_fingerprint) {
+    return Status::IOError(
+        "corrupt checkpoint: restored live set does not hash to the "
+        "writer's content fingerprint");
+  }
+  return store;
+}
+
+Result<DynamicGraphStore> DynamicGraphStore::RestoreCheckpoint(
+    const std::string& path) {
+  ENSEMFDET_ASSIGN_OR_RETURN(storage::StoreCheckpointParts parts,
+                             storage::ReadStoreCheckpoint(path));
+  return FromCheckpoint(std::move(parts));
 }
 
 }  // namespace ensemfdet

@@ -31,6 +31,8 @@
 #include <deque>
 #include <memory>
 #include <set>
+#include <span>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -38,6 +40,8 @@
 #include "graph/csr_graph.h"
 #include "ingest/graph_version.h"
 #include "ingest/ingest_batch.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_reader.h"
 
 namespace ensemfdet {
 
@@ -87,6 +91,32 @@ class DynamicGraphStore {
   /// Bumps the epoch; clears the dirty frontier.
   GraphVersion Publish();
 
+  /// Serializes the store's complete state — base CSR, delta-log, window
+  /// events (the future-eviction clock), dirty frontier, epoch, counters
+  /// — as a kStoreCheckpoint .efg snapshot, so FromCheckpoint() resumes
+  /// byte-for-byte where this store stands. Read-only: no epoch bump, no
+  /// frontier clear, the store is untouched. `clock`/`reorder` piggyback
+  /// WindowedDetector state (null/empty for a bare store checkpoint).
+  /// O(|window| + |base| + |delta|).
+  Status SaveCheckpoint(
+      const std::string& path,
+      const storage::DetectorClockRecord* clock = nullptr,
+      std::span<const storage::ReorderEventRecord> reorder = {}) const;
+
+  /// Rebuilds a store from deserialized checkpoint parts
+  /// (storage::ReadStoreCheckpoint). Re-derives the live multiset from
+  /// the window events, cross-checks it against base − dead + adds, and
+  /// re-verifies the live-set content fingerprint — an inconsistent or
+  /// tampered checkpoint fails with IOError, never corrupts a store.
+  static Result<DynamicGraphStore> FromCheckpoint(
+      storage::StoreCheckpointParts parts);
+
+  /// Convenience: ReadStoreCheckpoint + FromCheckpoint (detector clock
+  /// sections, if present, are ignored — WindowedDetector::
+  /// ResumeFromCheckpoint consumes those).
+  static Result<DynamicGraphStore> RestoreCheckpoint(
+      const std::string& path);
+
   /// Distinct live (user, merchant) edges in the window.
   int64_t live_edges() const {
     return static_cast<int64_t>(multiplicity_.size());
@@ -116,6 +146,19 @@ class DynamicGraphStore {
 
   /// Base EdgeId of (u, v), or -1 when the pair is not a base edge.
   EdgeId FindBaseEdge(UserId u, MerchantId v) const;
+
+  /// The delta-log + dirty frontier in the canonical sorted orders the
+  /// GraphVersion invariants (and the snapshot reader) demand. One
+  /// producer shared by Publish() and SaveCheckpoint() so the ordering
+  /// contract can never diverge between live versions and checkpoints.
+  struct SortedDelta {
+    std::vector<Edge> adds;              ///< ascending (user, merchant)
+    std::vector<Edge> adds_by_merchant;  ///< ascending (merchant, user)
+    std::vector<EdgeId> dead;            ///< ascending
+    std::vector<UserId> touched_users;   ///< ascending
+    std::vector<MerchantId> touched_merchants;  ///< ascending
+  };
+  SortedDelta BuildSortedDelta() const;
 
   void AddLiveEdge(UserId u, MerchantId v, IngestStats* stats);
   void EvictExpired(IngestStats* stats);

@@ -188,6 +188,23 @@ class GraphVersion {
   /// the delta-log is empty the base itself is returned (zero cost).
   std::shared_ptr<const CsrGraph> MaterializeCsr() const;
 
+  /// Serializes this version (base + delta-log + epoch) as a
+  /// kGraphVersion .efg snapshot (storage/snapshot_format.h). The header
+  /// fingerprint is ContentFingerprint(), which LoadGraphVersionSnapshot
+  /// re-verifies.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Reassembles a version from validated snapshot parts (the ingest-side
+  /// glue over storage::ReadGraphVersionSnapshot; prefer
+  /// LoadGraphVersionSnapshot below). The parts must satisfy the delta-log
+  /// invariants in the file comment — the snapshot reader proves them.
+  static GraphVersion FromSnapshotParts(
+      uint64_t epoch, int64_t num_users, int64_t num_merchants,
+      bool compacted, std::shared_ptr<const CsrGraph> base,
+      std::vector<Edge> adds, std::vector<EdgeId> dead,
+      std::vector<UserId> touched_users,
+      std::vector<MerchantId> touched_merchants);
+
  private:
   friend class DynamicGraphStore;
 
@@ -215,6 +232,13 @@ class GraphVersion {
 
   std::shared_ptr<const Rep> rep_;
 };
+
+/// Loads a kGraphVersion snapshot written by GraphVersion::SaveSnapshot
+/// (or embedded in a store checkpoint), re-verifying the live-set content
+/// fingerprint against the header — a version restored from disk is
+/// interchangeable with the original (same ContentFingerprint, so the
+/// streaming detector's content-derived ensembles reproduce bit-exactly).
+Result<GraphVersion> LoadGraphVersionSnapshot(const std::string& path);
 
 }  // namespace ensemfdet
 

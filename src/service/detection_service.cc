@@ -459,6 +459,12 @@ Result<StreamId> DetectionService::OpenStream(StreamSessionConfig config) {
   }
 
   auto session = std::make_shared<StreamSession>(std::move(config), pool_);
+  if (!session->config.resume_checkpoint.empty()) {
+    // Restore before the session is visible: a bad checkpoint fails the
+    // open synchronously instead of poisoning the first batch.
+    ENSEMFDET_RETURN_NOT_OK(session->detector.ResumeFromCheckpoint(
+        session->config.resume_checkpoint));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (shutting_down_) {
     return Status::FailedPrecondition("service is shutting down");
@@ -466,6 +472,53 @@ Result<StreamId> DetectionService::OpenStream(StreamSessionConfig config) {
   session->id = next_stream_id_++;
   streams_[session->id] = session;
   return session->id;
+}
+
+Status DetectionService::SaveStreamCheckpoint(StreamId id,
+                                              const std::string& path) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ENSEMFDET_ASSIGN_OR_RETURN(session, FindStream(id));
+    if (session->closed) {
+      return Status::FailedPrecondition("stream #" + std::to_string(id) +
+                                        " is closed");
+    }
+    if (!session->error.ok()) return session->error;
+    WaitStreamIdle(&lock, session);
+    // Re-check after the wait: a concurrent CloseStream/FinishStream may
+    // have closed (and removed) the session while the lock was released.
+    if (session->closed) {
+      return Status::FailedPrecondition("stream #" + std::to_string(id) +
+                                        " is closed");
+    }
+    if (!session->error.ok()) return session->error;
+    // Claim the detector so no drainer can mutate it while the
+    // checkpoint is written (file IO must not run under the mutex).
+    session->draining = true;
+  }
+  const Status saved = session->detector.SaveCheckpoint(path);
+  bool restart_drain = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Batches that queued while the detector was claimed found
+    // `draining` set and did not start a drainer — restart one here.
+    if (session->queue.empty()) {
+      session->draining = false;
+    } else {
+      restart_drain = true;
+      ++tasks_in_flight_;
+    }
+    job_done_cv_.notify_all();
+  }
+  if (restart_drain) {
+    if (pool_ != nullptr) {
+      pool_->Submit([this, session] { DrainStream(session); });
+    } else {
+      DrainStream(session);
+    }
+  }
+  return saved;
 }
 
 Result<std::shared_ptr<DetectionService::StreamSession>>

@@ -113,6 +113,14 @@ struct StreamSessionConfig {
   bool cache_reports = true;
   /// Backpressure: max batches queued (not yet applied) per session.
   int64_t max_queued_batches = 64;
+  /// When set, the session resumes from a kStoreCheckpoint .efg snapshot
+  /// (WindowedDetector::ResumeFromCheckpoint) instead of an empty window:
+  /// window contents, detection clock, and reorder buffer pick up where
+  /// the checkpointed session stood, and — because detection randomness
+  /// is content-derived — subsequent reports are bit-identical to an
+  /// uninterrupted session over the same stream. OpenStream fails with
+  /// the reader's Status on a missing/corrupt/mismatched checkpoint.
+  std::string resume_checkpoint;
 };
 
 /// Hash of everything that affects a streaming session's detection output
@@ -264,6 +272,15 @@ class DetectionService {
 
   /// Drains the queue and removes the session without a final detection.
   Status CloseStream(StreamId id);
+
+  /// Drains the session's queue, then checkpoints its detector state
+  /// (window + delta-log + detection clock + reorder buffer) to `path`
+  /// as a kStoreCheckpoint .efg snapshot. The session stays open and
+  /// usable; a later OpenStream with `resume_checkpoint = path` resumes
+  /// it bit-exactly (see StreamSessionConfig). Blocks until the queue is
+  /// idle; fails on closed/unknown streams or with the session's sticky
+  /// error.
+  Status SaveStreamCheckpoint(StreamId id, const std::string& path);
 
   /// Sessions currently open.
   int64_t open_streams() const;

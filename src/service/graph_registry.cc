@@ -6,6 +6,8 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
 
 namespace ensemfdet {
 
@@ -51,6 +53,41 @@ Result<GraphSnapshot> GraphRegistry::PublishVersion(
   // The representation-independence contract this API exists for.
   ENSEMFDET_DCHECK(FingerprintGraph(*graph) == fingerprint)
       << "GraphVersion fingerprint diverged from the materialized graph";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  entry.version += 1;
+  entry.fingerprint = fingerprint;
+  entry.graph = std::move(graph);
+  entry.csr = std::move(csr);
+  return GraphSnapshot{name, entry.version, entry.fingerprint, entry.graph,
+                       entry.csr};
+}
+
+Status GraphRegistry::SaveSnapshot(const std::string& name,
+                                   const std::string& path) const {
+  ENSEMFDET_ASSIGN_OR_RETURN(GraphSnapshot snapshot, Get(name));
+  // WriteCsrGraphSnapshot stamps FingerprintGraph(csr) into the header,
+  // which equals the snapshot's fingerprint by the registry invariant.
+  return storage::WriteCsrGraphSnapshot(*snapshot.csr, path);
+}
+
+Result<GraphSnapshot> GraphRegistry::LoadSnapshot(const std::string& name,
+                                                  const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("registry: graph name must be non-empty");
+  }
+  ENSEMFDET_ASSIGN_OR_RETURN(storage::MappedCsrGraph mapped,
+                             storage::MappedCsrGraph::Open(path));
+  // Never publish content that does not hash to the writer's claim.
+  ENSEMFDET_RETURN_NOT_OK(mapped.VerifyFingerprint());
+  // The CSR stays a zero-copy view (its backing handle keeps the mapping
+  // alive); the adjacency form is materialized from it once for the
+  // baseline detectors and evaluation paths.
+  std::shared_ptr<const CsrGraph> csr = mapped.shared();
+  auto graph =
+      std::make_shared<const BipartiteGraph>(csr->ToBipartite());
+  const uint64_t fingerprint = mapped.fingerprint();
 
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];

@@ -73,6 +73,23 @@ class GraphRegistry {
   Result<GraphSnapshot> PublishVersion(const std::string& name,
                                        const GraphVersion& version);
 
+  /// Writes the named snapshot's CSR form as a kCsrGraph .efg binary
+  /// snapshot (storage/snapshot_writer.h) — the registry's warm-start /
+  /// snapshot-shipping format. NotFound when `name` is not published.
+  Status SaveSnapshot(const std::string& name,
+                      const std::string& path) const;
+
+  /// Publishes the graph stored in an .efg snapshot under `name`, serving
+  /// the CSR form zero-copy off a file mapping (ensemble jobs run
+  /// directly on the mapped arrays; the adjacency form is materialized
+  /// for baseline detectors). The file's content fingerprint is
+  /// re-verified against the mapped payload before anything is published
+  /// — and it becomes the snapshot's fingerprint, so ResultCache keys
+  /// stay representation-independent: a job over a snapshot-loaded graph
+  /// cache-hits against the same content published from TSV.
+  Result<GraphSnapshot> LoadSnapshot(const std::string& name,
+                                     const std::string& path);
+
   /// Current snapshot for `name`; NotFound if absent.
   Result<GraphSnapshot> Get(const std::string& name) const;
 

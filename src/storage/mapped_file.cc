@@ -1,0 +1,79 @@
+#include "storage/mapped_file.h"
+
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ENSEMFDET_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define ENSEMFDET_HAVE_MMAP 0
+#endif
+
+namespace ensemfdet {
+namespace storage {
+
+Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+#if ENSEMFDET_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " +
+                           std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError(path + " is not a regular file");
+  }
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* addr =
+        ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot mmap " + path + ": " +
+                             std::strerror(err));
+    }
+    file->data_ = static_cast<const std::byte*>(addr);
+    file->is_mmap_ = true;
+  }
+  ::close(fd);  // the mapping outlives the descriptor
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot size " + path);
+  file->fallback_.resize(static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(file->fallback_.data()), size)) {
+    return Status::IOError("short read from " + path);
+  }
+  file->size_ = file->fallback_.size();
+  file->data_ = file->fallback_.empty() ? nullptr : file->fallback_.data();
+#endif
+  return std::shared_ptr<const MappedFile>(std::move(file));
+}
+
+MappedFile::~MappedFile() {
+#if ENSEMFDET_HAVE_MMAP
+  if (is_mmap_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace storage
+}  // namespace ensemfdet

@@ -1,0 +1,53 @@
+// MappedFile: a read-only, shareable mapping of a whole file — the
+// lifetime anchor behind every zero-copy CsrGraph view the snapshot
+// reader hands out (the view's backing shared_ptr keeps the mapping alive
+// for as long as any copy of the graph exists; see DESIGN.md §"Snapshot
+// format" for the ownership rules).
+//
+// On POSIX hosts this is mmap(PROT_READ, MAP_PRIVATE); elsewhere it
+// degrades to a heap buffer filled by one buffered read — same interface,
+// same lifetime semantics, no zero-copy. Either way the bytes are
+// immutable for the mapping's lifetime.
+#ifndef ENSEMFDET_STORAGE_MAPPED_FILE_H_
+#define ENSEMFDET_STORAGE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ensemfdet {
+namespace storage {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. IOError when the file cannot be opened,
+  /// stat'ed, or mapped. A zero-length file maps to data() == nullptr,
+  /// size() == 0.
+  static Result<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when the bytes live in a real mmap (false on the heap fallback).
+  bool is_mmap() const { return is_mmap_; }
+
+ private:
+  MappedFile() = default;
+
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+  bool is_mmap_ = false;
+  std::vector<std::byte> fallback_;  // used when !is_mmap_
+};
+
+}  // namespace storage
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_STORAGE_MAPPED_FILE_H_

@@ -1,0 +1,167 @@
+// On-disk layout of the .efg binary snapshot format — the versioned,
+// little-endian container every snapshot writer/reader in the repo speaks
+// (see DESIGN.md §"Snapshot format" for the layout diagram and contracts).
+//
+// A file is:
+//
+//   [SnapshotHeader: 64 bytes]
+//   [SectionEntry × section_count]
+//   [section payloads, each starting at a 64-byte-aligned file offset,
+//    zero-padded up to the next section]
+//
+// Section payloads are raw little-endian arrays in exactly the in-memory
+// layout CsrGraph uses (int64/uint32/double), which is what makes the
+// mmap reader zero-copy: a validated section pointer IS the array. The
+// 64-byte alignment guarantees every element type's natural alignment off
+// a page-aligned mapping (and keeps arrays cache-line aligned).
+//
+// Integrity model:
+//  * `endian_tag` + `magic` reject foreign/byte-swapped files up front.
+//  * `schema_version` gates incompatible layout changes (readers reject
+//    unknown versions with FailedPrecondition, never guess).
+//  * `content_fingerprint` is graph/fingerprint.h's hash of the payload's
+//    live edge set; readers re-verify it so a bit-rotted file can never
+//    impersonate its source graph.
+//  * `file_size` detects truncation before any section is touched.
+//
+// Corrupt input is an *error*, never UB: every reader validates bounds,
+// alignment, and the full CSR structural invariants before handing out a
+// graph (pinned by tests/storage_test.cc under ASan/UBSan in CI).
+#ifndef ENSEMFDET_STORAGE_SNAPSHOT_FORMAT_H_
+#define ENSEMFDET_STORAGE_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+
+namespace ensemfdet {
+namespace storage {
+
+/// "EFGSNAP1" as a little-endian u64 (file starts with these 8 bytes).
+inline constexpr uint64_t kSnapshotMagic = 0x3150414E53474645ull;
+/// Written as 0x0A0B0C0D; reads back differently on a byte-swapped host.
+inline constexpr uint32_t kEndianTag = 0x0A0B0C0Du;
+inline constexpr uint32_t kSchemaVersion = 1;
+/// Every section payload starts at a multiple of this file offset.
+inline constexpr uint64_t kSectionAlignment = 64;
+
+/// What the file contains (header.payload_kind).
+enum class PayloadKind : uint32_t {
+  /// A plain CsrGraph: sections 1..7.
+  kCsrGraph = 1,
+  /// An ingest GraphVersion: base CSR (1..7) + delta sections (16..20).
+  kGraphVersion = 2,
+  /// A DynamicGraphStore checkpoint: GraphVersion sections + store state,
+  /// window events, and (optionally) WindowedDetector clock/reorder state.
+  kStoreCheckpoint = 3,
+};
+
+enum class SectionId : uint32_t {
+  // CsrGraph arrays (element types as in graph/csr_graph.h).
+  kUserOffsets = 1,        ///< int64[num_users + 1]
+  kUserNeighbors = 2,      ///< uint32[num_edges] (slot == EdgeId)
+  kEdgeUsers = 3,          ///< uint32[num_edges]
+  kMerchantOffsets = 4,    ///< int64[num_merchants + 1]
+  kMerchantNeighbors = 5,  ///< uint32[num_edges]
+  kMerchantEdgeIds = 6,    ///< int64[num_edges]
+  kWeights = 7,            ///< double[num_edges]; absent == unweighted
+
+  // GraphVersion delta-log (against the base CSR in sections 1..7).
+  kVersionScalars = 16,    ///< VersionScalarsRecord
+  kDeltaAdds = 17,         ///< {u32 user, u32 merchant}[] canonical order
+  kDeltaDead = 18,         ///< int64[] ascending base EdgeIds
+  kTouchedUsers = 19,      ///< uint32[] ascending
+  kTouchedMerchants = 20,  ///< uint32[] ascending
+
+  // DynamicGraphStore checkpoint extras.
+  kStoreState = 32,        ///< StoreStateRecord
+  kWindowEvents = 33,      ///< SnapshotTransaction[] (timestamp order)
+  kDetectorClock = 34,     ///< DetectorClockRecord (WindowedDetector)
+  kReorderEvents = 35,     ///< ReorderEventRecord[] (WindowedDetector)
+};
+
+struct SnapshotHeader {
+  uint64_t magic = kSnapshotMagic;
+  uint32_t endian_tag = kEndianTag;
+  uint32_t schema_version = kSchemaVersion;
+  uint32_t payload_kind = 0;
+  uint32_t section_count = 0;
+  /// graph/fingerprint.h hash of the payload's *live* edge set (for a
+  /// GraphVersion/checkpoint that is base − dead + adds, not the base).
+  uint64_t content_fingerprint = 0;
+  int64_t num_users = 0;
+  int64_t num_merchants = 0;
+  /// Live edge count (== base edge count for kCsrGraph).
+  int64_t num_edges = 0;
+  /// Total file bytes, padding included (truncation detector).
+  uint64_t file_size = 0;
+};
+static_assert(sizeof(SnapshotHeader) == 64, "header is exactly 64 bytes");
+
+struct SectionEntry {
+  uint32_t id = 0;
+  uint32_t reserved = 0;
+  uint64_t offset = 0;     ///< from file start; multiple of 64
+  uint64_t byte_size = 0;  ///< payload bytes (excluding padding)
+};
+static_assert(sizeof(SectionEntry) == 24);
+
+struct VersionScalarsRecord {
+  uint64_t epoch = 0;
+  uint64_t flags = 0;  ///< bit 0: version was published compacted
+};
+static_assert(sizeof(VersionScalarsRecord) == 16);
+inline constexpr uint64_t kVersionFlagCompacted = 1;
+
+/// DynamicGraphStoreConfig + scalar runtime state + lifetime counters.
+struct StoreStateRecord {
+  int64_t cfg_num_users = 0;
+  int64_t cfg_num_merchants = 0;
+  int64_t cfg_window = 0;
+  double cfg_compaction_factor = 0.0;
+  int64_t cfg_min_compaction_delta = 0;
+  int64_t newest_timestamp = 0;
+  uint64_t epoch = 0;
+  int64_t events_ingested = 0;
+  int64_t events_evicted = 0;
+  int64_t edges_added = 0;
+  int64_t edges_removed = 0;
+  int64_t publishes = 0;
+  int64_t compactions = 0;
+};
+static_assert(sizeof(StoreStateRecord) == 104);
+
+/// WindowedDetector's detection clock (stream/windowed_detector.h).
+/// Carries the clock-shaping config knobs too: resuming under a
+/// different interval or reorder slack would silently break the
+/// bit-identical-resume contract, so the restore path rejects mismatches.
+struct DetectorClockRecord {
+  int64_t max_seen = 0;
+  int64_t last_detection = 0;
+  uint64_t next_seq = 0;
+  int64_t detection_interval = 0;
+  int64_t max_out_of_order = 0;
+};
+static_assert(sizeof(DetectorClockRecord) == 40);
+
+/// One window event. Mirrors ingest's Transaction, redeclared here so the
+/// storage layer stays below the ingest layer in the dependency order.
+struct SnapshotTransaction {
+  int64_t timestamp = 0;
+  uint32_t user = 0;
+  uint32_t merchant = 0;
+};
+static_assert(sizeof(SnapshotTransaction) == 16);
+
+/// One reorder-buffered (not yet released) event, with its arrival
+/// sequence number so equal timestamps replay in the original order.
+struct ReorderEventRecord {
+  uint64_t seq = 0;
+  int64_t timestamp = 0;
+  uint32_t user = 0;
+  uint32_t merchant = 0;
+};
+static_assert(sizeof(ReorderEventRecord) == 24);
+
+}  // namespace storage
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_STORAGE_SNAPSHOT_FORMAT_H_

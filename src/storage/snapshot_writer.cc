@@ -1,0 +1,160 @@
+#include "storage/snapshot_writer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/logging.h"
+#include "graph/fingerprint.h"
+
+namespace ensemfdet {
+namespace storage {
+
+namespace {
+
+uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+/// Forces the written bytes to stable storage before the rename commits
+/// the name — otherwise a power loss can leave a zero-filled file at the
+/// final path, destroying the checkpoint the rename was meant to
+/// preserve. No-op where fsync is unavailable.
+Status SyncFile(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot reopen " + path + " for fsync: " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync " + path + ": " + std::strerror(err));
+  }
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(PayloadKind kind, int64_t num_users,
+                               int64_t num_merchants, int64_t num_edges,
+                               uint64_t fingerprint) {
+  header_.payload_kind = static_cast<uint32_t>(kind);
+  header_.num_users = num_users;
+  header_.num_merchants = num_merchants;
+  header_.num_edges = num_edges;
+  header_.content_fingerprint = fingerprint;
+}
+
+void SnapshotWriter::AddSection(SectionId id, const void* data,
+                                uint64_t byte_size) {
+  ENSEMFDET_DCHECK(byte_size == 0 || data != nullptr);
+  sections_.push_back({id, data, byte_size});
+}
+
+Status SnapshotWriter::Write(const std::string& path) const {
+  // Lay out the file: header, section table, then 64-byte-aligned
+  // payloads in registration order.
+  SnapshotHeader header = header_;
+  header.section_count = static_cast<uint32_t>(sections_.size());
+  std::vector<SectionEntry> table(sections_.size());
+  uint64_t offset =
+      sizeof(SnapshotHeader) + sizeof(SectionEntry) * sections_.size();
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    offset = AlignUp(offset);
+    table[i].id = static_cast<uint32_t>(sections_[i].id);
+    table[i].offset = offset;
+    table[i].byte_size = sections_[i].byte_size;
+    offset += sections_[i].byte_size;
+  }
+  header.file_size = offset;
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open " + tmp + " for writing");
+    }
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(table.data()),
+              static_cast<std::streamsize>(sizeof(SectionEntry) *
+                                           table.size()));
+    static const char kPad[kSectionAlignment] = {};
+    uint64_t pos =
+        sizeof(SnapshotHeader) + sizeof(SectionEntry) * table.size();
+    for (size_t i = 0; i < sections_.size(); ++i) {
+      const uint64_t aligned = AlignUp(pos);
+      if (aligned > pos) {
+        out.write(kPad, static_cast<std::streamsize>(aligned - pos));
+        pos = aligned;
+      }
+      if (sections_[i].byte_size > 0) {
+        out.write(static_cast<const char*>(sections_[i].data),
+                  static_cast<std::streamsize>(sections_[i].byte_size));
+        pos += sections_[i].byte_size;
+      }
+    }
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return Status::IOError("short write to " + tmp);
+    }
+  }
+  Status synced = SyncFile(tmp);
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
+                           std::strerror(err));
+  }
+  return Status::OK();
+}
+
+void AddCsrGraphSections(SnapshotWriter* writer, const CsrGraph& graph) {
+  writer->AddSection(SectionId::kUserOffsets, graph.user_offsets().data(),
+                     graph.user_offsets().size_bytes());
+  writer->AddSection(SectionId::kUserNeighbors,
+                     graph.user_neighbors_flat().data(),
+                     graph.user_neighbors_flat().size_bytes());
+  writer->AddSection(SectionId::kEdgeUsers, graph.edge_users_flat().data(),
+                     graph.edge_users_flat().size_bytes());
+  writer->AddSection(SectionId::kMerchantOffsets,
+                     graph.merchant_offsets().data(),
+                     graph.merchant_offsets().size_bytes());
+  writer->AddSection(SectionId::kMerchantNeighbors,
+                     graph.merchant_neighbors_flat().data(),
+                     graph.merchant_neighbors_flat().size_bytes());
+  writer->AddSection(SectionId::kMerchantEdgeIds,
+                     graph.merchant_edge_ids_flat().data(),
+                     graph.merchant_edge_ids_flat().size_bytes());
+  if (graph.has_weights()) {
+    writer->AddSection(SectionId::kWeights, graph.weights().data(),
+                       graph.weights().size_bytes());
+  }
+}
+
+Status WriteCsrGraphSnapshot(const CsrGraph& graph,
+                             const std::string& path) {
+  SnapshotWriter writer(PayloadKind::kCsrGraph, graph.num_users(),
+                        graph.num_merchants(), graph.num_edges(),
+                        FingerprintGraph(graph));
+  AddCsrGraphSections(&writer, graph);
+  return writer.Write(path);
+}
+
+}  // namespace storage
+}  // namespace ensemfdet

@@ -1,0 +1,66 @@
+// SnapshotWriter: serializes graph payloads into the .efg container
+// (storage/snapshot_format.h). The writer is a thin section assembler —
+// callers register raw arrays (which must stay alive until Write) and the
+// writer lays them out 64-byte-aligned behind the header + section table.
+//
+// Higher layers own the payload semantics:
+//   * WriteCsrGraphSnapshot (here) — a plain CsrGraph, fingerprint
+//     computed from the graph.
+//   * GraphVersion::SaveSnapshot / DynamicGraphStore checkpoints (ingest
+//     layer) — base + delta payloads, fingerprint of the live set.
+//
+// Writes go to `path + ".tmp"` first and rename over `path` on success,
+// so a crashed writer never leaves a half-written snapshot where a reader
+// expects a valid one.
+#ifndef ENSEMFDET_STORAGE_SNAPSHOT_WRITER_H_
+#define ENSEMFDET_STORAGE_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+#include "storage/snapshot_format.h"
+
+namespace ensemfdet {
+namespace storage {
+
+class SnapshotWriter {
+ public:
+  /// `num_edges` is the payload's live edge count; `fingerprint` the
+  /// graph/fingerprint.h hash of that live edge set (readers re-verify).
+  SnapshotWriter(PayloadKind kind, int64_t num_users, int64_t num_merchants,
+                 int64_t num_edges, uint64_t fingerprint);
+
+  /// Registers one section. `data` is NOT copied — it must stay alive
+  /// until Write() returns. Zero-size sections are allowed (e.g. an empty
+  /// delta-log); `data` may then be null.
+  void AddSection(SectionId id, const void* data, uint64_t byte_size);
+
+  /// Serializes header + section table + aligned payloads to `path`
+  /// atomically (tmp file + rename). IOError on any filesystem failure.
+  Status Write(const std::string& path) const;
+
+ private:
+  SnapshotHeader header_;
+  struct PendingSection {
+    SectionId id;
+    const void* data;
+    uint64_t byte_size;
+  };
+  std::vector<PendingSection> sections_;
+};
+
+/// Adds the seven CsrGraph array sections of `graph` (weights only when
+/// present) to `writer`. `graph` must outlive the Write() call.
+void AddCsrGraphSections(SnapshotWriter* writer, const CsrGraph& graph);
+
+/// Writes `graph` as a kCsrGraph snapshot; the content fingerprint is
+/// FingerprintGraph(graph). O(|E|) hash + one sequential write.
+Status WriteCsrGraphSnapshot(const CsrGraph& graph, const std::string& path);
+
+}  // namespace storage
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_STORAGE_SNAPSHOT_WRITER_H_

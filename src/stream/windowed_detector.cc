@@ -122,6 +122,87 @@ Result<EnsemFDetReport> WindowedDetector::RunDetection() {
   return std::move(streamed.report);
 }
 
+Status WindowedDetector::SaveCheckpoint(const std::string& path) {
+  ENSEMFDET_RETURN_NOT_OK(EnsureInitialized());
+  storage::DetectorClockRecord clock;
+  clock.max_seen = max_seen_;
+  clock.last_detection = last_detection_;
+  clock.next_seq = next_seq_;
+  clock.detection_interval = config_.detection_interval;
+  clock.max_out_of_order = config_.max_out_of_order;
+  // priority_queue hides its container; drain a copy to enumerate the
+  // buffered events (order is irrelevant — seq numbers restore it).
+  std::vector<storage::ReorderEventRecord> reorder;
+  reorder.reserve(reorder_.size());
+  auto pending = reorder_;
+  while (!pending.empty()) {
+    const Pending& p = pending.top();
+    reorder.push_back({p.seq, p.tx.timestamp, p.tx.user, p.tx.merchant});
+    pending.pop();
+  }
+  return store_->SaveCheckpoint(path, &clock, reorder);
+}
+
+Status WindowedDetector::ResumeFromCheckpoint(const std::string& path) {
+  if (store_.has_value()) {
+    return Status::FailedPrecondition(
+        "ResumeFromCheckpoint must run before any event is ingested");
+  }
+  ENSEMFDET_ASSIGN_OR_RETURN(storage::StoreCheckpointParts parts,
+                             storage::ReadStoreCheckpoint(path));
+  if (parts.state.cfg_num_users != config_.num_users ||
+      parts.state.cfg_num_merchants != config_.num_merchants ||
+      parts.state.cfg_window != config_.window) {
+    return Status::InvalidArgument(
+        "checkpoint " + path + " was written for universes " +
+        std::to_string(parts.state.cfg_num_users) + "x" +
+        std::to_string(parts.state.cfg_num_merchants) + ", window " +
+        std::to_string(parts.state.cfg_window) +
+        "; this detector is configured differently");
+  }
+  // The clock-shaping knobs must match too, or the resumed run's
+  // detection boundaries silently diverge from the uninterrupted run.
+  if (parts.has_clock &&
+      (parts.clock.detection_interval != config_.detection_interval ||
+       parts.clock.max_out_of_order != config_.max_out_of_order)) {
+    return Status::InvalidArgument(
+        "checkpoint " + path + " was written with interval " +
+        std::to_string(parts.clock.detection_interval) +
+        " and reorder slack " +
+        std::to_string(parts.clock.max_out_of_order) +
+        "; resuming under different clock settings would break the "
+        "bit-identical-resume contract");
+  }
+  const bool has_clock = parts.has_clock;
+  const storage::DetectorClockRecord clock = parts.clock;
+  const std::vector<storage::ReorderEventRecord> reorder =
+      std::move(parts.reorder);
+
+  // Restore the store BEFORE EnsureInitialized touches any member state:
+  // a checkpoint that fails the cross-section/fingerprint gates must
+  // leave this detector exactly as it was, so a retry with a good backup
+  // checkpoint still passes the not-yet-used guard above.
+  ENSEMFDET_ASSIGN_OR_RETURN(DynamicGraphStore restored,
+                             DynamicGraphStore::FromCheckpoint(
+                                 std::move(parts)));
+  ENSEMFDET_RETURN_NOT_OK(EnsureInitialized());
+  store_.emplace(std::move(restored));
+  if (has_clock) {
+    max_seen_ = clock.max_seen;
+    last_detection_ = clock.last_detection;
+    next_seq_ = clock.next_seq;
+    for (const storage::ReorderEventRecord& event : reorder) {
+      reorder_.push({event.timestamp, event.seq,
+                     {event.timestamp, event.user, event.merchant}});
+    }
+  } else {
+    // Bare store checkpoint: the window resumes, the periodic clock
+    // restarts at the next event (first detection one interval later).
+    max_seen_ = store_->newest_timestamp();
+  }
+  return Status::OK();
+}
+
 Result<EnsemFDetReport> WindowedDetector::DetectNow() {
   ENSEMFDET_RETURN_NOT_OK(EnsureInitialized());
   // Flush the reorder buffer: everything buffered is in-window data and a

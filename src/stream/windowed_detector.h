@@ -97,6 +97,25 @@ class WindowedDetector {
   /// events do not advance the periodic detection clock.
   Result<EnsemFDetReport> DetectNow();
 
+  /// Serializes the detector's full resumable state — the store (base +
+  /// delta + window events), the detection clock, and any
+  /// reorder-buffered events — as a kStoreCheckpoint .efg snapshot.
+  /// Read-only (no flush, no detection, no epoch bump): ingesting the
+  /// remaining stream after ResumeFromCheckpoint() fires the same
+  /// detections with bit-identical reports as the uninterrupted run,
+  /// because detection randomness is content-derived (see file comment) —
+  /// only the component-replay *cache* starts cold, which changes cost,
+  /// never output. Pinned by tests/storage_checkpoint_test.cc.
+  Status SaveCheckpoint(const std::string& path);
+
+  /// Adopts a checkpoint into this detector. Must be called before any
+  /// Ingest (FailedPrecondition otherwise); the checkpoint's universes
+  /// and window length must match this detector's config
+  /// (InvalidArgument otherwise). A checkpoint without detector-clock
+  /// state (written off a bare DynamicGraphStore) restarts the detection
+  /// clock at the next event.
+  Status ResumeFromCheckpoint(const std::string& path);
+
   /// Events currently inside the window (reorder-buffered events are not
   /// yet counted).
   int64_t window_size() const {

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json perf-baseline documents and gate regressions.
+
+Extracted from the inline CI step so the validator is testable (a ctest
+smoke test runs it against the committed baselines on every build) and
+reusable locally:
+
+    tools/check_bench.py --bench-dir bench-out --baseline-dir .
+    tools/check_bench.py --bench-dir . --baseline-dir .   # self-check
+
+Checks, per document (schema: bench/README.md):
+  * well-formed JSON with the common envelope (schema_version, bench,
+    graph, config, timings; every timing positive),
+  * the expected schema_version per bench,
+  * every parity flag true — the benches refuse to emit on divergence, so
+    a false here means the file was forged or the producer changed,
+  * regression gates against the committed baselines (skippable with
+    --skip-regression):
+      - ensemble: members_per_second normalized by the same run's
+        materializing-reference throughput must stay within
+        --ensemble-tolerance of the baseline's normalized ratio (the
+        in-file reference cancels out runner speed),
+      - stream: incremental speedup >= --stream-floor (hard) and within
+        --stream-tolerance of the baseline (self-normalized by
+        construction: both replays are timed in the same process),
+      - storage: mmap verified load must beat TSV parse (>= 1.0x; the
+        headline the snapshot format exists for) — self-normalized, no
+        baseline comparison needed.
+
+Exit codes: 0 all checks passed; 1 a validation or regression check
+failed; 2 usage errors (missing file, unreadable JSON document).
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA = {
+    "BENCH_peeling.json": 1,
+    "BENCH_ensemble.json": 2,
+    "BENCH_stream.json": 1,
+    "BENCH_storage.json": 1,
+}
+COMMON_KEYS = ("schema_version", "bench", "graph", "config", "timings")
+
+
+class CheckFailure(Exception):
+    pass
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        raise CheckFailure(f"{path}: malformed JSON: {e}")
+
+
+def check(cond, message):
+    if not cond:
+        raise CheckFailure(message)
+
+
+def validate_envelope(name, doc, schema):
+    for key in COMMON_KEYS:
+        check(key in doc, f"{name}: missing key '{key}'")
+    check(doc["schema_version"] == schema,
+          f"{name}: schema_version {doc['schema_version']}, want {schema}")
+    check(doc["timings"], f"{name}: empty timings")
+    for t in doc["timings"]:
+        check(t.get("seconds_min", 0) > 0,
+              f"{name}: non-positive timing '{t.get('name')}'")
+    parity = doc.get("parity", {})
+    check(parity, f"{name}: missing parity block")
+    for key, value in parity.items():
+        if isinstance(value, bool):
+            check(value, f"{name}: parity check '{key}' is false")
+
+
+def check_ensemble(fresh, baseline, tolerance):
+    check(baseline["graph"]["scale"] == fresh["graph"]["scale"],
+          "ensemble: baseline/CI scale mismatch - comparison meaningless")
+    # Normalize by the materializing-reference throughput measured in the
+    # same run: the reference is the in-file speed ruler, so the
+    # comparison cancels out how fast this machine happens to be and only
+    # a real hot-path regression (lost arena reuse, an accidental
+    # re-materialization) can trip it.
+    fresh_ratio = (fresh["throughput"]["members_per_second"] /
+                   fresh["throughput"]["members_per_second_reference"])
+    committed_ratio = (
+        baseline["throughput"]["members_per_second"] /
+        baseline["throughput"]["members_per_second_reference"])
+    check(fresh_ratio >= tolerance * committed_ratio,
+          f"ensemble hot path regressed: {fresh_ratio:.2f}x its reference "
+          f"vs committed {committed_ratio:.2f}x "
+          f"(>{100 * (1 - tolerance):.0f}% drop)")
+    return (f"ensemble {fresh['throughput']['members_per_second']:.0f} "
+            f"members/s = {fresh_ratio:.2f}x ref "
+            f"(baseline {committed_ratio:.2f}x)")
+
+
+def check_stream(fresh, baseline, floor, tolerance):
+    check(fresh["parity"]["boundaries_compared"] > 0,
+          "stream: no boundaries were parity-compared")
+    speedup = fresh["speedup"]["incremental_vs_full_rebuild"]
+    committed = baseline["speedup"]["incremental_vs_full_rebuild"]
+    check(speedup >= floor,
+          f"incremental ingest lost its edge: {speedup:.2f}x vs full "
+          f"rebuild (hard floor {floor}x)")
+    check(speedup >= tolerance * committed,
+          f"incremental ingest regressed: {speedup:.2f}x vs committed "
+          f"{committed:.2f}x (>{100 * (1 - tolerance):.0f}% drop)")
+    reuse = fresh["stream"]["component_reuse_fraction"]
+    return f"stream {speedup:.2f}x incremental ({reuse:.0%} reuse)"
+
+
+def check_storage(fresh):
+    # Self-normalized: TSV parse and mmap load are timed in the same
+    # process over the same graph, so the ratio is runner-independent.
+    speedup = fresh["speedup"]["mmap_verified_vs_tsv_parse"]
+    check(speedup >= 1.0,
+          f"storage: mmap verified load ({speedup:.2f}x) no longer beats "
+          f"TSV parse — the snapshot format lost its reason to exist")
+    check(fresh["file"]["efg_bytes"] > 0, "storage: empty snapshot file")
+    return f"storage {speedup:.1f}x mmap-verified vs tsv"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate BENCH_*.json documents and gate regressions")
+    parser.add_argument("--bench-dir", default="bench-out",
+                        help="directory holding the freshly produced "
+                             "BENCH_*.json files")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding the committed baselines")
+    parser.add_argument("--skip-regression", action="store_true",
+                        help="validate schemas/parity only")
+    parser.add_argument("--ensemble-tolerance", type=float, default=0.8,
+                        help="min fresh/committed normalized-throughput "
+                             "ratio (default 0.8 = 20%% drop allowed)")
+    parser.add_argument("--stream-floor", type=float, default=1.5,
+                        help="hard minimum incremental speedup")
+    parser.add_argument("--stream-tolerance", type=float, default=0.75,
+                        help="min fresh/committed stream-speedup ratio")
+    parser.add_argument("files", nargs="*",
+                        default=sorted(EXPECTED_SCHEMA),
+                        help="file names to check (default: all four)")
+    args = parser.parse_args()
+
+    summaries = []
+    try:
+        for name in args.files:
+            if name not in EXPECTED_SCHEMA:
+                print(f"check_bench: unknown bench file '{name}' "
+                      f"(know: {', '.join(sorted(EXPECTED_SCHEMA))})",
+                      file=sys.stderr)
+                return 2
+            fresh = load(f"{args.bench_dir}/{name}")
+            validate_envelope(name, fresh, EXPECTED_SCHEMA[name])
+            if args.skip_regression:
+                continue
+            if name == "BENCH_ensemble.json":
+                baseline = load(f"{args.baseline_dir}/{name}")
+                summaries.append(check_ensemble(fresh, baseline,
+                                                args.ensemble_tolerance))
+            elif name == "BENCH_stream.json":
+                baseline = load(f"{args.baseline_dir}/{name}")
+                summaries.append(check_stream(fresh, baseline,
+                                              args.stream_floor,
+                                              args.stream_tolerance))
+            elif name == "BENCH_storage.json":
+                summaries.append(check_storage(fresh))
+    except CheckFailure as failure:
+        print(f"check_bench: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("check_bench: OK", "; ".join(summaries))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
