@@ -1,0 +1,51 @@
+// bench_obs: the observability-overhead baseline. Times the identical
+// zero-materialization ensemble run with metrics recording enabled vs
+// runtime-disabled inside one process (SetMetricsRuntimeEnabled), proves
+// the two runs' reports are bit-identical (instrumentation must not
+// perturb detection), measures tight-loop Counter/Histogram record costs,
+// and writes BENCH_obs.json (schema: bench/README.md). CI gates the
+// enabled-vs-disabled overhead at 2%.
+//
+// Environment knobs: ENSEMFDET_SCALE (default 0.02), ENSEMFDET_SEED
+// (default 7), ENSEMFDET_REPEATS (default 7), ENSEMFDET_BENCH_OUT
+// (default ./BENCH_obs.json, "-" = stdout only).
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "perf_harness.h"
+
+int main() {
+  using namespace ensemfdet;
+  bench::ObsBenchOptions options;
+  options.graph.scale = GetEnvDouble("ENSEMFDET_SCALE", options.graph.scale);
+  options.graph.seed = static_cast<uint64_t>(
+      GetEnvInt64("ENSEMFDET_SEED", static_cast<int64_t>(options.graph.seed)));
+  options.repeats = GetEnvInt("ENSEMFDET_REPEATS", options.repeats);
+
+  bench::ObsBenchSummary summary;
+  auto json = bench::RunObsBench(options, &summary);
+  if (!json.ok()) {
+    std::fprintf(stderr, "bench_obs: %s\n", json.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(json->c_str(), stdout);
+  std::fprintf(stderr,
+               "[bench_obs] overhead %.3g%% (on %.4gs vs off %.4gs; "
+               "counter %.3g ns/inc, histogram %.3g ns/rec)\n",
+               100.0 * summary.overhead_fraction, summary.seconds_metrics_on,
+               summary.seconds_metrics_off, summary.counter_ns_per_increment,
+               summary.histogram_ns_per_record);
+
+  const std::string out_path =
+      GetEnvString("ENSEMFDET_BENCH_OUT", "BENCH_obs.json");
+  if (out_path != "-") {
+    Status st = bench::WriteTextFile(out_path, *json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_obs: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench_obs] wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include "graph/graph_io.h"
 #include "ingest/dynamic_graph_store.h"
 #include "ingest/streaming_detector.h"
+#include "obs/metrics.h"
 #include "storage/snapshot_reader.h"
 #include "storage/snapshot_writer.h"
 
@@ -111,6 +112,36 @@ bool SameFdet(const FdetResult& a, const FdetResult& b) {
         a.blocks[i].merchants != b.blocks[i].merchants ||
         a.blocks[i].score != b.blocks[i].score ||
         a.blocks[i].edges != b.blocks[i].edges) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Bit-exact ensemble report equality (votes, weighted votes, member
+// structural stats) — shared by the obs bench's instrumentation-must-not-
+// perturb-results gate.
+bool SameEnsembleReports(const EnsemFDetReport& a, const EnsemFDetReport& b) {
+  if (a.num_samples != b.num_samples ||
+      a.votes.all_user_votes().size() != b.votes.all_user_votes().size() ||
+      a.votes.all_merchant_votes().size() !=
+          b.votes.all_merchant_votes().size() ||
+      !std::equal(a.votes.all_user_votes().begin(),
+                  a.votes.all_user_votes().end(),
+                  b.votes.all_user_votes().begin()) ||
+      !std::equal(a.votes.all_merchant_votes().begin(),
+                  a.votes.all_merchant_votes().end(),
+                  b.votes.all_merchant_votes().begin()) ||
+      a.weighted_user_votes != b.weighted_user_votes ||
+      a.weighted_merchant_votes != b.weighted_merchant_votes ||
+      a.members.size() != b.members.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.members.size(); ++i) {
+    if (a.members[i].sample_users != b.members[i].sample_users ||
+        a.members[i].sample_merchants != b.members[i].sample_merchants ||
+        a.members[i].sample_edges != b.members[i].sample_edges ||
+        a.members[i].num_blocks != b.members[i].num_blocks) {
       return false;
     }
   }
@@ -457,6 +488,155 @@ Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options,
           votes_identical ? "true" : "false",
           weighted_identical ? "true" : "false",
           members_identical ? "true" : "false");
+  out.append("}\n");
+  return out;
+}
+
+Result<std::string> RunObsBench(const ObsBenchOptions& options,
+                                ObsBenchSummary* summary) {
+  if (options.repeats < 1) {
+    return Status::InvalidArgument("repeats must be >= 1");
+  }
+  ENSEMFDET_ASSIGN_OR_RETURN(
+      Dataset dataset, GenerateJdPreset(JdPreset::kDataset1,
+                                        options.graph.scale,
+                                        options.graph.seed));
+  const CsrGraph csr = CsrGraph::FromBipartite(dataset.graph);
+
+  EnsemFDetConfig config;
+  config.num_samples = options.num_samples;
+  config.ratio = options.ratio;
+  config.seed = options.graph.seed;
+  EnsemFDet detector(config);
+
+  // Everything below toggles the process-wide runtime switch; restore the
+  // caller's state on every exit.
+  const bool was_enabled = obs::MetricsRuntimeEnabled();
+  struct RestoreEnabled {
+    bool enabled;
+    ~RestoreEnabled() { obs::SetMetricsRuntimeEnabled(enabled); }
+  } restore{was_enabled};
+
+  // Untimed parity gate: recording on vs off must not perturb the report
+  // in any bit — instrumentation that changes results is worse than no
+  // instrumentation, so a divergence refuses to emit.
+  obs::SetMetricsRuntimeEnabled(true);
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport report_on,
+                             detector.Run(csr, nullptr));
+  obs::SetMetricsRuntimeEnabled(false);
+  ENSEMFDET_ASSIGN_OR_RETURN(EnsemFDetReport report_off,
+                             detector.Run(csr, nullptr));
+  const bool reports_identical = SameEnsembleReports(report_on, report_off);
+  if (!reports_identical) {
+    return Status::Internal(
+        "ensemble report changed between metrics-enabled and "
+        "metrics-disabled runs — instrumentation perturbed detection; "
+        "refusing to emit BENCH_obs.json");
+  }
+
+  // The gated pair: the identical single-threaded ensemble run with the
+  // full instrumentation recording vs runtime-disabled (the single branch
+  // each record path starts with). Single-threaded keeps the measured
+  // difference free of pool-scheduling noise, and the repeats are
+  // INTERLEAVED on/off so a noisy stretch of wall-clock (CI runners
+  // share cores) inflates both arms alike instead of biasing whichever
+  // arm happened to run through it — the gated quantity is a small
+  // difference, so per-arm min must come from the same noise population.
+  // Within each pair the order ALTERNATES: whichever run goes second in
+  // a pair is systematically a little faster (caches, branch predictors
+  // and the frequency governor are warmer), and a fixed order would fold
+  // that position bias straight into the on-vs-off difference. Alternating
+  // puts both arms in each position equally often so the bias cancels out
+  // of the per-arm minima — which also requires an EVEN repeat count, so
+  // an odd request is rounded up rather than leaving one arm with an
+  // extra turn in the fast slot.
+  const int repeats = options.repeats + (options.repeats % 2);
+  Timing on_timing, off_timing;
+  on_timing.name = "ensemble_run_metrics_on";
+  off_timing.name = "ensemble_run_metrics_off";
+  on_timing.repeats = off_timing.repeats = repeats;
+  double on_total = 0.0, off_total = 0.0;
+  const auto timed_run = [&](bool metrics_on) {
+    obs::SetMetricsRuntimeEnabled(metrics_on);
+    WallTimer timer;
+    (void)detector.Run(csr, nullptr).ValueOrDie();
+    return timer.ElapsedSeconds();
+  };
+  for (int i = 0; i < repeats; ++i) {
+    double on_s, off_s;
+    if (i % 2 == 0) {
+      on_s = timed_run(true);
+      off_s = timed_run(false);
+    } else {
+      off_s = timed_run(false);
+      on_s = timed_run(true);
+    }
+    on_timing.seconds_min = std::min(on_timing.seconds_min, on_s);
+    off_timing.seconds_min = std::min(off_timing.seconds_min, off_s);
+    on_total += on_s;
+    off_total += off_s;
+  }
+  obs::SetMetricsRuntimeEnabled(true);
+  on_timing.seconds_mean = on_total / repeats;
+  off_timing.seconds_mean = off_total / repeats;
+  std::vector<Timing> timings;
+  timings.push_back(on_timing);
+  timings.push_back(off_timing);
+
+  // Tight-loop per-record costs on the enabled path, against a private
+  // registry so the global scrape stays a pure engine view.
+  obs::SetMetricsRuntimeEnabled(true);
+  obs::MetricsRegistry scratch;
+  obs::Counter* counter =
+      scratch.GetCounter("ensemfdet_benchobs_scratch_total");
+  obs::Histogram* histogram =
+      scratch.GetHistogram("ensemfdet_benchobs_scratch_seconds");
+  constexpr int64_t kOps = 2'000'000;
+  timings.push_back(Measure("counter_increment_2m", 3, [&] {
+    for (int64_t i = 0; i < kOps; ++i) counter->Increment();
+  }));
+  timings.push_back(Measure("histogram_record_2m", 3, [&] {
+    for (int64_t i = 0; i < kOps; ++i) histogram->Record(i & 0xFFFFF);
+  }));
+
+  const double seconds_on = timings[0].seconds_min;
+  const double seconds_off = timings[1].seconds_min;
+  const double overhead_fraction =
+      seconds_off > 0 ? (seconds_on - seconds_off) / seconds_off : 0.0;
+  const double budget = 0.02;
+  const bool within_budget = overhead_fraction <= budget;
+  const double counter_ns =
+      timings[2].seconds_min / static_cast<double>(kOps) * 1e9;
+  const double histogram_ns =
+      timings[3].seconds_min / static_cast<double>(kOps) * 1e9;
+
+  if (summary != nullptr) {
+    summary->overhead_fraction = overhead_fraction;
+    summary->seconds_metrics_on = seconds_on;
+    summary->seconds_metrics_off = seconds_off;
+    summary->counter_ns_per_increment = counter_ns;
+    summary->histogram_ns_per_record = histogram_ns;
+  }
+
+  std::string out;
+  out.append("{\n");
+  out.append("  \"schema_version\": 1,\n");
+  out.append("  \"bench\": \"obs\",\n");
+  AppendGraphJson(&out, options.graph, dataset.graph);
+  AppendF(&out,
+          "  \"config\": {\"repeats\": %d, \"num_samples\": %d, "
+          "\"ratio\": %.4g, \"metrics_compiled_in\": %s},\n",
+          repeats, options.num_samples, options.ratio,
+          obs::kMetricsCompiledIn ? "true" : "false");
+  AppendTimingsJson(&out, timings);
+  AppendF(&out,
+          "  \"overhead\": {\"fraction\": %.6g, \"budget_fraction\": %.4g, "
+          "\"within_budget\": %s, \"counter_ns_per_increment\": %.4g, "
+          "\"histogram_ns_per_record\": %.4g},\n",
+          overhead_fraction, budget, within_budget ? "true" : "false",
+          counter_ns, histogram_ns);
+  AppendF(&out, "  \"parity\": {\"reports_identical\": %s}\n",
+          reports_identical ? "true" : "false");
   out.append("}\n");
   return out;
 }

@@ -143,6 +143,41 @@ Result<std::string> RunStorageBench(const StorageBenchOptions& options,
 Result<std::string> RunStreamBench(const StreamBenchOptions& options,
                                    StreamBenchSummary* summary = nullptr);
 
+struct ObsBenchOptions {
+  PerfGraphSpec graph;
+  /// More repeats than the other benches: the gated quantity is a small
+  /// difference between two timings, so the min needs extra samples to
+  /// shake scheduler noise out. Rounded up to even inside RunObsBench so
+  /// the alternating within-pair order stays balanced.
+  int repeats = 12;
+  int num_samples = 16;
+  double ratio = 0.1;
+};
+
+/// Headline numbers of the observability-overhead bench.
+struct ObsBenchSummary {
+  /// (metrics-on − metrics-off) ÷ metrics-off seconds_min on the same
+  /// ensemble run — the CI-gated overhead (budget: 0.02).
+  double overhead_fraction = 0.0;
+  double seconds_metrics_on = 0.0;
+  double seconds_metrics_off = 0.0;
+  /// Hot-path record costs measured in a tight loop (enabled path).
+  double counter_ns_per_increment = 0.0;
+  double histogram_ns_per_record = 0.0;
+};
+
+/// Runs the observability-overhead bench and returns the BENCH_obs.json
+/// document (schema_version 1): the same zero-materialization ensemble
+/// run timed with metrics recording enabled vs runtime-disabled (one
+/// process, SetMetricsRuntimeEnabled), plus tight-loop per-record costs
+/// for Counter::Increment and Histogram::Record. Before anything is
+/// timed it verifies the enabled and disabled runs produce bit-identical
+/// reports — instrumentation must never perturb results — and fails with
+/// Internal, refusing to emit, on any divergence. The enabled-vs-disabled
+/// overhead is CI-gated at 2% by tools/check_bench.py.
+Result<std::string> RunObsBench(const ObsBenchOptions& options,
+                                ObsBenchSummary* summary = nullptr);
+
 /// Runs the ensemble bench and returns the BENCH_ensemble.json document
 /// (schema_version 2): zero-materialization hot path on the configured
 /// pool / 1 thread / a 4-wide pool, plus the materializing reference path,

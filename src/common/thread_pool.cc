@@ -6,14 +6,46 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ensemfdet {
+
+namespace {
+
+// Resolved once; recording through raw pointers afterwards is lock-free.
+// Worker utilization is derivable on the scrape side:
+// sum(task_run_seconds) / (workers * uptime).
+struct PoolMetrics {
+  obs::Counter* tasks_total;
+  obs::Gauge* queue_depth;
+  obs::Gauge* workers;
+  obs::Histogram* task_wait_seconds;
+  obs::Histogram* task_run_seconds;
+};
+
+PoolMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static PoolMetrics m{
+      reg.GetCounter("ensemfdet_pool_tasks_total"),
+      reg.GetGauge("ensemfdet_pool_queue_depth"),
+      reg.GetGauge("ensemfdet_pool_workers"),
+      reg.GetHistogram("ensemfdet_pool_task_wait_seconds"),
+      reg.GetHistogram("ensemfdet_pool_task_run_seconds"),
+  };
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
     if (num_threads <= 0) num_threads = 4;
   }
+  // Width of the most recently created pool; in practice one default
+  // pool serves the whole process (examples, CLI, service).
+  Metrics().workers->Set(num_threads);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -30,26 +62,41 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  const int64_t enqueue_ns =
+      obs::MetricsRuntimeEnabled() ? obs::TraceNowNs() : -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ENSEMFDET_CHECK(!shutdown_) << "Submit after shutdown";
-    queue_.push_back(std::move(task));
+    queue_.push_back(Pending{std::move(task), enqueue_ns});
     ++in_flight_;
   }
+  PoolMetrics& m = Metrics();
+  m.tasks_total->Increment();
+  m.queue_depth->Add(1);
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    int64_t enqueue_ns = -1;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with drained queue
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().fn);
+      enqueue_ns = queue_.front().enqueue_ns;
       queue_.pop_front();
     }
-    task();
+    PoolMetrics& m = Metrics();
+    m.queue_depth->Add(-1);
+    if (enqueue_ns >= 0) {
+      m.task_wait_seconds->Record(obs::TraceNowNs() - enqueue_ns);
+    }
+    {
+      obs::TraceSpan span(m.task_run_seconds, "pool_task");
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();

@@ -57,11 +57,16 @@ class ThreadPool {
   void WaitIdle();
 
  private:
+  struct Pending {
+    std::function<void()> fn;
+    int64_t enqueue_ns;  // obs trace clock at enqueue; -1 = not stamped
+  };
+
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Pending> queue_;
   std::mutex mu_;
   std::condition_variable cv_;        // task available or shutting down
   std::condition_variable idle_cv_;   // all work drained

@@ -6,7 +6,9 @@ namespace ensemfdet {
 
 std::string FormatDuration(double seconds) {
   char buf[64];
-  if (seconds < 1e-3) {
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
     std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
   } else if (seconds < 1.0) {
     std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);

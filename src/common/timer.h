@@ -3,6 +3,7 @@
 #define ENSEMFDET_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 
 namespace ensemfdet {
@@ -21,6 +22,14 @@ class WallTimer {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Integer nanoseconds elapsed — the precision TraceSpan records at;
+  /// no double rounding on the hot path.
+  int64_t ElapsedNanos() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+        .count();
+  }
 
  private:
   std::chrono::steady_clock::time_point start_;

@@ -10,10 +10,38 @@
 #include "common/timer.h"
 #include "detect/csr_peeler.h"
 #include "graph/subgraph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ensemfdet {
 
 namespace {
+
+// Pipeline-stage instruments (DESIGN.md "Observability"): stage spans at
+// member granularity — a member is ~ms of work, so two clock pairs and
+// two histogram records per member stay far inside the 2% overhead
+// budget that BENCH_obs.json gates.
+struct DetectMetrics {
+  obs::Counter* runs_total;
+  obs::Counter* members_total;
+  obs::Histogram* member_sample_seconds;
+  obs::Histogram* member_peel_seconds;
+  obs::Histogram* aggregate_seconds;
+  obs::Histogram* run_seconds;
+};
+
+DetectMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static DetectMetrics m{
+      reg.GetCounter("ensemfdet_detect_runs_total"),
+      reg.GetCounter("ensemfdet_detect_members_total"),
+      reg.GetHistogram("ensemfdet_detect_member_sample_seconds"),
+      reg.GetHistogram("ensemfdet_detect_member_peel_seconds"),
+      reg.GetHistogram("ensemfdet_detect_aggregate_seconds"),
+      reg.GetHistogram("ensemfdet_detect_run_seconds"),
+  };
+  return m;
+}
 
 // One ensemble member's contribution, in parent-graph id space.
 // weight[i] is the φ of the densest detected block containing node i —
@@ -112,11 +140,17 @@ Result<FdetResult> RunMemberCsrCore(const CsrGraph& graph,
                                     const FdetConfig& fdet_config, Rng* rng,
                                     MemberArena* arena,
                                     EnsemFDetReport::MemberStats* stats) {
-  const EdgeMaskInfo info =
-      sampler.SampleEdgeMask(graph, rng, &arena->sample, &arena->mask);
+  DetectMetrics& metrics = Metrics();
+  metrics.members_total->Increment();
+  EdgeMaskInfo info;
+  {
+    obs::TraceSpan span(metrics.member_sample_seconds, "member_sample");
+    info = sampler.SampleEdgeMask(graph, rng, &arena->sample, &arena->mask);
+  }
   stats->sample_users = info.sample_users;
   stats->sample_merchants = info.sample_merchants;
   stats->sample_edges = static_cast<int64_t>(arena->mask.size());
+  obs::TraceSpan span(metrics.member_peel_seconds, "member_peel");
   Result<FdetResult> fdet = RunFdetCsrMasked(
       graph, arena->mask, info.weight_scale, fdet_config, &arena->peel);
   if (fdet.ok()) stats->num_blocks = fdet->truncation_index;
@@ -232,6 +266,7 @@ MemberOutput RunMemberReference(const BipartiteGraph& graph,
 Result<EnsemFDetReport> Aggregate(std::vector<MemberOutput> outputs,
                                   int64_t num_users, int64_t num_merchants,
                                   const WallTimer& total_timer) {
+  obs::TraceSpan span(Metrics().aggregate_seconds, "aggregate");
   EnsemFDetReport report;
   report.num_samples = static_cast<int>(outputs.size());
   report.votes = VoteTable(num_users, num_merchants);
@@ -268,6 +303,9 @@ Result<EnsemFDetReport> DriveEnsemble(const EnsemFDetConfig& config,
   ENSEMFDET_ASSIGN_OR_RETURN(std::unique_ptr<Sampler> sampler,
                              ValidatedSampler(config));
 
+  DetectMetrics& metrics = Metrics();
+  metrics.runs_total->Increment();
+  obs::TraceSpan run_span(metrics.run_seconds, "ensemble_run");
   WallTimer total_timer;
   const int n = config.num_samples;
   Rng root(config.seed);

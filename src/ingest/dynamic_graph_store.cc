@@ -8,11 +8,41 @@
 
 #include "common/logging.h"
 #include "graph/graph_builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/snapshot_writer.h"
 
 namespace ensemfdet {
 
 namespace {
+
+// Ingest-layer instruments; counters mirror DynamicGraphStoreStats
+// process-wide (per-batch deltas bumped at the end of Apply).
+struct IngestMetrics {
+  obs::Counter* events_ingested_total;
+  obs::Counter* events_evicted_total;
+  obs::Counter* edges_added_total;
+  obs::Counter* edges_removed_total;
+  obs::Counter* publishes_total;
+  obs::Counter* compactions_total;
+  obs::Histogram* publish_seconds;
+  obs::Histogram* compact_seconds;
+};
+
+IngestMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static IngestMetrics m{
+      reg.GetCounter("ensemfdet_ingest_events_ingested_total"),
+      reg.GetCounter("ensemfdet_ingest_events_evicted_total"),
+      reg.GetCounter("ensemfdet_ingest_edges_added_total"),
+      reg.GetCounter("ensemfdet_ingest_edges_removed_total"),
+      reg.GetCounter("ensemfdet_ingest_publishes_total"),
+      reg.GetCounter("ensemfdet_ingest_compactions_total"),
+      reg.GetHistogram("ensemfdet_ingest_publish_seconds"),
+      reg.GetHistogram("ensemfdet_ingest_compact_seconds"),
+  };
+  return m;
+}
 
 std::shared_ptr<const CsrGraph> EmptyBase(int64_t num_users,
                                           int64_t num_merchants) {
@@ -129,10 +159,16 @@ Result<IngestStats> DynamicGraphStore::Apply(const IngestBatch& batch) {
   // timestamp) order, so popping from the front against the final cutoff
   // evicts exactly the events a per-transaction pass would have.
   EvictExpired(&stats);
+  IngestMetrics& metrics = Metrics();
+  metrics.events_ingested_total->Increment(stats.events_ingested);
+  metrics.events_evicted_total->Increment(stats.events_evicted);
+  metrics.edges_added_total->Increment(stats.edges_added);
+  metrics.edges_removed_total->Increment(stats.edges_removed);
   return stats;
 }
 
 void DynamicGraphStore::Compact() {
+  obs::TraceSpan span(Metrics().compact_seconds, "store_compact");
   GraphBuilder builder(config_.num_users, config_.num_merchants);
   builder.Reserve(live_edges());
   // Packed keys sort as canonical (user, merchant) pairs.
@@ -151,6 +187,7 @@ void DynamicGraphStore::Compact() {
   added_.clear();
   dead_.clear();
   ++stats_.compactions;
+  Metrics().compactions_total->Increment();
 }
 
 DynamicGraphStore::SortedDelta DynamicGraphStore::BuildSortedDelta() const {
@@ -180,6 +217,7 @@ DynamicGraphStore::SortedDelta DynamicGraphStore::BuildSortedDelta() const {
 }
 
 GraphVersion DynamicGraphStore::Publish() {
+  obs::TraceSpan span(Metrics().publish_seconds, "store_publish");
   const int64_t threshold =
       std::max(config_.min_compaction_delta,
                static_cast<int64_t>(config_.compaction_factor *
@@ -204,6 +242,7 @@ GraphVersion DynamicGraphStore::Publish() {
   touched_merchants_.clear();
 
   ++stats_.publishes;
+  Metrics().publishes_total->Increment();
   return GraphVersion(std::move(rep));
 }
 

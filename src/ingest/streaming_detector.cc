@@ -11,10 +11,55 @@
 #include "detect/fdet.h"
 #include "ensemble/vote_table.h"
 #include "graph/graph_builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ensemfdet {
 
 namespace {
+
+// Stream-layer instruments. The reuse/clean-edge counters are bumped
+// en bloc at the end of Detect() by exactly the amounts reported in
+// StreamingDetectionStats, so a registry delta taken across one report
+// equals that report's stats — stream-replay's narration reads the
+// registry and still prints bit-identical lines.
+struct StreamMetrics {
+  obs::Counter* reports_total;
+  obs::Counter* components_total;
+  obs::Counter* components_eligible_total;
+  obs::Counter* components_reused_total;
+  obs::Counter* components_recomputed_total;
+  obs::Counter* components_touched_total;
+  obs::Counter* edges_total;
+  obs::Counter* edges_recomputed_total;
+  obs::Counter* cache_hits_total;
+  obs::Counter* cache_misses_total;
+  obs::Counter* cache_insertions_total;
+  obs::Counter* cache_evictions_total;
+  obs::Histogram* detect_seconds;
+  obs::Histogram* component_fdet_seconds;
+};
+
+StreamMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static StreamMetrics m{
+      reg.GetCounter("ensemfdet_stream_reports_total"),
+      reg.GetCounter("ensemfdet_stream_components_total"),
+      reg.GetCounter("ensemfdet_stream_components_eligible_total"),
+      reg.GetCounter("ensemfdet_stream_components_reused_total"),
+      reg.GetCounter("ensemfdet_stream_components_recomputed_total"),
+      reg.GetCounter("ensemfdet_stream_components_touched_total"),
+      reg.GetCounter("ensemfdet_stream_edges_total"),
+      reg.GetCounter("ensemfdet_stream_edges_recomputed_total"),
+      reg.GetCounter("ensemfdet_stream_cache_hits_total"),
+      reg.GetCounter("ensemfdet_stream_cache_misses_total"),
+      reg.GetCounter("ensemfdet_stream_cache_insertions_total"),
+      reg.GetCounter("ensemfdet_stream_cache_evictions_total"),
+      reg.GetHistogram("ensemfdet_stream_detect_seconds"),
+      reg.GetHistogram("ensemfdet_stream_component_fdet_seconds"),
+  };
+  return m;
+}
 
 // Content fingerprint of one connected component: its live edges in
 // canonical order, *global* ids. Global ids make structurally isomorphic
@@ -58,9 +103,11 @@ StreamingDetector::LookupCache(uint64_t fingerprint) {
   auto it = cache_index_.find(fingerprint);
   if (it == cache_index_.end()) {
     ++cache_stats_.misses;
+    Metrics().cache_misses_total->Increment();
     return nullptr;
   }
   ++cache_stats_.hits;
+  Metrics().cache_hits_total->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh
   return it->second->entry;
 }
@@ -76,10 +123,12 @@ void StreamingDetector::InsertCache(
   lru_.push_front({fingerprint, std::move(entry)});
   cache_index_[fingerprint] = lru_.begin();
   ++cache_stats_.insertions;
+  Metrics().cache_insertions_total->Increment();
   while (lru_.size() > config_.component_cache_capacity) {
     cache_index_.erase(lru_.back().fingerprint);
     lru_.pop_back();
     ++cache_stats_.evictions;
+    Metrics().cache_evictions_total->Increment();
   }
 }
 
@@ -90,6 +139,7 @@ StreamingDetector::ComputeComponent(const std::vector<Edge>& edges,
   // Dense local ids: index into the sorted global node lists. The edges
   // arrive in canonical (user, merchant) order, so the user list is
   // already sorted; the merchant list needs one sort.
+  obs::TraceSpan span(Metrics().component_fdet_seconds, "component_fdet");
   std::vector<UserId> users;
   std::vector<MerchantId> merchants;
   users.reserve(edges.size());
@@ -147,6 +197,7 @@ StreamingDetector::ComputeComponent(const std::vector<Edge>& edges,
 
 Result<StreamingReport> StreamingDetector::Detect(const GraphVersion& version,
                                                   ThreadPool* pool) {
+  obs::TraceSpan detect_span(Metrics().detect_seconds, "stream_detect");
   WallTimer total_timer;
   const int64_t num_users = version.num_users();
   const int64_t num_merchants = version.num_merchants();
@@ -339,6 +390,20 @@ Result<StreamingReport> StreamingDetector::Detect(const GraphVersion& version,
     }
   }
   report.total_seconds = total_timer.ElapsedSeconds();
+
+  // Mirror the report's stats into the registry in one shot so a scrape
+  // delta across this call reproduces them exactly (the narration
+  // contract above).
+  StreamMetrics& metrics = Metrics();
+  metrics.reports_total->Increment();
+  metrics.components_total->Increment(out.stats.components_total);
+  metrics.components_eligible_total->Increment(out.stats.components_eligible);
+  metrics.components_reused_total->Increment(out.stats.components_reused);
+  metrics.components_recomputed_total->Increment(
+      out.stats.components_recomputed);
+  metrics.components_touched_total->Increment(out.stats.components_touched);
+  metrics.edges_total->Increment(out.stats.edges_total);
+  metrics.edges_recomputed_total->Increment(out.stats.edges_recomputed);
   return out;
 }
 

@@ -1,0 +1,116 @@
+#include "obs/export.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ensemfdet {
+namespace obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[512];
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+/// Highest occupied bucket index, or -1 when the histogram is empty.
+int HighestBucket(const HistogramSnapshot& hist) {
+  for (int i = static_cast<int>(hist.buckets.size()) - 1; i >= 0; --i) {
+    if (hist.buckets[static_cast<size_t>(i)] > 0) return i;
+  }
+  return -1;
+}
+
+double ScaledBound(const HistogramSnapshot& hist, size_t i) {
+  const double raw = static_cast<double>(Histogram::BucketUpperBound(i));
+  return hist.unit == Histogram::Unit::kSeconds ? raw * 1e-9 : raw;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    const char* name = metric.name.c_str();
+    switch (metric.kind) {
+      case InstrumentKind::kCounter:
+        AppendF(&out, "# TYPE %s counter\n%s %lld\n", name, name,
+                static_cast<long long>(metric.value));
+        break;
+      case InstrumentKind::kGauge:
+        AppendF(&out, "# TYPE %s gauge\n%s %lld\n", name, name,
+                static_cast<long long>(metric.value));
+        break;
+      case InstrumentKind::kHistogram: {
+        const HistogramSnapshot& hist = metric.histogram;
+        AppendF(&out, "# TYPE %s histogram\n", name);
+        const int highest = HighestBucket(hist);
+        int64_t cumulative = 0;
+        for (int i = 0; i <= highest; ++i) {
+          cumulative += hist.buckets[static_cast<size_t>(i)];
+          AppendF(&out, "%s_bucket{le=\"%.9g\"} %lld\n", name,
+                  ScaledBound(hist, static_cast<size_t>(i)),
+                  static_cast<long long>(cumulative));
+        }
+        AppendF(&out, "%s_bucket{le=\"+Inf\"} %lld\n", name,
+                static_cast<long long>(hist.count));
+        AppendF(&out, "%s_sum %.9g\n", name, hist.ScaledSum());
+        AppendF(&out, "%s_count %lld\n", name,
+                static_cast<long long>(hist.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const RegistrySnapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first = true;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    AppendF(&out, "%s\n    {\"name\": \"%s\", ", first ? "" : ",",
+            metric.name.c_str());
+    first = false;
+    switch (metric.kind) {
+      case InstrumentKind::kCounter:
+        AppendF(&out, "\"type\": \"counter\", \"value\": %lld}",
+                static_cast<long long>(metric.value));
+        break;
+      case InstrumentKind::kGauge:
+        AppendF(&out, "\"type\": \"gauge\", \"value\": %lld}",
+                static_cast<long long>(metric.value));
+        break;
+      case InstrumentKind::kHistogram: {
+        const HistogramSnapshot& hist = metric.histogram;
+        AppendF(&out,
+                "\"type\": \"histogram\", \"unit\": \"%s\", "
+                "\"count\": %lld, \"sum\": %.9g, \"p50\": %.9g, "
+                "\"p99\": %.9g, \"p999\": %.9g, \"buckets\": [",
+                hist.unit == Histogram::Unit::kSeconds ? "seconds" : "units",
+                static_cast<long long>(hist.count), hist.ScaledSum(),
+                hist.Quantile(0.50), hist.Quantile(0.99),
+                hist.Quantile(0.999));
+        const int highest = HighestBucket(hist);
+        int64_t cumulative = 0;
+        for (int i = 0; i <= highest; ++i) {
+          cumulative += hist.buckets[static_cast<size_t>(i)];
+          AppendF(&out, "%s{\"le\": %.9g, \"count\": %lld}",
+                  i == 0 ? "" : ", ",
+                  ScaledBound(hist, static_cast<size_t>(i)),
+                  static_cast<long long>(cumulative));
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ensemfdet

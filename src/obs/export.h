@@ -1,0 +1,31 @@
+// Scrape serializers: Prometheus text exposition and a JSON snapshot.
+// Pure functions over a RegistrySnapshot — the future network front end
+// (ROADMAP item 4) serves these strings; the CLI writes them via
+// --metrics-out and the metrics-dump subcommand.
+#ifndef ENSEMFDET_OBS_EXPORT_H_
+#define ENSEMFDET_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ensemfdet {
+namespace obs {
+
+/// Prometheus text exposition format. Counters and gauges emit one
+/// sample; histograms emit cumulative `_bucket{le=...}` samples (only
+/// up to the highest occupied bucket, then `+Inf`), `_sum` (scaled per
+/// unit) and `_count`. Metric names are emitted as registered — the
+/// `ensemfdet_<layer>_<name>{_total|_seconds}` convention is the
+/// caller's contract, validated by tools/check_metrics.py.
+std::string ToPrometheusText(const RegistrySnapshot& snapshot);
+
+/// JSON document: {"metrics":[...]} with per-kind fields; histograms
+/// include count, scaled sum, p50/p99/p999 estimates, and the occupied
+/// buckets as {"le": upper_bound, "count": cumulative}.
+std::string ToJson(const RegistrySnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_OBS_EXPORT_H_

@@ -1,0 +1,109 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace ensemfdet {
+namespace obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;  // string literal; not owned
+  int64_t start_ns;
+  int64_t duration_ns;
+  int32_t tid;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // leaked: see Global()
+  return *state;
+}
+
+bool EnvTraceEnabled() {
+  const char* value = std::getenv("ENSEMFDET_TRACE");
+  return value != nullptr && std::strcmp(value, "1") == 0;
+}
+
+std::atomic<bool> g_trace_enabled{EnvTraceEnabled()};
+
+int32_t ThreadTraceId() {
+  static std::atomic<int32_t> next{0};
+  thread_local const int32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTraceEnabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+void AppendTraceEvent(const char* name, int64_t start_ns,
+                      int64_t duration_ns) {
+  if (!TraceEnabled()) return;
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.push_back(
+      TraceEvent{name, start_ns, duration_ns, ThreadTraceId()});
+}
+
+size_t TraceEventCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.events.size();
+}
+
+bool FlushTraceTo(const std::string& path) {
+  std::vector<TraceEvent> events;
+  {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    events.swap(state.events);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  // Chrome trace_event JSON array format: ts/dur are microseconds.
+  std::fputs("[", f);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::fprintf(f,
+                 "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                 "\"ts\":%.3f,\"dur\":%.3f}",
+                 i == 0 ? "" : ",", e.name, e.tid, e.start_ns / 1e3,
+                 e.duration_ns / 1e3);
+  }
+  std::fputs("\n]\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace ensemfdet

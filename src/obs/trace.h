@@ -1,0 +1,94 @@
+// Scoped timing: TraceSpan measures the enclosing scope's wall time,
+// records it into a Histogram (Unit::kSeconds, nanosecond observations),
+// and — when tracing is on — appends a Chrome trace_event to the global
+// in-memory timeline.
+//
+// Tracing is opt-in via the environment: ENSEMFDET_TRACE=1 enables event
+// collection; FlushTraceTo() writes the collected events in Chrome's
+// trace_event JSON format (load in chrome://tracing or Perfetto). Events
+// are buffered under a mutex — tracing is a debugging mode, not a
+// production path, so simplicity wins over lock-freedom there. With
+// tracing off (the default) a span costs two steady_clock reads and one
+// histogram record; with metrics compiled out it costs nothing.
+#ifndef ENSEMFDET_OBS_TRACE_H_
+#define ENSEMFDET_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace ensemfdet {
+namespace obs {
+
+/// True when ENSEMFDET_TRACE=1 was set at process start (cached) or
+/// tracing was force-enabled for tests.
+bool TraceEnabled();
+/// Test/CLI hook: overrides the environment-derived state.
+void SetTraceEnabled(bool enabled);
+
+/// Nanoseconds since the process's trace epoch (first use).
+int64_t TraceNowNs();
+
+/// Appends one complete ("ph":"X") event. `name` must outlive the flush
+/// (string literals only). Thread-safe; no-op when tracing is off.
+void AppendTraceEvent(const char* name, int64_t start_ns, int64_t duration_ns);
+
+/// Number of buffered events (test hook).
+size_t TraceEventCount();
+
+/// Writes the buffered timeline as Chrome trace_event JSON and clears
+/// the buffer. Returns false on I/O failure.
+bool FlushTraceTo(const std::string& path);
+
+/// RAII scope timer. On destruction records elapsed nanoseconds into
+/// `histogram` (if non-null) and appends a trace event (if `name` is
+/// non-null and tracing is on).
+class TraceSpan {
+ public:
+  explicit TraceSpan(Histogram* histogram, const char* name = nullptr) {
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+    trace_ = name != nullptr && TraceEnabled();
+    if (internal::RuntimeEnabled() || trace_) {
+      histogram_ = histogram;
+      name_ = name;
+      if (trace_) start_ns_ = TraceNowNs();
+      timer_.Restart();
+      active_ = true;
+    }
+#else
+    (void)histogram;
+    (void)name;
+#endif
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+    if (!active_) return;
+    const int64_t elapsed_ns = timer_.ElapsedNanos();
+    if (histogram_ != nullptr && internal::RuntimeEnabled()) {
+      histogram_->Record(elapsed_ns);
+    }
+    if (trace_) AppendTraceEvent(name_, start_ns_, elapsed_ns);
+#endif
+  }
+
+ private:
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+  WallTimer timer_;
+  Histogram* histogram_ = nullptr;
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  bool trace_ = false;
+  bool active_ = false;
+#endif
+};
+
+}  // namespace obs
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_OBS_TRACE_H_

@@ -11,8 +11,51 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ensemfdet {
+
+namespace {
+
+// Service-layer instruments: per-job submit→start→finish latency split,
+// backpressure rejections (job queue and stream queues share one
+// counter), and per-session ingest lag (batch enqueue → drain pickup).
+struct ServiceMetrics {
+  obs::Counter* jobs_submitted_total;
+  obs::Counter* jobs_done_total;
+  obs::Counter* jobs_failed_total;
+  obs::Counter* jobs_cancelled_total;
+  obs::Counter* backpressure_rejections_total;
+  obs::Counter* stream_batches_total;
+  obs::Counter* stream_reports_total;
+  obs::Gauge* open_streams;
+  obs::Histogram* job_queue_wait_seconds;
+  obs::Histogram* job_run_seconds;
+  obs::Histogram* job_total_seconds;
+  obs::Histogram* stream_ingest_lag_seconds;
+};
+
+ServiceMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static ServiceMetrics m{
+      reg.GetCounter("ensemfdet_service_jobs_submitted_total"),
+      reg.GetCounter("ensemfdet_service_jobs_done_total"),
+      reg.GetCounter("ensemfdet_service_jobs_failed_total"),
+      reg.GetCounter("ensemfdet_service_jobs_cancelled_total"),
+      reg.GetCounter("ensemfdet_service_backpressure_rejections_total"),
+      reg.GetCounter("ensemfdet_service_stream_batches_total"),
+      reg.GetCounter("ensemfdet_service_stream_reports_total"),
+      reg.GetGauge("ensemfdet_service_open_streams"),
+      reg.GetHistogram("ensemfdet_service_job_queue_wait_seconds"),
+      reg.GetHistogram("ensemfdet_service_job_run_seconds"),
+      reg.GetHistogram("ensemfdet_service_job_total_seconds"),
+      reg.GetHistogram("ensemfdet_service_stream_ingest_lag_seconds"),
+  };
+  return m;
+}
+
+}  // namespace
 
 const char* DetectorKindName(DetectorKind kind) {
   switch (kind) {
@@ -129,6 +172,7 @@ Result<std::shared_ptr<DetectionService::Job>> DetectionService::SubmitJob(
   auto job = std::make_shared<Job>();
   job->request = std::move(request);
   job->snapshot = std::move(snapshot);
+  job->submit_ns = obs::MetricsRuntimeEnabled() ? obs::TraceNowNs() : -1;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -136,6 +180,7 @@ Result<std::shared_ptr<DetectionService::Job>> DetectionService::SubmitJob(
       return Status::FailedPrecondition("service is shutting down");
     }
     if (pending_ >= options_.max_pending_jobs) {
+      Metrics().backpressure_rejections_total->Increment();
       return Status::ResourceExhausted(
           "detection queue full (" +
           std::to_string(options_.max_pending_jobs) +
@@ -146,6 +191,7 @@ Result<std::shared_ptr<DetectionService::Job>> DetectionService::SubmitJob(
     ++tasks_in_flight_;
     jobs_[job->id] = job;
   }
+  Metrics().jobs_submitted_total->Increment();
 
   if (pool_ != nullptr) {
     pool_->Submit([this, job] { RunJob(job); });
@@ -166,10 +212,18 @@ void DetectionService::RunJob(const std::shared_ptr<Job>& job) {
     job->state = JobState::kRunning;
   }
 
+  ServiceMetrics& metrics = Metrics();
+  const int64_t start_ns =
+      job->submit_ns >= 0 ? obs::TraceNowNs() : int64_t{-1};
+  if (start_ns >= 0) {
+    metrics.job_queue_wait_seconds->Record(start_ns - job->submit_ns);
+  }
+
   // A throw out of Execute (e.g. rethrown from ParallelFor) must become a
   // failed job, not a lost task: the destructor waits on tasks_in_flight_.
   Result<JobResult> outcome = [&]() -> Result<JobResult> {
     try {
+      obs::TraceSpan run_span(metrics.job_run_seconds, "service_job");
       return Execute(*job);
     } catch (const std::exception& e) {
       return Status::Internal(std::string("detection job threw: ") +
@@ -178,6 +232,12 @@ void DetectionService::RunJob(const std::shared_ptr<Job>& job) {
       return Status::Internal("detection job threw a non-exception");
     }
   }();
+
+  if (job->submit_ns >= 0) {
+    metrics.job_total_seconds->Record(obs::TraceNowNs() - job->submit_ns);
+  }
+  (outcome.ok() ? metrics.jobs_done_total : metrics.jobs_failed_total)
+      ->Increment();
 
   std::lock_guard<std::mutex> lock(mu_);
   if (outcome.ok()) {
@@ -394,6 +454,7 @@ Status DetectionService::Cancel(JobId id) {
         "; only queued jobs can be cancelled");
   }
   FinishLocked(job, JobState::kCancelled);
+  Metrics().jobs_cancelled_total->Increment();
   return Status::OK();
 }
 
@@ -471,6 +532,7 @@ Result<StreamId> DetectionService::OpenStream(StreamSessionConfig config) {
   }
   session->id = next_stream_id_++;
   streams_[session->id] = session;
+  Metrics().open_streams->Add(1);
   return session->id;
 }
 
@@ -547,12 +609,16 @@ Status DetectionService::IngestBatch(StreamId id,
     if (!session->error.ok()) return session->error;
     if (static_cast<int64_t>(session->queue.size()) >=
         session->config.max_queued_batches) {
+      Metrics().backpressure_rejections_total->Increment();
       return Status::ResourceExhausted(
           "stream #" + std::to_string(id) + " queue full (" +
           std::to_string(session->config.max_queued_batches) +
           " batches pending); retry later");
     }
-    session->queue.push_back(std::move(batch));
+    session->queue.push_back(QueuedBatch{
+        std::move(batch),
+        obs::MetricsRuntimeEnabled() ? obs::TraceNowNs() : int64_t{-1}});
+    Metrics().stream_batches_total->Increment();
     if (!session->draining) {
       session->draining = true;
       start_drain = true;
@@ -573,6 +639,7 @@ void DetectionService::DrainStream(
     const std::shared_ptr<StreamSession>& session) {
   while (true) {
     ensemfdet::IngestBatch batch;
+    int64_t enqueue_ns = -1;
     bool failed;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -582,11 +649,16 @@ void DetectionService::DrainStream(
         if (--tasks_in_flight_ == 0) drained_cv_.notify_all();
         return;
       }
-      batch = std::move(session->queue.front());
+      batch = std::move(session->queue.front().batch);
+      enqueue_ns = session->queue.front().enqueue_ns;
       session->queue.pop_front();
       failed = !session->error.ok();
     }
     if (failed) continue;  // sticky error: drop the remaining batches
+    if (enqueue_ns >= 0) {
+      Metrics().stream_ingest_lag_seconds->Record(obs::TraceNowNs() -
+                                                  enqueue_ns);
+    }
 
     int64_t applied = 0;
     Status error;
@@ -646,6 +718,7 @@ void DetectionService::RecordStreamReport(
     cache_.Insert(fingerprint, session->config_hash, shared);
   }
 
+  Metrics().stream_reports_total->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   session->latest = std::move(shared);
   ++session->reports;
@@ -735,6 +808,7 @@ Result<StreamState> DetectionService::FinishStream(StreamId id) {
   }
   StreamState state = StreamStateLocked(*session);
   streams_.erase(id);
+  Metrics().open_streams->Add(-1);
   job_done_cv_.notify_all();
   return state;
 }
@@ -746,6 +820,7 @@ Status DetectionService::CloseStream(StreamId id) {
   session->closed = true;
   WaitStreamIdle(&lock, session);
   streams_.erase(id);
+  Metrics().open_streams->Add(-1);
   job_done_cv_.notify_all();
   return Status::OK();
 }

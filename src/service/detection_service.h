@@ -301,18 +301,24 @@ class DetectionService {
     JobState state = JobState::kQueued;
     Status error;            // set when state == kFailed
     std::shared_ptr<const JobResult> result;  // set when state == kDone
+    int64_t submit_ns = -1;  // obs trace clock at Submit; -1 = not stamped
   };
 
   /// One streaming session. The service mutex guards every field except
   /// `detector`, which is touched only by the single active drainer (the
   /// `draining` flag arbitrates) — batches apply FIFO without holding the
   /// service lock during detection.
+  struct QueuedBatch {
+    ensemfdet::IngestBatch batch;
+    int64_t enqueue_ns = -1;  // obs trace clock at IngestBatch; -1 = off
+  };
+
   struct StreamSession {
     StreamId id = 0;
     StreamSessionConfig config;
     uint64_t config_hash = 0;  // HashStreamingConfig(config.detector)
     WindowedDetector detector;
-    std::deque<ensemfdet::IngestBatch> queue;
+    std::deque<QueuedBatch> queue;
     bool draining = false;
     bool closed = false;
     Status error;  // sticky

@@ -4,8 +4,34 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace ensemfdet {
+
+namespace {
+
+// Process-wide mirrors of the per-instance ResultCacheStats: the struct
+// keeps its exact public stats() semantics (per cache, mutex-consistent)
+// while scrapes see the union across every cache in the process.
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* insertions;
+  obs::Counter* evictions;
+};
+
+CacheMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static CacheMetrics m{
+      reg.GetCounter("ensemfdet_cache_hits_total"),
+      reg.GetCounter("ensemfdet_cache_misses_total"),
+      reg.GetCounter("ensemfdet_cache_insertions_total"),
+      reg.GetCounter("ensemfdet_cache_evictions_total"),
+  };
+  return m;
+}
+
+}  // namespace
 
 uint64_t HashEnsemFDetConfig(const EnsemFDetConfig& config) {
   uint64_t h = HashValue<uint64_t>(0x636f6e666967u);  // domain tag
@@ -41,9 +67,11 @@ std::shared_ptr<const EnsemFDetReport> ResultCache::Lookup(
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    Metrics().misses->Increment();
     return nullptr;
   }
   ++stats_.hits;
+  Metrics().hits->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->report;
 }
@@ -62,10 +90,12 @@ void ResultCache::Insert(uint64_t graph_fingerprint, uint64_t config_hash,
   lru_.push_front(Entry{key, std::move(report)});
   index_[key] = lru_.begin();
   ++stats_.insertions;
+  Metrics().insertions->Increment();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    Metrics().evictions->Increment();
   }
 }
 

@@ -7,11 +7,33 @@
 #include <utility>
 
 #include "graph/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ensemfdet {
 namespace storage {
 
 namespace {
+
+struct ReaderMetrics {
+  obs::Counter* loads_total;
+  obs::Counter* bytes_read_total;
+  obs::Counter* verifies_total;
+  obs::Histogram* load_seconds;
+  obs::Histogram* verify_seconds;
+};
+
+ReaderMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static ReaderMetrics m{
+      reg.GetCounter("ensemfdet_storage_loads_total"),
+      reg.GetCounter("ensemfdet_storage_bytes_read_total"),
+      reg.GetCounter("ensemfdet_storage_verifies_total"),
+      reg.GetHistogram("ensemfdet_storage_load_seconds"),
+      reg.GetHistogram("ensemfdet_storage_verify_seconds"),
+  };
+  return m;
+}
 
 // The delta-adds section is the Edge array verbatim; pin its layout.
 static_assert(sizeof(Edge) == 2 * sizeof(uint32_t),
@@ -342,7 +364,11 @@ Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
 }
 
 Result<CsrGraph> LoadCsrGraphSnapshot(const std::string& path) {
+  obs::TraceSpan span(Metrics().load_seconds, "snapshot_load");
   ENSEMFDET_ASSIGN_OR_RETURN(ValidatedCsr v, OpenValidatedCsr(path));
+  Metrics().loads_total->Increment();
+  Metrics().bytes_read_total->Increment(
+      static_cast<int64_t>(v.raw.file->size()));
   CsrGraph graph = CopyFromSpans(v.spans, v.raw.header.num_users,
                                  v.raw.header.num_merchants);
   const uint64_t fingerprint = FingerprintGraph(graph);
@@ -356,7 +382,11 @@ Result<CsrGraph> LoadCsrGraphSnapshot(const std::string& path) {
 }
 
 Result<MappedCsrGraph> MappedCsrGraph::Open(const std::string& path) {
+  obs::TraceSpan span(Metrics().load_seconds, "snapshot_mmap_open");
   ENSEMFDET_ASSIGN_OR_RETURN(ValidatedCsr v, OpenValidatedCsr(path));
+  Metrics().loads_total->Increment();
+  Metrics().bytes_read_total->Increment(
+      static_cast<int64_t>(v.raw.file->size()));
   MappedCsrGraph mapped;
   mapped.fingerprint_ = v.raw.header.content_fingerprint;
   mapped.file_bytes_ = v.raw.file->size();
@@ -366,6 +396,8 @@ Result<MappedCsrGraph> MappedCsrGraph::Open(const std::string& path) {
 }
 
 Status MappedCsrGraph::VerifyFingerprint() const {
+  obs::TraceSpan span(Metrics().verify_seconds, "snapshot_verify");
+  Metrics().verifies_total->Increment();
   const uint64_t actual = FingerprintGraph(graph_);
   if (actual != fingerprint_) {
     return Corrupt("content fingerprint mismatch (file claims " +

@@ -11,11 +11,29 @@
 
 #include "common/logging.h"
 #include "graph/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ensemfdet {
 namespace storage {
 
 namespace {
+
+struct WriterMetrics {
+  obs::Counter* writes_total;
+  obs::Counter* bytes_written_total;
+  obs::Histogram* write_seconds;
+};
+
+WriterMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static WriterMetrics m{
+      reg.GetCounter("ensemfdet_storage_writes_total"),
+      reg.GetCounter("ensemfdet_storage_bytes_written_total"),
+      reg.GetHistogram("ensemfdet_storage_write_seconds"),
+  };
+  return m;
+}
 
 uint64_t AlignUp(uint64_t offset) {
   return (offset + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
@@ -63,6 +81,7 @@ void SnapshotWriter::AddSection(SectionId id, const void* data,
 }
 
 Status SnapshotWriter::Write(const std::string& path) const {
+  obs::TraceSpan span(Metrics().write_seconds, "snapshot_write");
   // Lay out the file: header, section table, then 64-byte-aligned
   // payloads in registration order.
   SnapshotHeader header = header_;
@@ -121,6 +140,9 @@ Status SnapshotWriter::Write(const std::string& path) const {
     return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
                            std::strerror(err));
   }
+  Metrics().writes_total->Increment();
+  Metrics().bytes_written_total->Increment(
+      static_cast<int64_t>(header.file_size));
   return Status::OK();
 }
 

@@ -70,9 +70,32 @@ TEST(WallTimerTest, RestartResets) {
 }
 
 TEST(FormatDurationTest, PicksUnits) {
-  EXPECT_EQ(FormatDuration(0.0000005), "0.5 us");
+  EXPECT_EQ(FormatDuration(0.0000005), "500 ns");
+  EXPECT_EQ(FormatDuration(0.0000123), "12.3 us");
   EXPECT_EQ(FormatDuration(0.0123), "12.3 ms");
   EXPECT_EQ(FormatDuration(3.25), "3.250 sec");
+}
+
+TEST(FormatDurationTest, SubMillisecondDoesNotCollapseToZero) {
+  // The old formatter rendered anything under 1 ms as "0.0 ms";
+  // per-stage span timings are routinely in the ns/us range.
+  EXPECT_EQ(FormatDuration(5e-9), "5 ns");
+  EXPECT_EQ(FormatDuration(9.99e-7), "999 ns");
+  EXPECT_EQ(FormatDuration(1e-6), "1.0 us");
+  EXPECT_EQ(FormatDuration(9.99e-4), "999.0 us");
+  EXPECT_EQ(FormatDuration(1e-3), "1.0 ms");
+}
+
+TEST(WallTimerTest, ElapsedNanosMatchesSeconds) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  const int64_t ns = timer.ElapsedNanos();
+  const double secs = timer.ElapsedSeconds();
+  EXPECT_GE(ns, 0);
+  // ElapsedSeconds taken after ElapsedNanos, so it must be no smaller.
+  EXPECT_GE(secs, static_cast<double>(ns) * 1e-9 - 1e-9);
+  EXPECT_GE(timer.ElapsedNanos(), ns);
 }
 
 TEST(TableWriterTest, CsvRoundTrip) {

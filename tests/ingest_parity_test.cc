@@ -13,6 +13,7 @@
 #include "datagen/transaction_stream.h"
 #include "ingest/dynamic_graph_store.h"
 #include "ingest/streaming_detector.h"
+#include "obs/metrics.h"
 
 namespace ensemfdet {
 namespace {
@@ -275,6 +276,65 @@ TEST(IngestParityTest, MinComponentEdgesPrunesDebris) {
   for (int i = 0; i < 3; ++i) {
     EXPECT_EQ(report.report.votes.user_votes(20 + i), 0)
         << "pruned debris component must not vote";
+  }
+}
+
+// The narration contract the CLI relies on: Detect mirrors its
+// StreamingDetectionStats into the global ensemfdet_stream_* counters en
+// bloc, so the counter delta taken across one Detect call equals that
+// report's stats exactly — stream-replay prints its per-report lines from
+// registry deltas and they stay bit-identical to the report snapshot.
+TEST(IngestParityTest, RegistryDeltaMirrorsReportStats) {
+  if (!obs::kMetricsCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  const std::vector<Transaction> events = ParityStream(41);
+  DynamicGraphStoreConfig store_config;
+  store_config.num_users = 500;
+  store_config.num_merchants = 300;
+  store_config.window = 6000;
+  auto store = DynamicGraphStore::Create(store_config).ValueOrDie();
+  auto detector =
+      StreamingDetector::Create(DetectorConfig(SampleMethod::kRandomEdge, 41))
+          .ValueOrDie();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const char* names[] = {
+      "ensemfdet_stream_reports_total",
+      "ensemfdet_stream_components_total",
+      "ensemfdet_stream_components_eligible_total",
+      "ensemfdet_stream_components_reused_total",
+      "ensemfdet_stream_components_recomputed_total",
+      "ensemfdet_stream_components_touched_total",
+      "ensemfdet_stream_edges_total",
+      "ensemfdet_stream_edges_recomputed_total",
+  };
+  size_t next = 0;
+  const size_t interval_events = events.size() / 4;
+  while (next < events.size()) {
+    IngestBatch batch;
+    const size_t end = std::min(events.size(), next + interval_events);
+    batch.transactions.assign(events.begin() + next, events.begin() + end);
+    next = end;
+    ASSERT_TRUE(store.Apply(batch).ok());
+    GraphVersion version = store.Publish();
+
+    std::vector<int64_t> before;
+    for (const char* name : names) {
+      before.push_back(reg.GetCounter(name)->Value());
+    }
+    StreamingReport out = detector.Detect(version, nullptr).ValueOrDie();
+    const StreamingDetectionStats& s = out.stats;
+    const int64_t expected[] = {1,
+                                s.components_total,
+                                s.components_eligible,
+                                s.components_reused,
+                                s.components_recomputed,
+                                s.components_touched,
+                                s.edges_total,
+                                s.edges_recomputed};
+    for (size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(reg.GetCounter(names[i])->Value() - before[i], expected[i])
+          << names[i];
+    }
   }
 }
 

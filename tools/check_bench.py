@@ -25,7 +25,10 @@ Checks, per document (schema: bench/README.md):
         construction: both replays are timed in the same process),
       - storage: mmap verified load must beat TSV parse (>= 1.0x; the
         headline the snapshot format exists for) — self-normalized, no
-        baseline comparison needed.
+        baseline comparison needed,
+      - obs: the metrics-on vs metrics-off overhead must stay within the
+        in-file budget (2%) — self-normalized (both arms timed
+        interleaved in one process), no baseline comparison needed.
 
 Exit codes: 0 all checks passed; 1 a validation or regression check
 failed; 2 usage errors (missing file, unreadable JSON document).
@@ -40,6 +43,7 @@ EXPECTED_SCHEMA = {
     "BENCH_ensemble.json": 2,
     "BENCH_stream.json": 1,
     "BENCH_storage.json": 1,
+    "BENCH_obs.json": 1,
 }
 COMMON_KEYS = ("schema_version", "bench", "graph", "config", "timings")
 
@@ -128,6 +132,29 @@ def check_storage(fresh):
     return f"storage {speedup:.1f}x mmap-verified vs tsv"
 
 
+def check_obs(fresh):
+    # Self-normalized: the on and off arms are interleaved in one process
+    # on the same graph, so the fraction is runner-independent. The budget
+    # travels in the file (the producer wrote it), so a budget change is a
+    # reviewed diff, not a CI-flag edit.
+    overhead = fresh["overhead"]
+    budget = overhead["budget_fraction"]
+    check(budget <= 0.02,
+          f"obs: budget_fraction {budget} exceeds the agreed 2% — the "
+          f"producer loosened the gate")
+    check(overhead["within_budget"],
+          "obs: producer reported within_budget=false")
+    check(overhead["fraction"] <= budget,
+          f"obs: metrics overhead {overhead['fraction']:.2%} blew the "
+          f"{budget:.0%} budget — instrumentation is no longer ~free")
+    check(fresh["config"]["metrics_compiled_in"],
+          "obs: bench was built with ENSEMFDET_METRICS=OFF — the overhead "
+          "number is vacuous")
+    return (f"obs {overhead['fraction']:+.2%} overhead "
+            f"(counter {overhead['counter_ns_per_increment']:.0f} ns, "
+            f"histogram {overhead['histogram_ns_per_record']:.0f} ns)")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Validate BENCH_*.json documents and gate regressions")
@@ -147,7 +174,7 @@ def main():
                         help="min fresh/committed stream-speedup ratio")
     parser.add_argument("files", nargs="*",
                         default=sorted(EXPECTED_SCHEMA),
-                        help="file names to check (default: all four)")
+                        help="file names to check (default: all five)")
     args = parser.parse_args()
 
     summaries = []
@@ -173,6 +200,8 @@ def main():
                                               args.stream_tolerance))
             elif name == "BENCH_storage.json":
                 summaries.append(check_storage(fresh))
+            elif name == "BENCH_obs.json":
+                summaries.append(check_obs(fresh))
     except CheckFailure as failure:
         print(f"check_bench: FAIL: {failure}", file=sys.stderr)
         return 1
