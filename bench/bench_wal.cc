@@ -1,0 +1,44 @@
+// bench_wal: the durable-ingest perf baseline. Appends the same synthetic
+// batch stream through the CRC-framed WAL writer once per fsync policy
+// (none / batch / always), verifies the log replays bit-identical to the
+// batches that produced it, and writes BENCH_wal.json (schema:
+// bench/README.md) — acked events/sec is the price of each durability
+// level at the IngestBatch ack boundary.
+//
+// Environment knobs: ENSEMFDET_SEED (default 7), ENSEMFDET_REPEATS
+// (default 3), ENSEMFDET_WAL_BATCHES (default 96), ENSEMFDET_BENCH_OUT
+// (default ./BENCH_wal.json, "-" = stdout only).
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "perf_harness.h"
+
+int main() {
+  using namespace ensemfdet;
+  bench::WalBenchOptions options;
+  options.seed = static_cast<uint64_t>(
+      GetEnvInt64("ENSEMFDET_SEED", static_cast<int64_t>(options.seed)));
+  options.repeats = GetEnvInt("ENSEMFDET_REPEATS", options.repeats);
+  options.num_batches =
+      GetEnvInt64("ENSEMFDET_WAL_BATCHES", options.num_batches);
+
+  auto json = bench::RunWalBench(options);
+  if (!json.ok()) {
+    std::fprintf(stderr, "bench_wal: %s\n", json.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(json->c_str(), stdout);
+
+  const std::string out_path =
+      GetEnvString("ENSEMFDET_BENCH_OUT", "BENCH_wal.json");
+  if (out_path != "-") {
+    Status st = bench::WriteTextFile(out_path, *json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench_wal: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench_wal] wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -26,9 +26,12 @@
 #include "graph/graph_io.h"
 #include "ingest/dynamic_graph_store.h"
 #include "ingest/streaming_detector.h"
+#include "ingest/wal_codec.h"
 #include "obs/metrics.h"
 #include "storage/snapshot_reader.h"
 #include "storage/snapshot_writer.h"
+#include "storage/wal_reader.h"
+#include "storage/wal_writer.h"
 
 namespace ensemfdet {
 namespace bench {
@@ -916,6 +919,205 @@ Result<std::string> RunStreamBench(const StreamBenchOptions& options,
           weighted_identical ? "true" : "false",
           members_identical ? "true" : "false",
           static_cast<long long>(full_outcome.detections));
+  out.append("}\n");
+  return out;
+}
+
+Result<std::string> RunWalBench(const WalBenchOptions& options,
+                                WalBenchSummary* summary) {
+  if (options.repeats < 1) {
+    return Status::InvalidArgument("repeats must be >= 1");
+  }
+  if (options.num_batches < 1 || options.batch_events < 1) {
+    return Status::InvalidArgument(
+        "num_batches and batch_events must be >= 1");
+  }
+  if (options.group_commit_records < 1) {
+    return Status::InvalidArgument("group_commit_records must be >= 1");
+  }
+
+  // Deterministic batch stream: non-decreasing timestamps over the
+  // configured universes. Encoded once up front so every policy pays the
+  // same codec cost and the timings isolate framing + fsync.
+  uint64_t rng = options.seed * 0x9E3779B97F4A7C15ull + 1;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  std::vector<IngestBatch> batches(
+      static_cast<size_t>(options.num_batches));
+  std::vector<std::vector<std::byte>> payloads;
+  payloads.reserve(batches.size());
+  std::vector<int64_t> record_timestamps;
+  record_timestamps.reserve(batches.size());
+  int64_t clock = 0;
+  uint64_t payload_bytes = 0;
+  for (IngestBatch& batch : batches) {
+    batch.transactions.reserve(static_cast<size_t>(options.batch_events));
+    for (int64_t i = 0; i < options.batch_events; ++i) {
+      clock += static_cast<int64_t>(next() % 3);
+      Transaction tx;
+      tx.timestamp = clock;
+      tx.user = static_cast<int64_t>(
+          next() % static_cast<uint64_t>(options.num_users));
+      tx.merchant = static_cast<int64_t>(
+          next() % static_cast<uint64_t>(options.num_merchants));
+      batch.transactions.push_back(tx);
+    }
+    payloads.push_back(ingest::EncodeIngestBatch(batch));
+    record_timestamps.push_back(ingest::WalRecordTimestamp(batch));
+    payload_bytes += payloads.back().size();
+  }
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const std::string scratch = options.scratch_dir.empty()
+                                  ? fs::temp_directory_path(ec).string()
+                                  : options.scratch_dir;
+  if (scratch.empty()) {
+    return Status::IOError("cannot resolve a scratch directory");
+  }
+  const std::string wal_dir =
+      scratch + "/ensemfdet_bench_wal_" + std::to_string(options.seed);
+
+  int64_t segments_created = 0;
+  auto write_log = [&](storage::WalFsyncPolicy policy) -> Status {
+    std::error_code rm_ec;
+    fs::remove_all(wal_dir, rm_ec);
+    storage::WalWriterOptions wal_options;
+    wal_options.fsync = policy;
+    wal_options.group_commit_records = options.group_commit_records;
+    wal_options.segment_bytes = options.segment_bytes;
+    ENSEMFDET_ASSIGN_OR_RETURN(
+        storage::WalWriter writer,
+        storage::WalWriter::Open(wal_dir, wal_options));
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      ENSEMFDET_ASSIGN_OR_RETURN(
+          uint64_t seq,
+          writer.Append(payloads[i].data(), payloads[i].size(),
+                        record_timestamps[i]));
+      (void)seq;
+    }
+    segments_created = static_cast<int64_t>(writer.segment_count());
+    return writer.Close();
+  };
+
+  // Untimed replay gate: the log written under group commit must replay
+  // every record bit-identical to the batch that produced it — a
+  // BENCH_wal.json is also a correctness witness for the framing.
+  ENSEMFDET_RETURN_NOT_OK(write_log(storage::WalFsyncPolicy::kBatch));
+  uint64_t replayed = 0;
+  bool identical = true;
+  auto verify = [&](const storage::WalRecordView& record) -> Status {
+    const size_t index = static_cast<size_t>(replayed);
+    ++replayed;
+    if (index >= batches.size() || record.seq != index + 1 ||
+        record.timestamp != record_timestamps[index]) {
+      identical = false;
+      return Status::OK();
+    }
+    ENSEMFDET_ASSIGN_OR_RETURN(IngestBatch decoded,
+                               ingest::DecodeIngestBatch(record.payload));
+    const std::vector<Transaction>& want = batches[index].transactions;
+    if (decoded.transactions.size() != want.size()) {
+      identical = false;
+      return Status::OK();
+    }
+    for (size_t i = 0; i < want.size(); ++i) {
+      if (decoded.transactions[i].timestamp != want[i].timestamp ||
+          decoded.transactions[i].user != want[i].user ||
+          decoded.transactions[i].merchant != want[i].merchant) {
+        identical = false;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  };
+  ENSEMFDET_ASSIGN_OR_RETURN(storage::WalReplayStats replay_stats,
+                             storage::ReplayWal(wal_dir, 0, verify));
+  identical = identical && !replay_stats.tail_truncated &&
+              replayed == batches.size() &&
+              replay_stats.last_seq == batches.size();
+  if (!identical) {
+    std::error_code rm_ec;
+    fs::remove_all(wal_dir, rm_ec);
+    return Status::Internal(
+        "WAL replay did not reproduce the appended batch stream — "
+        "refusing to emit BENCH_wal.json");
+  }
+
+  Status bench_error = Status::OK();
+  auto timed = [&](storage::WalFsyncPolicy policy) {
+    Status st = write_log(policy);
+    if (!st.ok() && bench_error.ok()) bench_error = st;
+  };
+  std::vector<Timing> timings;
+  timings.push_back(Measure("append_fsync_none", options.repeats, [&] {
+    timed(storage::WalFsyncPolicy::kNone);
+  }));
+  timings.push_back(Measure("append_fsync_batch", options.repeats, [&] {
+    timed(storage::WalFsyncPolicy::kBatch);
+  }));
+  timings.push_back(Measure("append_fsync_always", options.repeats, [&] {
+    timed(storage::WalFsyncPolicy::kAlways);
+  }));
+  fs::remove_all(wal_dir, ec);
+  ENSEMFDET_RETURN_NOT_OK(bench_error);
+
+  const int64_t events = options.num_batches * options.batch_events;
+  const double eps_none =
+      static_cast<double>(events) / timings[0].seconds_min;
+  const double eps_batch =
+      static_cast<double>(events) / timings[1].seconds_min;
+  const double eps_always =
+      static_cast<double>(events) / timings[2].seconds_min;
+
+  if (summary != nullptr) {
+    summary->acked_events_per_second_none = eps_none;
+    summary->acked_events_per_second_batch = eps_batch;
+    summary->acked_events_per_second_always = eps_always;
+    summary->replay_identical = identical;
+  }
+
+  std::string out;
+  out.append("{\n");
+  out.append("  \"schema_version\": 1,\n");
+  out.append("  \"bench\": \"wal\",\n");
+  AppendF(&out,
+          "  \"graph\": {\"preset\": \"synthetic_batches\", \"scale\": 1, "
+          "\"seed\": %llu, \"users\": %lld, \"merchants\": %lld, "
+          "\"edges\": %lld},\n",
+          static_cast<unsigned long long>(options.seed),
+          static_cast<long long>(options.num_users),
+          static_cast<long long>(options.num_merchants),
+          static_cast<long long>(events));
+  AppendF(&out,
+          "  \"config\": {\"repeats\": %d, \"num_batches\": %lld, "
+          "\"batch_events\": %lld, \"group_commit_records\": %lld, "
+          "\"segment_bytes\": %llu},\n",
+          options.repeats, static_cast<long long>(options.num_batches),
+          static_cast<long long>(options.batch_events),
+          static_cast<long long>(options.group_commit_records),
+          static_cast<unsigned long long>(options.segment_bytes));
+  AppendTimingsJson(&out, timings);
+  AppendF(&out,
+          "  \"throughput\": {\"acked_events_per_second_none\": %.6g, "
+          "\"acked_events_per_second_batch\": %.6g, "
+          "\"acked_events_per_second_always\": %.6g},\n",
+          eps_none, eps_batch, eps_always);
+  AppendF(&out,
+          "  \"wal\": {\"records\": %lld, \"payload_bytes\": %llu, "
+          "\"segments_created\": %lld},\n",
+          static_cast<long long>(options.num_batches),
+          static_cast<unsigned long long>(payload_bytes),
+          static_cast<long long>(segments_created));
+  AppendF(&out,
+          "  \"parity\": {\"replay_identical\": %s, "
+          "\"records_compared\": %llu}\n",
+          identical ? "true" : "false",
+          static_cast<unsigned long long>(replayed));
   out.append("}\n");
   return out;
 }

@@ -115,6 +115,36 @@ struct StorageBenchSummary {
   double efg_bytes = 0.0;
 };
 
+struct WalBenchOptions {
+  uint64_t seed = 7;
+  /// Workload shape: a synthetic batch stream (one WAL record per batch,
+  /// exactly what a durable service session appends per IngestBatch ack).
+  int64_t num_batches = 96;
+  int64_t batch_events = 128;
+  int64_t num_users = 6000;
+  int64_t num_merchants = 4000;
+  /// Group-commit interval for the `batch` fsync policy measurement.
+  int64_t group_commit_records = 16;
+  /// Segment rotation threshold — small so rotation cost is in the number.
+  uint64_t segment_bytes = 256 * 1024;
+  int repeats = 3;
+  /// Directory for the transient WAL segments; empty = system temp.
+  std::string scratch_dir;
+};
+
+/// Headline numbers of the WAL bench, duplicated out of the JSON.
+struct WalBenchSummary {
+  /// Acked events/sec per fsync policy: every event in the number was
+  /// framed, CRC'd, appended, and carried whatever durability the policy
+  /// promises before the (simulated) ack.
+  double acked_events_per_second_none = 0.0;
+  double acked_events_per_second_batch = 0.0;
+  double acked_events_per_second_always = 0.0;
+  /// The untimed replay gate passed (the document refuses to exist
+  /// otherwise, so a written file always carries true).
+  bool replay_identical = false;
+};
+
 /// Runs the peeling bench (adjacency vs CSR, single peel + full FDET) and
 /// returns the BENCH_peeling.json document. Fails with Internal if the
 /// CSR path's results are not identical to the adjacency path's.
@@ -142,6 +172,19 @@ Result<std::string> RunStorageBench(const StorageBenchOptions& options,
 /// numbers.
 Result<std::string> RunStreamBench(const StreamBenchOptions& options,
                                    StreamBenchSummary* summary = nullptr);
+
+/// Runs the durable-ingest WAL bench and returns the BENCH_wal.json
+/// document (schema_version 1): the same synthetic batch stream appended
+/// through WalWriter three times, once per fsync policy (none / batch /
+/// always), reported as acked events/sec — the price of each durability
+/// level at the IngestBatch ack boundary. Before anything is timed it
+/// writes the full log once, replays it with ReplayWal, and verifies
+/// every record decodes bit-identical to the batch that produced it (seq
+/// chain, timestamps, every transaction); any divergence fails with
+/// Internal, refusing to emit. When `summary` is non-null it receives
+/// the headline numbers.
+Result<std::string> RunWalBench(const WalBenchOptions& options,
+                                WalBenchSummary* summary = nullptr);
 
 struct ObsBenchOptions {
   PerfGraphSpec graph;

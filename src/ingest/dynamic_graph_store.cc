@@ -248,7 +248,8 @@ GraphVersion DynamicGraphStore::Publish() {
 
 Status DynamicGraphStore::SaveCheckpoint(
     const std::string& path, const storage::DetectorClockRecord* clock,
-    std::span<const storage::ReorderEventRecord> reorder) const {
+    std::span<const storage::ReorderEventRecord> reorder,
+    const storage::WalPositionRecord* wal) const {
   const SortedDelta delta = BuildSortedDelta();
 
   // The header fingerprint covers the live set (base − dead + adds); a
@@ -310,6 +311,9 @@ Status DynamicGraphStore::SaveCheckpoint(
     writer.AddSection(
         storage::SectionId::kReorderEvents, reorder.data(),
         reorder.size() * sizeof(storage::ReorderEventRecord));
+  }
+  if (wal != nullptr) {
+    writer.AddSection(storage::SectionId::kWalPosition, wal, sizeof(*wal));
   }
   return writer.Write(path);
 }

@@ -98,10 +98,13 @@ class DynamicGraphStore {
   /// frontier clear, the store is untouched. `clock`/`reorder` piggyback
   /// WindowedDetector state (null/empty for a bare store checkpoint).
   /// O(|window| + |base| + |delta|).
+  /// `wal` piggybacks the durable-ingest WAL position the same way
+  /// (null when the ingest path is not WAL-backed).
   Status SaveCheckpoint(
       const std::string& path,
       const storage::DetectorClockRecord* clock = nullptr,
-      std::span<const storage::ReorderEventRecord> reorder = {}) const;
+      std::span<const storage::ReorderEventRecord> reorder = {},
+      const storage::WalPositionRecord* wal = nullptr) const;
 
   /// Rebuilds a store from deserialized checkpoint parts
   /// (storage::ReadStoreCheckpoint). Re-derives the live multiset from

@@ -1,0 +1,87 @@
+#include "ingest/wal_codec.h"
+
+#include <cstring>
+
+namespace ensemfdet {
+namespace ingest {
+
+namespace {
+
+// The on-wire transaction image; kept identical to storage's
+// SnapshotTransaction so the two serialized forms never drift apart.
+struct WireTransaction {
+  int64_t timestamp = 0;
+  uint32_t user = 0;
+  uint32_t merchant = 0;
+};
+static_assert(sizeof(WireTransaction) == 16);
+
+struct WireBatchHeader {
+  uint32_t transaction_count = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(WireBatchHeader) == 8);
+
+}  // namespace
+
+std::vector<std::byte> EncodeIngestBatch(const IngestBatch& batch) {
+  WireBatchHeader header;
+  header.transaction_count =
+      static_cast<uint32_t>(batch.transactions.size());
+  std::vector<std::byte> payload(
+      sizeof(header) + sizeof(WireTransaction) * batch.transactions.size());
+  std::memcpy(payload.data(), &header, sizeof(header));
+  std::byte* out = payload.data() + sizeof(header);
+  for (const Transaction& tx : batch.transactions) {
+    WireTransaction wire;
+    wire.timestamp = tx.timestamp;
+    wire.user = static_cast<uint32_t>(tx.user);
+    wire.merchant = static_cast<uint32_t>(tx.merchant);
+    std::memcpy(out, &wire, sizeof(wire));
+    out += sizeof(wire);
+  }
+  return payload;
+}
+
+Result<IngestBatch> DecodeIngestBatch(std::span<const std::byte> payload) {
+  WireBatchHeader header;
+  if (payload.size() < sizeof(header)) {
+    return Status::IOError("WAL batch payload of " +
+                           std::to_string(payload.size()) +
+                           " bytes is shorter than its header");
+  }
+  std::memcpy(&header, payload.data(), sizeof(header));
+  const size_t expected =
+      sizeof(header) +
+      sizeof(WireTransaction) *
+          static_cast<size_t>(header.transaction_count);
+  if (payload.size() != expected) {
+    return Status::IOError(
+        "WAL batch payload declares " +
+        std::to_string(header.transaction_count) + " transactions (" +
+        std::to_string(expected) + " bytes) but carries " +
+        std::to_string(payload.size()) + " bytes");
+  }
+  IngestBatch batch;
+  batch.transactions.reserve(header.transaction_count);
+  const std::byte* in = payload.data() + sizeof(header);
+  for (uint32_t i = 0; i < header.transaction_count; ++i) {
+    WireTransaction wire;
+    std::memcpy(&wire, in, sizeof(wire));
+    in += sizeof(wire);
+    Transaction tx;
+    tx.timestamp = wire.timestamp;
+    tx.user = wire.user;
+    tx.merchant = wire.merchant;
+    batch.transactions.push_back(tx);
+  }
+  return batch;
+}
+
+int64_t WalRecordTimestamp(const IngestBatch& batch) {
+  if (batch.transactions.empty()) return 0;
+  return batch.transactions.back().timestamp;
+}
+
+}  // namespace ingest
+}  // namespace ensemfdet

@@ -1,0 +1,38 @@
+// IngestBatch <-> WAL payload bytes. One WAL record carries exactly one
+// IngestBatch (the service acks per batch, so the batch is the durability
+// unit); the payload layout is fixed little-endian:
+//
+//   [u32 transaction_count][u32 reserved]
+//   transaction_count × [i64 timestamp][u32 user][u32 merchant]
+//
+// i.e. 8 + 16·count bytes. DecodeIngestBatch validates the exact length
+// against the declared count — a CRC-valid record of the wrong shape is
+// corrupt history (IOError), never UB.
+#ifndef ENSEMFDET_INGEST_WAL_CODEC_H_
+#define ENSEMFDET_INGEST_WAL_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "ingest/ingest_batch.h"
+
+namespace ensemfdet {
+namespace ingest {
+
+/// Serializes `batch` into the WAL payload layout above.
+std::vector<std::byte> EncodeIngestBatch(const IngestBatch& batch);
+
+/// Inverse of EncodeIngestBatch; IOError on any length/count mismatch.
+Result<IngestBatch> DecodeIngestBatch(std::span<const std::byte> payload);
+
+/// The record timestamp a batch is framed with in the WAL: its final
+/// (newest) transaction's timestamp, 0 for an empty batch.
+int64_t WalRecordTimestamp(const IngestBatch& batch);
+
+}  // namespace ingest
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_INGEST_WAL_CODEC_H_

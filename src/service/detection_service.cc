@@ -11,8 +11,10 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "ingest/wal_codec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/wal_reader.h"
 
 namespace ensemfdet {
 
@@ -518,6 +520,13 @@ Result<StreamId> DetectionService::OpenStream(StreamSessionConfig config) {
   if (config.max_queued_batches < 1) {
     return Status::InvalidArgument("max_queued_batches must be >= 1");
   }
+  if (config.wal.dir.empty() && config.wal.recover) {
+    return Status::InvalidArgument(
+        "wal.recover requires a wal.dir to recover from");
+  }
+  if (!config.wal.dir.empty() && config.wal.group_commit_records < 1) {
+    return Status::InvalidArgument("wal.group_commit_records must be >= 1");
+  }
 
   auto session = std::make_shared<StreamSession>(std::move(config), pool_);
   if (!session->config.resume_checkpoint.empty()) {
@@ -525,6 +534,9 @@ Result<StreamId> DetectionService::OpenStream(StreamSessionConfig config) {
     // open synchronously instead of poisoning the first batch.
     ENSEMFDET_RETURN_NOT_OK(session->detector.ResumeFromCheckpoint(
         session->config.resume_checkpoint));
+  }
+  if (!session->config.wal.dir.empty()) {
+    ENSEMFDET_RETURN_NOT_OK(OpenSessionWal(session));
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (shutting_down_) {
@@ -534,6 +546,73 @@ Result<StreamId> DetectionService::OpenStream(StreamSessionConfig config) {
   streams_[session->id] = session;
   Metrics().open_streams->Add(1);
   return session->id;
+}
+
+Status DetectionService::OpenSessionWal(
+    const std::shared_ptr<StreamSession>& session) {
+  const StreamWalOptions& w = session->config.wal;
+  storage::WalWriterOptions options;
+  options.fsync = w.fsync;
+  options.group_commit_records = w.group_commit_records;
+  options.segment_bytes = w.segment_bytes;
+  // Open first: this repairs a torn tail physically, so the replay below
+  // sees exactly the records the writer will append after.
+  ENSEMFDET_ASSIGN_OR_RETURN(storage::WalWriter writer,
+                             storage::WalWriter::Open(w.dir, options));
+
+  uint64_t after_seq = 0;
+  if (w.recover) {
+    if (!session->config.resume_checkpoint.empty()) {
+      if (!session->detector.has_resumed_wal_position()) {
+        return Status::InvalidArgument(
+            "checkpoint " + session->config.resume_checkpoint +
+            " carries no WAL position; it was not taken from a WAL-backed "
+            "session, so recovery cannot tell where log replay resumes");
+      }
+      after_seq = session->detector.resumed_wal_position();
+    }
+    int64_t recovered_events = 0;
+    Result<storage::WalReplayStats> replayed = storage::ReplayWal(
+        w.dir, after_seq,
+        [&](const storage::WalRecordView& record) -> Status {
+          ENSEMFDET_ASSIGN_OR_RETURN(
+              ensemfdet::IngestBatch batch,
+              ingest::DecodeIngestBatch(record.payload));
+          for (const Transaction& tx : batch.transactions) {
+            ENSEMFDET_ASSIGN_OR_RETURN(
+                std::optional<EnsemFDetReport> fired,
+                session->detector.Ingest(tx));
+            ++recovered_events;
+            if (fired.has_value()) {
+              // Re-fires exactly the detections the crashed run acked
+              // after its checkpoint: registry/cache re-publication is
+              // idempotent and the reports are bit-identical.
+              RecordStreamReport(session, *std::move(fired));
+            }
+          }
+          return Status::OK();
+        });
+    ENSEMFDET_RETURN_NOT_OK(replayed.status());
+    session->events += recovered_events;
+    session->wal_recovered = replayed->records_replayed;
+    session->wal_applied_seq = std::max(after_seq, replayed->last_seq);
+  } else if (writer.last_seq() != 0) {
+    return Status::FailedPrecondition(
+        "WAL directory " + w.dir + " already holds records through seq " +
+        std::to_string(writer.last_seq()) +
+        "; open with wal.recover to resume it");
+  }
+  if (writer.next_seq() <= session->wal_applied_seq) {
+    return Status::IOError(
+        "WAL directory " + w.dir + " ends at seq " +
+        std::to_string(writer.last_seq()) +
+        " but the checkpoint reflects seq " +
+        std::to_string(session->wal_applied_seq) +
+        " — the log was deleted out from under its checkpoint");
+  }
+  session->wal_last_seq = writer.last_seq();
+  session->wal.emplace(std::move(writer));
+  return Status::OK();
 }
 
 Status DetectionService::SaveStreamCheckpoint(StreamId id,
@@ -559,7 +638,27 @@ Status DetectionService::SaveStreamCheckpoint(StreamId id,
     // checkpoint is written (file IO must not run under the mutex).
     session->draining = true;
   }
-  const Status saved = session->detector.SaveCheckpoint(path);
+  // wal_applied_seq is stable while the detector is claimed (only the
+  // drainer advances it, and none can run): the position embedded in the
+  // checkpoint is exactly the state being written.
+  const Status saved = [&]() -> Status {
+    if (!session->wal.has_value()) {
+      return session->detector.SaveCheckpoint(path);
+    }
+    storage::WalPositionRecord position;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      position.last_applied_seq = session->wal_applied_seq;
+    }
+    // Order is the crash-safety invariant (pinned by the lockstep test in
+    // tests/storage_checkpoint_test.cc): the checkpoint must be durably
+    // on disk BEFORE any segment it covers is removed, or a crash between
+    // the two loses acked records.
+    ENSEMFDET_RETURN_NOT_OK(
+        session->detector.SaveCheckpoint(path, &position));
+    std::lock_guard<std::mutex> wal_lock(session->wal_mu);
+    return session->wal->TruncateThrough(position.last_applied_seq);
+  }();
   bool restart_drain = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -595,13 +694,27 @@ DetectionService::FindStream(StreamId id) const {
 Status DetectionService::IngestBatch(StreamId id,
                                      ensemfdet::IngestBatch batch) {
   std::shared_ptr<StreamSession> session;
-  bool start_drain = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_) {
       return Status::FailedPrecondition("service is shutting down");
     }
     ENSEMFDET_ASSIGN_OR_RETURN(session, FindStream(id));
+  }
+
+  // WAL-backed sessions serialize producers on wal_mu (taken before mu_,
+  // never after), held across validate → Append → enqueue: WAL order is
+  // exactly queue order, so replay order is apply order. The append (file
+  // IO) runs outside mu_; the capacity check below stays valid across the
+  // gap because every other producer of this session also needs wal_mu,
+  // and the drainer only shrinks the queue.
+  const bool durable = session->wal.has_value();
+  std::unique_lock<std::mutex> wal_lock;
+  if (durable) wal_lock = std::unique_lock<std::mutex>(session->wal_mu);
+
+  bool start_drain = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     if (session->closed) {
       return Status::FailedPrecondition("stream #" + std::to_string(id) +
                                         " is closed");
@@ -615,9 +728,49 @@ Status DetectionService::IngestBatch(StreamId id,
           std::to_string(session->config.max_queued_batches) +
           " batches pending); retry later");
     }
+    if (!durable) {
+      session->queue.push_back(QueuedBatch{
+          std::move(batch),
+          obs::MetricsRuntimeEnabled() ? obs::TraceNowNs() : int64_t{-1},
+          /*wal_seq=*/0});
+      Metrics().stream_batches_total->Increment();
+      if (!session->draining) {
+        session->draining = true;
+        start_drain = true;
+        ++tasks_in_flight_;
+      }
+    }
+  }
+
+  if (durable) {
+    // Durability before the ack AND before the batch becomes applicable:
+    // returning OK is the ack, and the fsync policy has run inside
+    // Append. On failure nothing was enqueued — the producer must not
+    // treat the batch as taken — and the error is sticky (the log tail
+    // state is unknown, so later appends could interleave with a retry).
+    const std::vector<std::byte> payload =
+        ingest::EncodeIngestBatch(batch);
+    Result<uint64_t> seq =
+        session->wal->Append(payload.data(), payload.size(),
+                             ingest::WalRecordTimestamp(batch));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!seq.ok()) {
+      if (session->error.ok()) session->error = seq.status();
+      job_done_cv_.notify_all();
+      return seq.status();
+    }
+    if (session->closed) {
+      // Closed while appending. The record is durable; a recovery will
+      // apply it, and wal_last_seq-based resend skips it — consistent
+      // either way. This session, though, will never apply it.
+      return Status::FailedPrecondition("stream #" + std::to_string(id) +
+                                        " is closed");
+    }
+    session->wal_last_seq = *seq;
     session->queue.push_back(QueuedBatch{
         std::move(batch),
-        obs::MetricsRuntimeEnabled() ? obs::TraceNowNs() : int64_t{-1}});
+        obs::MetricsRuntimeEnabled() ? obs::TraceNowNs() : int64_t{-1},
+        *seq});
     Metrics().stream_batches_total->Increment();
     if (!session->draining) {
       session->draining = true;
@@ -625,6 +778,8 @@ Status DetectionService::IngestBatch(StreamId id,
       ++tasks_in_flight_;
     }
   }
+
+  if (durable) wal_lock.unlock();
   if (start_drain) {
     if (pool_ != nullptr) {
       pool_->Submit([this, session] { DrainStream(session); });
@@ -640,6 +795,7 @@ void DetectionService::DrainStream(
   while (true) {
     ensemfdet::IngestBatch batch;
     int64_t enqueue_ns = -1;
+    uint64_t wal_seq = 0;
     bool failed;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -651,6 +807,7 @@ void DetectionService::DrainStream(
       }
       batch = std::move(session->queue.front().batch);
       enqueue_ns = session->queue.front().enqueue_ns;
+      wal_seq = session->queue.front().wal_seq;
       session->queue.pop_front();
       failed = !session->error.ok();
     }
@@ -687,6 +844,12 @@ void DetectionService::DrainStream(
     }
     std::lock_guard<std::mutex> lock(mu_);
     session->events += applied;
+    // The WAL position only advances past fully applied batches: a batch
+    // that errored mid-way must be re-replayed (deterministically failing
+    // again) rather than silently half-skipped by the next checkpoint.
+    if (error.ok() && wal_seq > session->wal_applied_seq) {
+      session->wal_applied_seq = wal_seq;
+    }
     if (!error.ok() && session->error.ok()) session->error = error;
     if (!error.ok()) job_done_cv_.notify_all();
   }
@@ -743,6 +906,9 @@ StreamState DetectionService::StreamStateLocked(
   state.report_epoch = session.latest_epoch;
   state.report_fingerprint = session.latest_fingerprint;
   state.report_stats = session.latest_stats;
+  state.wal_last_seq = session.wal_last_seq;
+  state.wal_applied_seq = session.wal_applied_seq;
+  state.wal_records_recovered = session.wal_recovered;
   return state;
 }
 
@@ -799,6 +965,13 @@ Result<StreamState> DetectionService::FinishStream(StreamId id) {
     } else {
       final_error = final_report.status();
     }
+  }
+  if (session->wal.has_value()) {
+    // Final group-commit sync + close; a failure here means the tail may
+    // not be durable and must surface to the caller.
+    std::lock_guard<std::mutex> wal_lock(session->wal_mu);
+    Status wal_closed = session->wal->Close();
+    if (!wal_closed.ok() && final_error.ok()) final_error = wal_closed;
   }
 
   std::lock_guard<std::mutex> lock(mu_);

@@ -45,6 +45,7 @@
 #include "ingest/streaming_detector.h"
 #include "service/graph_registry.h"
 #include "service/result_cache.h"
+#include "storage/wal_writer.h"
 #include "stream/windowed_detector.h"
 
 namespace ensemfdet {
@@ -103,6 +104,33 @@ using JobId = uint64_t;
 
 using StreamId = uint64_t;
 
+/// Durable-ingest options of a streaming session (DESIGN.md §"Durable
+/// ingest"). When `dir` is set, every IngestBatch is appended to a
+/// CRC-framed WAL (storage/wal_writer.h) and made durable per `fsync`
+/// BEFORE IngestBatch returns OK — the OK is the ack, and an acked batch
+/// survives a process kill (and, under kAlways, a power loss). A crashed
+/// session is rebuilt by reopening with `recover = true`: the WAL suffix
+/// after the resume checkpoint's embedded position is replayed through
+/// the detector, reproducing bit-identical reports (detection randomness
+/// is content-derived).
+struct StreamWalOptions {
+  /// WAL directory (.efw segments); empty = session is not WAL-backed.
+  std::string dir;
+  storage::WalFsyncPolicy fsync = storage::WalFsyncPolicy::kBatch;
+  /// Group-commit interval under WalFsyncPolicy::kBatch.
+  int64_t group_commit_records = 16;
+  /// Segment rotation threshold in bytes.
+  uint64_t segment_bytes = 4ull << 20;
+  /// Replay the log through the detector before accepting new batches.
+  /// With a `resume_checkpoint` set, the checkpoint must embed a WAL
+  /// position (it was taken by SaveStreamCheckpoint on this WAL) and
+  /// replay starts strictly after it; without one the whole log replays
+  /// into a fresh detector. After OpenStream, StreamState::wal_last_seq
+  /// says which batches are already applied — producers resend batches
+  /// after it (WAL seq == 1-based batch number).
+  bool recover = false;
+};
+
 struct StreamSessionConfig {
   /// Window/ensemble/reorder configuration of the session's detector.
   WindowedDetectorConfig detector;
@@ -121,6 +149,10 @@ struct StreamSessionConfig {
   /// uninterrupted session over the same stream. OpenStream fails with
   /// the reader's Status on a missing/corrupt/mismatched checkpoint.
   std::string resume_checkpoint;
+  /// Durable ingest (see StreamWalOptions). With both `wal.recover` and
+  /// `resume_checkpoint` set, the checkpoint restores the bulk of the
+  /// state and the WAL replays only the suffix past it.
+  StreamWalOptions wal;
 };
 
 /// Hash of everything that affects a streaming session's detection output
@@ -147,6 +179,16 @@ struct StreamState {
   uint64_t report_fingerprint = 0;
   /// Dirty-scoping diagnostics of the latest detection.
   StreamingDetectionStats report_stats;
+
+  // Durable ingest (all zero for sessions without a WAL).
+  /// Newest seq durably in the WAL. Right after a recovering OpenStream
+  /// this is the resume point: batches 1..wal_last_seq are already
+  /// applied, the producer resends from batch wal_last_seq + 1.
+  uint64_t wal_last_seq = 0;
+  /// Newest seq whose batch is fully applied to the detector.
+  uint64_t wal_applied_seq = 0;
+  /// Records replayed out of the WAL by a recovering OpenStream.
+  uint64_t wal_records_recovered = 0;
 };
 
 enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
@@ -311,6 +353,7 @@ class DetectionService {
   struct QueuedBatch {
     ensemfdet::IngestBatch batch;
     int64_t enqueue_ns = -1;  // obs trace clock at IngestBatch; -1 = off
+    uint64_t wal_seq = 0;     // this batch's WAL record (0 = no WAL)
   };
 
   struct StreamSession {
@@ -329,12 +372,27 @@ class DetectionService {
     uint64_t latest_fingerprint = 0;
     StreamingDetectionStats latest_stats;
 
+    /// Durable ingest. `wal_mu` is taken BEFORE the service mutex (never
+    /// after) and held across validate → Append → enqueue, so WAL order
+    /// is exactly queue (= apply) order; it also serializes truncation
+    /// and close against appends. The writer is touched only under it.
+    std::mutex wal_mu;
+    std::optional<storage::WalWriter> wal;
+    uint64_t wal_last_seq = 0;     // newest durable seq (guarded by mu_)
+    uint64_t wal_applied_seq = 0;  // newest applied seq (guarded by mu_)
+    uint64_t wal_recovered = 0;    // records replayed at open
+
     StreamSession(StreamSessionConfig cfg, ThreadPool* pool)
         : config(std::move(cfg)),
           config_hash(HashStreamingConfig(config.detector)),
           detector(config.detector, pool) {}
   };
 
+  /// OpenStream's durable-ingest leg: recovers/creates the session's WAL
+  /// (replaying the unapplied suffix through the detector when
+  /// `wal.recover` is set) and installs the writer. The session is not
+  /// yet visible to other threads.
+  Status OpenSessionWal(const std::shared_ptr<StreamSession>& session);
   /// Applies queued batches for one session until its queue is empty;
   /// runs on a pool worker (or inline when pool == nullptr).
   void DrainStream(const std::shared_ptr<StreamSession>& session);

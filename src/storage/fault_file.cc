@@ -1,0 +1,324 @@
+#include "storage/fault_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace ensemfdet {
+namespace storage {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      const ssize_t written = ::write(fd_, p, n);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write " + path_);
+      }
+      p += written;
+      n -= static_cast<size_t>(written);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync " + path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Errno("close " + path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileOps : public FileOps {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) override {
+    const int flags =
+        O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("open " + path + " for writing");
+    return {std::make_unique<PosixWritableFile>(fd, path)};
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("rename " + from + " to " + to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return Errno("unlink " + path);
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("truncate " + path);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open directory " + dir + " for fsync");
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0) {
+      errno = err;
+      return Errno("fsync directory " + dir);
+    }
+    return Status::OK();
+  }
+};
+
+#else  // non-POSIX fallback: stdio, fsync paths are no-ops.
+
+class StdioWritableFile : public WritableFile {
+ public:
+  StdioWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  ~StdioWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    if (n > 0 && std::fwrite(data, 1, n, file_) != n) {
+      return Status::IOError("write " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (std::fflush(file_) != 0) return Status::IOError("flush " + path_);
+    return Status::OK();  // no portable fsync
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return Status::IOError("close " + path_);
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class StdioFileOps : public FileOps {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) override {
+    std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (file == nullptr) {
+      return Status::IOError("cannot open " + path + " for writing");
+    }
+    return {std::make_unique<StdioWritableFile>(file, path)};
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("rename " + from + " to " + to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::IOError("remove " + path);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    (void)path;
+    (void)size;
+    return Status::NotImplemented("truncate is unavailable on this host");
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    (void)dir;
+    return Status::OK();
+  }
+};
+
+#endif
+
+FileOps*& CurrentOverride() {
+  static FileOps* override_ops = nullptr;
+  return override_ops;
+}
+
+}  // namespace
+
+FileOps& FileOps::Real() {
+#if defined(__unix__) || defined(__APPLE__)
+  static PosixFileOps real;
+#else
+  static StdioFileOps real;
+#endif
+  return real;
+}
+
+FileOps& CurrentFileOps() {
+  FileOps* override_ops = CurrentOverride();
+  return override_ops != nullptr ? *override_ops : FileOps::Real();
+}
+
+ScopedFileOpsOverride::ScopedFileOpsOverride(FileOps* ops)
+    : previous_(CurrentOverride()) {
+  CurrentOverride() = ops;
+}
+
+ScopedFileOpsOverride::~ScopedFileOpsOverride() {
+  CurrentOverride() = previous_;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingFileOps
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status CrashedStatus() {
+  return Status::IOError("fault injection: simulated crash");
+}
+
+}  // namespace
+
+/// Wraps a base WritableFile, routing op accounting (and the torn-write /
+/// bit-rot mutations) through the owning FaultInjectingFileOps.
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  FaultInjectingWritableFile(std::unique_ptr<WritableFile> base,
+                             FaultInjectingFileOps* owner)
+      : base_(std::move(base)), owner_(owner) {}
+
+  Status Append(const void* data, size_t n) override {
+    if (!owner_->BeginOp()) {
+      // The crashing append may tear: the first short_write_bytes_ of the
+      // payload reach the disk before the process "dies".
+      const size_t torn =
+          owner_->short_write_bytes_ > 0 && owner_->short_write_bytes_ < n
+              ? owner_->short_write_bytes_
+              : 0;
+      if (torn > 0) {
+        owner_->short_write_bytes_ = 0;
+        (void)base_->Append(data, torn);
+        (void)base_->Close();
+      }
+      return CrashedStatus();
+    }
+    if (owner_->flip_byte_index_ >= 0 && n > 0) {
+      std::vector<char> rotted(static_cast<const char*>(data),
+                               static_cast<const char*>(data) + n);
+      rotted[static_cast<size_t>(owner_->flip_byte_index_) % n] ^= 1;
+      return base_->Append(rotted.data(), n);
+    }
+    return base_->Append(data, n);
+  }
+
+  Status Sync() override {
+    if (!owner_->BeginOp()) return CrashedStatus();
+    ++owner_->sync_count_;
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingFileOps* owner_;
+};
+
+FaultInjectingFileOps::FaultInjectingFileOps(FileOps* base) : base_(base) {}
+
+bool FaultInjectingFileOps::BeginOp() {
+  ++op_count_;
+  if (crashed_) return false;
+  if (fail_after_ >= 0 && op_count_ > fail_after_) {
+    crashed_ = true;
+    return false;
+  }
+  return true;
+}
+
+void FaultInjectingFileOps::FailAfter(int64_t ops) {
+  fail_after_ = ops;
+  crashed_ = false;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFileOps::OpenWritable(
+    const std::string& path, bool truncate) {
+  // Opening is not a counted op (it writes nothing except, for
+  // truncate=true, the truncation — which a crashed process can no longer
+  // reach, so a crashed ops refuses the open outright).
+  if (crashed_) return CrashedStatus();
+  ENSEMFDET_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                             base_->OpenWritable(path, truncate));
+  return {std::make_unique<FaultInjectingWritableFile>(std::move(file),
+                                                       this)};
+}
+
+Status FaultInjectingFileOps::Rename(const std::string& from,
+                                     const std::string& to) {
+  if (!BeginOp()) return CrashedStatus();
+  ++rename_count_;
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFileOps::RemoveFile(const std::string& path) {
+  if (!BeginOp()) return CrashedStatus();
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingFileOps::TruncateFile(const std::string& path,
+                                           uint64_t size) {
+  if (!BeginOp()) return CrashedStatus();
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectingFileOps::SyncDir(const std::string& dir) {
+  if (!BeginOp()) return CrashedStatus();
+  ++dir_sync_count_;
+  return base_->SyncDir(dir);
+}
+
+}  // namespace storage
+}  // namespace ensemfdet

@@ -1,0 +1,136 @@
+// File-operation seam for the durable-write paths (SnapshotWriter, the
+// WAL writer): every mutating filesystem operation — append, fsync,
+// rename, remove, truncate, directory fsync — goes through a FileOps so
+// tests can interpose FaultInjectingFileOps and enumerate every crash
+// point in-process. "Crash at operation N" = the Nth mutating op (and
+// every op after it) fails; the bytes written by ops before N persist on
+// disk exactly as a SIGKILL would leave them.
+//
+// Durability model (see DESIGN.md §"Durable ingest"):
+//   * WritableFile::Append buffers in the OS; Sync() = flush + fsync.
+//   * SyncDir(dir) makes a rename/create/unlink inside `dir` itself
+//     durable — without it, a power loss can forget the directory entry
+//     even though the file's bytes survived.
+//
+// Production code resolves CurrentFileOps() once per operation; tests
+// install an override with ScopedFileOpsOverride (process-global, so it
+// covers code that opens files deep inside the storage layer). The
+// override is NOT thread-safe against concurrent installs — tests
+// serialize their own scopes.
+#ifndef ENSEMFDET_STORAGE_FAULT_FILE_H_
+#define ENSEMFDET_STORAGE_FAULT_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace ensemfdet {
+namespace storage {
+
+/// A sequential-write handle. Not thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const void* data, size_t n) = 0;
+  /// Flush + fsync: bytes are on stable storage on OK. No-op fsync on
+  /// platforms without one (then only the flush happened).
+  virtual Status Sync() = 0;
+  /// Flush + close (no implicit fsync). Idempotent.
+  virtual Status Close() = 0;
+};
+
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  /// Opens `path` for writing: truncate=true starts empty, false appends
+  /// to the existing contents (creating the file either way).
+  virtual Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  /// Shrinks (or grows, zero-filled) `path` to exactly `size` bytes.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  /// fsyncs the directory itself, committing renames/creates/unlinks of
+  /// its entries. No-op where directory fsync does not exist.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// The process's real POSIX-backed implementation.
+  static FileOps& Real();
+};
+
+/// The ops production code must use; Real() unless a test overrode it.
+FileOps& CurrentFileOps();
+
+/// Installs `ops` as CurrentFileOps() for this scope (nullptr = Real()).
+class ScopedFileOpsOverride {
+ public:
+  explicit ScopedFileOpsOverride(FileOps* ops);
+  ~ScopedFileOpsOverride();
+  ScopedFileOpsOverride(const ScopedFileOpsOverride&) = delete;
+  ScopedFileOpsOverride& operator=(const ScopedFileOpsOverride&) = delete;
+
+ private:
+  FileOps* previous_;
+};
+
+/// Counts and (optionally) fails mutating operations, simulating a crash:
+/// once an operation fails, every later one fails too — the state left on
+/// disk is exactly what a process killed at that instant would leave.
+/// Counted ops: Append, Sync, Rename, RemoveFile, TruncateFile, SyncDir
+/// (Close is not counted — closing loses nothing). Not thread-safe.
+class FaultInjectingFileOps : public FileOps {
+ public:
+  explicit FaultInjectingFileOps(FileOps* base = &FileOps::Real());
+
+  Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, bool truncate) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+
+  /// Ops 1..n succeed; op n+1 and everything after fail ("crash after n
+  /// operations"). Negative = never fail (counting only). Resets the
+  /// crashed state.
+  void FailAfter(int64_t ops);
+  /// The failing op, when it is an Append, first writes `bytes` bytes of
+  /// its payload (a torn write), then the crash begins.
+  void set_short_write_bytes(size_t bytes) { short_write_bytes_ = bytes; }
+  /// Flips the lowest bit of byte `index` (mod size) of every subsequent
+  /// Append payload — bit-rot between the writer and the platter.
+  /// Negative disables.
+  void set_flip_byte_index(int64_t index) { flip_byte_index_ = index; }
+
+  /// Mutating ops attempted so far (failed attempts included).
+  int64_t op_count() const { return op_count_; }
+  bool crashed() const { return crashed_; }
+  int64_t sync_count() const { return sync_count_; }
+  int64_t dir_sync_count() const { return dir_sync_count_; }
+  int64_t rename_count() const { return rename_count_; }
+
+ private:
+  friend class FaultInjectingWritableFile;
+
+  /// Accounts one mutating op; returns false when the crash has begun
+  /// (the op must fail without touching the filesystem).
+  bool BeginOp();
+
+  FileOps* base_;
+  int64_t fail_after_ = -1;
+  bool crashed_ = false;
+  int64_t op_count_ = 0;
+  size_t short_write_bytes_ = 0;
+  int64_t flip_byte_index_ = -1;
+  int64_t sync_count_ = 0;
+  int64_t dir_sync_count_ = 0;
+  int64_t rename_count_ = 0;
+};
+
+}  // namespace storage
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_STORAGE_FAULT_FILE_H_

@@ -76,6 +76,7 @@ enum class SectionId : uint32_t {
   kWindowEvents = 33,      ///< SnapshotTransaction[] (timestamp order)
   kDetectorClock = 34,     ///< DetectorClockRecord (WindowedDetector)
   kReorderEvents = 35,     ///< ReorderEventRecord[] (WindowedDetector)
+  kWalPosition = 36,       ///< WalPositionRecord (durable-ingest WAL)
 };
 
 struct SnapshotHeader {
@@ -150,6 +151,17 @@ struct SnapshotTransaction {
   uint32_t merchant = 0;
 };
 static_assert(sizeof(SnapshotTransaction) == 16);
+
+/// Links a kStoreCheckpoint to the durable-ingest WAL that fed it: the
+/// seq of the newest WAL record whose batch is fully reflected in the
+/// checkpointed state. Recovery replays the WAL strictly after this seq;
+/// the writer may truncate segments fully covered by it (and only those —
+/// pinned by the checkpoint/WAL lockstep test).
+struct WalPositionRecord {
+  uint64_t last_applied_seq = 0;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(WalPositionRecord) == 16);
 
 /// One reorder-buffered (not yet released) event, with its arrival
 /// sequence number so equal timestamps replay in the original order.

@@ -576,6 +576,13 @@ Result<StoreCheckpointParts> ReadStoreCheckpoint(const std::string& path) {
       }
     }
   }
+
+  if (raw.Find(SectionId::kWalPosition) != nullptr) {
+    ENSEMFDET_ASSIGN_OR_RETURN(
+        parts.wal_position,
+        RecordSection<WalPositionRecord>(raw, SectionId::kWalPosition));
+    parts.has_wal_position = true;
+  }
   return parts;
 }
 

@@ -124,6 +124,10 @@ struct StoreCheckpointParts {
   bool has_clock = false;
   DetectorClockRecord clock;
   std::vector<ReorderEventRecord> reorder;
+  /// Durable-ingest linkage; absent for checkpoints taken outside a
+  /// WAL-backed session (see WalPositionRecord).
+  bool has_wal_position = false;
+  WalPositionRecord wal_position;
 };
 
 Result<StoreCheckpointParts> ReadStoreCheckpoint(const std::string& path);

@@ -1,18 +1,12 @@
 #include "storage/snapshot_writer.h"
 
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-#endif
+#include <filesystem>
 
 #include "common/logging.h"
 #include "graph/fingerprint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/fault_file.h"
 
 namespace ensemfdet {
 namespace storage {
@@ -39,27 +33,10 @@ uint64_t AlignUp(uint64_t offset) {
   return (offset + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
 }
 
-/// Forces the written bytes to stable storage before the rename commits
-/// the name — otherwise a power loss can leave a zero-filled file at the
-/// final path, destroying the checkpoint the rename was meant to
-/// preserve. No-op where fsync is unavailable.
-Status SyncFile(const std::string& path) {
-#if defined(__unix__) || defined(__APPLE__)
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::IOError("cannot reopen " + path + " for fsync: " +
-                           std::strerror(errno));
-  }
-  const int rc = ::fsync(fd);
-  const int err = errno;
-  ::close(fd);
-  if (rc != 0) {
-    return Status::IOError("fsync " + path + ": " + std::strerror(err));
-  }
-#else
-  (void)path;
-#endif
-  return Status::OK();
+std::string ParentDir(const std::string& path) {
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  return parent.empty() ? std::string(".") : parent;
 }
 
 }  // namespace
@@ -98,48 +75,49 @@ Status SnapshotWriter::Write(const std::string& path) const {
   }
   header.file_size = offset;
 
+  // Crash-safe publication: write + fsync a temp file, rename over the
+  // final name, then fsync the parent directory. All three syncs matter —
+  // without the file fsync a power loss can leave zero-filled content
+  // under the final name; without the directory fsync the rename itself
+  // (the directory entry) can be lost, resurrecting the old file or
+  // leaving none. Routed through CurrentFileOps() so the fault-injection
+  // shim can crash the sequence at every step (tests/wal_test.cc).
+  FileOps& ops = CurrentFileOps();
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IOError("cannot open " + tmp + " for writing");
-    }
-    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-    out.write(reinterpret_cast<const char*>(table.data()),
-              static_cast<std::streamsize>(sizeof(SectionEntry) *
-                                           table.size()));
+  Status written = [&]() -> Status {
+    ENSEMFDET_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> out,
+                               ops.OpenWritable(tmp, /*truncate=*/true));
+    ENSEMFDET_RETURN_NOT_OK(out->Append(&header, sizeof(header)));
+    ENSEMFDET_RETURN_NOT_OK(
+        out->Append(table.data(), sizeof(SectionEntry) * table.size()));
     static const char kPad[kSectionAlignment] = {};
     uint64_t pos =
         sizeof(SnapshotHeader) + sizeof(SectionEntry) * table.size();
     for (size_t i = 0; i < sections_.size(); ++i) {
       const uint64_t aligned = AlignUp(pos);
       if (aligned > pos) {
-        out.write(kPad, static_cast<std::streamsize>(aligned - pos));
+        ENSEMFDET_RETURN_NOT_OK(out->Append(kPad, aligned - pos));
         pos = aligned;
       }
       if (sections_[i].byte_size > 0) {
-        out.write(static_cast<const char*>(sections_[i].data),
-                  static_cast<std::streamsize>(sections_[i].byte_size));
+        ENSEMFDET_RETURN_NOT_OK(
+            out->Append(sections_[i].data, sections_[i].byte_size));
         pos += sections_[i].byte_size;
       }
     }
-    out.flush();
-    if (!out.good()) {
-      std::remove(tmp.c_str());
-      return Status::IOError("short write to " + tmp);
-    }
+    ENSEMFDET_RETURN_NOT_OK(out->Sync());
+    return out->Close();
+  }();
+  if (!written.ok()) {
+    (void)ops.RemoveFile(tmp);
+    return written;
   }
-  Status synced = SyncFile(tmp);
-  if (!synced.ok()) {
-    std::remove(tmp.c_str());
-    return synced;
+  Status renamed = ops.Rename(tmp, path);
+  if (!renamed.ok()) {
+    (void)ops.RemoveFile(tmp);
+    return renamed;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    const int err = errno;
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
-                           std::strerror(err));
-  }
+  ENSEMFDET_RETURN_NOT_OK(ops.SyncDir(ParentDir(path)));
   Metrics().writes_total->Increment();
   Metrics().bytes_written_total->Increment(
       static_cast<int64_t>(header.file_size));

@@ -1,0 +1,39 @@
+#include "storage/wal_format.h"
+
+#include <cstdio>
+
+namespace ensemfdet {
+namespace storage {
+
+std::string WalSegmentFileName(uint64_t first_seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%016llx.efw",
+                static_cast<unsigned long long>(first_seq));
+  return buf;
+}
+
+bool ParseWalSegmentFileName(const std::string& name, uint64_t* first_seq) {
+  // wal-<16 lowercase hex>.efw, exactly 24 characters.
+  if (name.size() != 24 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(20, 4, ".efw") != 0) {
+    return false;
+  }
+  uint64_t seq = 0;
+  for (size_t i = 4; i < 20; ++i) {
+    const char c = name[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+    seq = (seq << 4) | digit;
+  }
+  *first_seq = seq;
+  return true;
+}
+
+}  // namespace storage
+}  // namespace ensemfdet

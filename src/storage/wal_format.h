@@ -1,0 +1,99 @@
+// On-disk layout of the .efw write-ahead-log segments — the durability
+// companion to the .efg snapshot container (storage/snapshot_format.h),
+// sharing its conventions: little-endian packed structs, a versioned
+// 64-byte header, an endianness tag, and the "corrupt input is a Status,
+// never UB" reader contract.
+//
+// A WAL directory holds segments named
+//
+//     wal-<first_seq as 16 lowercase hex digits>.efw
+//
+// so a lexicographic directory listing IS the sequence order. Each
+// segment is:
+//
+//   [WalSegmentHeader: 64 bytes]
+//   [record, record, ...]        each starting at an 8-byte-aligned offset
+//
+// and each record is:
+//
+//   [WalRecordHeader: 32 bytes][payload: payload_length bytes][zero pad
+//    up to the next 8-byte boundary]
+//
+// Integrity model:
+//  * header_crc (masked CRC32C of the preceding header bytes) rejects a
+//    torn or rotted header before any field is trusted;
+//  * payload_crc (masked CRC32C of the payload) rejects torn/rotted
+//    payloads;
+//  * `seq` is a directory-global, strictly +1-increasing record number —
+//    the replay cursor, the checkpoint linkage (kWalPosition), and the
+//    duplicate/reorder detector in one;
+//  * torn-tail rule: a record that fails validation at the tail of the
+//    LAST segment is the write the crash interrupted — recovery truncates
+//    it and continues; the same failure in any earlier position is
+//    corruption of acked history and fails with IOError (DESIGN.md
+//    §"Durable ingest").
+#ifndef ENSEMFDET_STORAGE_WAL_FORMAT_H_
+#define ENSEMFDET_STORAGE_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/snapshot_format.h"  // kEndianTag
+
+namespace ensemfdet {
+namespace storage {
+
+/// "EFGWAL01" as a little-endian u64 (segment starts with these bytes).
+inline constexpr uint64_t kWalMagic = 0x31304C4157474645ull;
+inline constexpr uint32_t kWalSchemaVersion = 1;
+/// Every record header starts at a multiple of this segment offset.
+inline constexpr uint64_t kWalRecordAlignment = 8;
+/// Hard upper bound on one record's payload. Far above any IngestBatch
+/// the engine produces; its real job is to cap the `payload_length` a
+/// reader will trust, so a crafted length near INT64_MAX can never drive
+/// allocation or offset arithmetic into overflow.
+inline constexpr uint64_t kWalMaxPayloadBytes = 1ull << 30;
+
+struct WalSegmentHeader {
+  uint64_t magic = kWalMagic;
+  uint32_t endian_tag = kEndianTag;
+  uint32_t schema_version = kWalSchemaVersion;
+  /// Sequence number of the first record this segment holds (records are
+  /// appended after the header in seq order). Must match the filename.
+  uint64_t first_seq = 0;
+  uint8_t reserved[36] = {};
+  /// Masked CRC32C (common/crc32c.h) of the 60 bytes above.
+  uint32_t header_crc = 0;
+};
+static_assert(sizeof(WalSegmentHeader) == 64,
+              "segment header is exactly 64 bytes");
+
+struct WalRecordHeader {
+  /// Payload bytes following this header (before padding).
+  uint32_t payload_length = 0;
+  /// Masked CRC32C of the payload bytes.
+  uint32_t payload_crc = 0;
+  /// Directory-global record number; consecutive records differ by
+  /// exactly +1 across segment boundaries.
+  uint64_t seq = 0;
+  /// Newest transaction timestamp in the record (diagnostic only;
+  /// recovery keys on `seq`).
+  int64_t timestamp = 0;
+  uint32_t reserved = 0;
+  /// Masked CRC32C of the 28 bytes above.
+  uint32_t header_crc = 0;
+};
+static_assert(sizeof(WalRecordHeader) == 32,
+              "record header is exactly 32 bytes");
+
+/// "wal-<16 hex digits>.efw" for `first_seq`.
+std::string WalSegmentFileName(uint64_t first_seq);
+
+/// Parses `first_seq` back out of a segment file name (the name only, no
+/// directory part); false when the name is not a WAL segment's.
+bool ParseWalSegmentFileName(const std::string& name, uint64_t* first_seq);
+
+}  // namespace storage
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_STORAGE_WAL_FORMAT_H_

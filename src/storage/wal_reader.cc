@@ -1,0 +1,295 @@
+#include "storage/wal_reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+
+#include "common/crc32c.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ensemfdet {
+namespace storage {
+
+namespace {
+
+struct WalReaderMetrics {
+  obs::Counter* records_replayed_total;
+  obs::Counter* torn_tails_total;
+  obs::Histogram* replay_seconds;
+};
+
+WalReaderMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static WalReaderMetrics m{
+      reg.GetCounter("ensemfdet_wal_records_replayed_total"),
+      reg.GetCounter("ensemfdet_wal_torn_tails_total"),
+      reg.GetHistogram("ensemfdet_wal_replay_seconds"),
+  };
+  return m;
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::IOError("corrupt WAL: " + what);
+}
+
+uint64_t AlignUpRecord(uint64_t offset) {
+  return (offset + kWalRecordAlignment - 1) & ~(kWalRecordAlignment - 1);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path + " for reading");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("cannot read " + path);
+  return data;
+}
+
+/// Per-segment parse result; see ParseSegment.
+struct SegmentParse {
+  uint64_t first_seq = 0;
+  uint64_t next_seq = 0;  ///< last valid record seq + 1 (first_seq if none)
+  uint64_t valid_bytes = 0;
+  bool header_valid = false;
+  bool torn_tail = false;
+  uint64_t records = 0;
+};
+
+/// Validates one segment buffer. Frame failures at the tail of the last
+/// segment set torn_tail and stop; anywhere else they are IOError. A
+/// CRC-valid frame that lies (seq off the chain, length above the cap,
+/// first_seq not matching the filename) is always IOError — a torn write
+/// cannot forge a valid CRC. `on_record` (optional) sees every valid
+/// record in order.
+Result<SegmentParse> ParseSegment(
+    const std::string& path, std::string_view data, bool is_last,
+    uint64_t filename_first_seq,
+    const std::function<Status(const WalRecordView&)>* on_record) {
+  SegmentParse out;
+  out.first_seq = filename_first_seq;
+  out.next_seq = filename_first_seq;
+
+  // Segment header. A short or rotted header in the last segment is the
+  // wreck of an interrupted segment creation: no record can follow it, so
+  // the whole file is a torn tail.
+  WalSegmentHeader header;
+  bool header_ok = data.size() >= sizeof(header);
+  if (header_ok) {
+    std::memcpy(&header, data.data(), sizeof(header));
+    header_ok = Crc32cUnmask(header.header_crc) ==
+                Crc32c(&header, sizeof(header) - sizeof(uint32_t));
+  }
+  if (!header_ok) {
+    if (!is_last) {
+      return Corrupt(path + " has an invalid segment header");
+    }
+    out.torn_tail = true;
+    return out;
+  }
+  if (header.magic != kWalMagic) {
+    return Corrupt(path + " has wrong magic (not a .efw WAL segment)");
+  }
+  if (header.endian_tag != kEndianTag) {
+    return Corrupt(path + " was written with a different byte order");
+  }
+  if (header.schema_version != kWalSchemaVersion) {
+    return Status::FailedPrecondition(
+        "WAL schema version skew: " + path + " is v" +
+        std::to_string(header.schema_version) + ", this reader speaks v" +
+        std::to_string(kWalSchemaVersion));
+  }
+  if (header.first_seq != filename_first_seq) {
+    return Corrupt(path + " header first_seq " +
+                   std::to_string(header.first_seq) +
+                   " does not match its file name");
+  }
+  if (header.first_seq == 0) {
+    return Corrupt(path + " claims first_seq 0 (seqs start at 1)");
+  }
+  out.header_valid = true;
+  out.valid_bytes = sizeof(header);
+
+  uint64_t offset = sizeof(header);
+  uint64_t expected_seq = header.first_seq;
+  const uint64_t size = data.size();
+  while (offset < size) {
+    // Frame-level failures from here to the payload CRC are what an
+    // interrupted append leaves behind — torn-tail rule applies.
+    WalRecordHeader record;
+    bool frame_ok = size - offset >= sizeof(record);
+    if (frame_ok) {
+      std::memcpy(&record, data.data() + offset, sizeof(record));
+      frame_ok = Crc32cUnmask(record.header_crc) ==
+                 Crc32c(&record, sizeof(record) - sizeof(uint32_t));
+    }
+    if (frame_ok && record.payload_length > kWalMaxPayloadBytes) {
+      // CRC-valid but over the format cap: our writer never produced it.
+      return Corrupt(path + " record at offset " + std::to_string(offset) +
+                     " declares " + std::to_string(record.payload_length) +
+                     " payload bytes, above the format cap");
+    }
+    if (frame_ok) {
+      // u64 arithmetic: payload_length <= 2^30, offsets <= file size.
+      frame_ok = offset + sizeof(record) + record.payload_length <= size;
+    }
+    const std::byte* payload =
+        reinterpret_cast<const std::byte*>(data.data()) + offset +
+        sizeof(record);
+    if (frame_ok) {
+      frame_ok = Crc32cUnmask(record.payload_crc) ==
+                 Crc32c(payload, record.payload_length);
+    }
+    if (!frame_ok) {
+      if (!is_last) {
+        return Corrupt(path + " has an invalid record at offset " +
+                       std::to_string(offset) +
+                       " before the log tail — acked history is damaged");
+      }
+      out.torn_tail = true;
+      return out;
+    }
+    if (record.seq != expected_seq) {
+      return Corrupt(path + " record at offset " + std::to_string(offset) +
+                     " has seq " + std::to_string(record.seq) +
+                     ", expected " + std::to_string(expected_seq) +
+                     " — records were reordered, duplicated, or lost");
+    }
+    if (on_record != nullptr) {
+      WalRecordView view;
+      view.seq = record.seq;
+      view.timestamp = record.timestamp;
+      view.payload = std::span<const std::byte>(payload,
+                                                record.payload_length);
+      ENSEMFDET_RETURN_NOT_OK((*on_record)(view));
+    }
+    ++expected_seq;
+    ++out.records;
+    // Advance next_seq per record, not once after the loop: a torn-tail
+    // return mid-scan must still report every record before the tear, or
+    // a reopened writer would restart the chain at first_seq and write
+    // duplicate seqs over acked history.
+    out.next_seq = expected_seq;
+    offset = AlignUpRecord(offset + sizeof(record) + record.payload_length);
+    // A final record whose padding the crash cut short still parsed
+    // fully; clamp so valid_bytes never exceeds the file.
+    out.valid_bytes = std::min<uint64_t>(offset, size);
+  }
+  return out;
+}
+
+struct ListedSegment {
+  std::string path;
+  uint64_t first_seq = 0;
+};
+
+Result<std::vector<ListedSegment>> ListSegments(const std::string& dir) {
+  std::vector<ListedSegment> segments;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t first_seq = 0;
+    const std::string name = entry.path().filename().string();
+    if (ParseWalSegmentFileName(name, &first_seq)) {
+      segments.push_back({entry.path().string(), first_seq});
+    }
+  }
+  if (ec) {
+    return Status::IOError("cannot list WAL directory " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const ListedSegment& a, const ListedSegment& b) {
+              return a.first_seq < b.first_seq;
+            });
+  return segments;
+}
+
+/// The shared walk under ReplayWal and ScanWalDir: chains the segments,
+/// parses each, and fills a WalDirState. `on_record` may be null.
+Result<WalDirState> WalkWalDir(
+    const std::string& dir,
+    const std::function<Status(const WalRecordView&)>* on_record,
+    uint64_t* records_scanned) {
+  WalDirState state;
+  ENSEMFDET_ASSIGN_OR_RETURN(std::vector<ListedSegment> listed,
+                             ListSegments(dir));
+  for (size_t i = 0; i < listed.size(); ++i) {
+    const bool is_last = i + 1 == listed.size();
+    ENSEMFDET_ASSIGN_OR_RETURN(std::string data,
+                               ReadFileToString(listed[i].path));
+    if (i > 0 && listed[i].first_seq != state.next_seq) {
+      return Corrupt(listed[i].path + " starts at seq " +
+                     std::to_string(listed[i].first_seq) +
+                     " but the previous segment ended at seq " +
+                     std::to_string(state.next_seq - 1) +
+                     " — a segment is missing or reordered");
+    }
+    ENSEMFDET_ASSIGN_OR_RETURN(
+        SegmentParse parsed,
+        ParseSegment(listed[i].path, data, is_last, listed[i].first_seq,
+                     on_record));
+    state.segments.push_back({listed[i].path, listed[i].first_seq});
+    state.next_seq = parsed.next_seq;
+    if (records_scanned != nullptr) *records_scanned += parsed.records;
+    if (is_last) {
+      state.last_segment_valid_bytes = parsed.valid_bytes;
+      state.last_segment_file_bytes = data.size();
+      state.drop_last_segment = !parsed.header_valid;
+      state.tail_truncated = parsed.torn_tail;
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+Result<WalDirState> ScanWalDir(const std::string& dir) {
+  return WalkWalDir(dir, nullptr, nullptr);
+}
+
+Result<WalReplayStats> ReplayWal(const std::string& dir, uint64_t after_seq,
+                                 const WalReplayCallback& callback) {
+  obs::TraceSpan span(Metrics().replay_seconds, "wal_replay");
+  WalReplayStats stats;
+  uint64_t first_seen = 0;
+  const std::function<Status(const WalRecordView&)> deliver =
+      [&](const WalRecordView& record) -> Status {
+    if (first_seen == 0) first_seen = record.seq;
+    if (record.seq <= after_seq) return Status::OK();
+    ENSEMFDET_RETURN_NOT_OK(callback(record));
+    ++stats.records_replayed;
+    return Status::OK();
+  };
+  ENSEMFDET_ASSIGN_OR_RETURN(WalDirState state,
+                             WalkWalDir(dir, &deliver,
+                                        &stats.records_scanned));
+  // Coverage: nothing between the checkpoint position and the first
+  // surviving byte of log may be missing. An empty directory is a fresh
+  // log (nothing was ever appended, nothing to cover).
+  const uint64_t effective_first =
+      first_seen != 0
+          ? first_seen
+          : (!state.segments.empty() ? state.segments.front().first_seq
+                                     : after_seq + 1);
+  if (effective_first > after_seq + 1) {
+    return Corrupt(dir + " starts at seq " +
+                   std::to_string(effective_first) +
+                   " but replay must resume from seq " +
+                   std::to_string(after_seq + 1) +
+                   " — the log was truncated past the checkpoint");
+  }
+  stats.last_seq = state.next_seq > 0 ? state.next_seq - 1 : 0;
+  if (state.segments.empty()) stats.last_seq = 0;
+  stats.segments = state.segments.size();
+  stats.tail_truncated = state.tail_truncated || state.drop_last_segment;
+  if (stats.tail_truncated) Metrics().torn_tails_total->Increment();
+  Metrics().records_replayed_total->Increment(
+      static_cast<int64_t>(stats.records_replayed));
+  return stats;
+}
+
+}  // namespace storage
+}  // namespace ensemfdet

@@ -1,0 +1,89 @@
+// WAL replay: scans the .efw segments of a WAL directory in sequence
+// order, validates every frame (storage/wal_format.h), and delivers the
+// payloads of records with seq > after_seq to a callback — the recovery
+// half of the durable-ingest layer (the write half is
+// storage/wal_writer.h).
+//
+// Corruption contract, mirroring the snapshot readers: malformed input is
+// always a Status, never UB. Two failure classes are distinguished:
+//   * torn tail — the trailing record (or segment header) of the LAST
+//     segment fails validation. That is what an interrupted append leaves
+//     behind; replay stops cleanly before it, reports it in the stats,
+//     and the writer physically truncates it on next Open.
+//   * corrupt history — any validation failure before the tail: a bad
+//     frame in a non-last segment, a CRC-valid record whose seq does not
+//     chain (+1), a first_seq/filename mismatch, a CRC-valid length above
+//     the format cap. Those bytes were acked and cannot be trusted or
+//     skipped, so replay fails with IOError.
+#ifndef ENSEMFDET_STORAGE_WAL_READER_H_
+#define ENSEMFDET_STORAGE_WAL_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/wal_format.h"
+
+namespace ensemfdet {
+namespace storage {
+
+/// One validated record, borrowed from the replay buffer (copy the
+/// payload to keep it past the callback).
+struct WalRecordView {
+  uint64_t seq = 0;
+  int64_t timestamp = 0;
+  std::span<const std::byte> payload;
+};
+
+/// Returning a non-OK Status aborts the replay with that Status.
+using WalReplayCallback = std::function<Status(const WalRecordView&)>;
+
+struct WalReplayStats {
+  uint64_t records_replayed = 0;  ///< delivered (seq > after_seq)
+  uint64_t records_scanned = 0;   ///< valid records seen (skips included)
+  uint64_t last_seq = 0;          ///< newest valid seq on disk (0 = none)
+  uint64_t segments = 0;
+  bool tail_truncated = false;    ///< a torn tail was detected and skipped
+};
+
+/// Replays every record with seq > after_seq, in seq order. An empty or
+/// missing directory replays nothing (a fresh log). IOError when the log
+/// cannot cover after_seq + 1 (truncated past the checkpoint — records
+/// the caller has not applied are gone) or on corrupt history (above).
+Result<WalReplayStats> ReplayWal(const std::string& dir, uint64_t after_seq,
+                                 const WalReplayCallback& callback);
+
+/// Shared directory scan (ReplayWal and WalWriter::Open): locates the
+/// segments, validates every frame, and measures the valid prefix of the
+/// last segment so the writer can truncate a torn tail before appending.
+struct WalDirState {
+  /// Segment paths in first_seq order (torn-header last segment included;
+  /// see drop_last_segment).
+  struct Segment {
+    std::string path;
+    uint64_t first_seq = 0;
+  };
+  std::vector<Segment> segments;
+  /// Seq the next appended record must take (1 for an empty/missing dir).
+  uint64_t next_seq = 1;
+  /// Valid bytes of the last segment (header included); the file may be
+  /// longer when a torn tail follows.
+  uint64_t last_segment_valid_bytes = 0;
+  uint64_t last_segment_file_bytes = 0;
+  /// The last segment's own header failed validation (a crash during
+  /// segment creation): the file holds no usable data and the writer
+  /// removes it (its first_seq still advances next_seq via the chain).
+  bool drop_last_segment = false;
+  bool tail_truncated = false;
+};
+
+Result<WalDirState> ScanWalDir(const std::string& dir);
+
+}  // namespace storage
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_STORAGE_WAL_READER_H_

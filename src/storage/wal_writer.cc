@@ -1,0 +1,270 @@
+#include "storage/wal_writer.h"
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/wal_reader.h"
+
+namespace ensemfdet {
+namespace storage {
+
+namespace {
+
+struct WalWriterMetrics {
+  obs::Counter* appends_total;
+  obs::Counter* bytes_appended_total;
+  obs::Counter* fsyncs_total;
+  obs::Counter* segments_created_total;
+  obs::Counter* segments_truncated_total;
+  obs::Histogram* append_seconds;
+};
+
+WalWriterMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static WalWriterMetrics m{
+      reg.GetCounter("ensemfdet_wal_appends_total"),
+      reg.GetCounter("ensemfdet_wal_bytes_appended_total"),
+      reg.GetCounter("ensemfdet_wal_fsyncs_total"),
+      reg.GetCounter("ensemfdet_wal_segments_created_total"),
+      reg.GetCounter("ensemfdet_wal_segments_truncated_total"),
+      reg.GetHistogram("ensemfdet_wal_append_seconds"),
+  };
+  return m;
+}
+
+uint64_t AlignUpRecord(uint64_t offset) {
+  return (offset + kWalRecordAlignment - 1) & ~(kWalRecordAlignment - 1);
+}
+
+}  // namespace
+
+const char* WalFsyncPolicyName(WalFsyncPolicy policy) {
+  switch (policy) {
+    case WalFsyncPolicy::kNone:
+      return "none";
+    case WalFsyncPolicy::kBatch:
+      return "batch";
+    case WalFsyncPolicy::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
+
+Result<WalFsyncPolicy> ParseWalFsyncPolicy(const std::string& name) {
+  if (name == "none") return WalFsyncPolicy::kNone;
+  if (name == "batch") return WalFsyncPolicy::kBatch;
+  if (name == "always") return WalFsyncPolicy::kAlways;
+  return Status::InvalidArgument("unknown fsync policy '" + name +
+                                 "' (know: none, batch, always)");
+}
+
+WalWriter::WalWriter(std::string dir, WalWriterOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+WalWriter::~WalWriter() {
+  if (active_ != nullptr) (void)Close();
+}
+
+Result<WalWriter> WalWriter::Open(std::string dir, WalWriterOptions options) {
+  if (options.group_commit_records < 1) {
+    return Status::InvalidArgument("group_commit_records must be >= 1");
+  }
+  if (options.segment_bytes < sizeof(WalSegmentHeader)) {
+    return Status::InvalidArgument("segment_bytes is below one header");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create WAL directory " + dir + ": " +
+                           ec.message());
+  }
+
+  ENSEMFDET_ASSIGN_OR_RETURN(WalDirState state, ScanWalDir(dir));
+  FileOps& ops = CurrentFileOps();
+  WalWriter writer(std::move(dir), options);
+  writer.next_seq_ = state.next_seq;
+  for (const WalDirState::Segment& segment : state.segments) {
+    writer.segments_.push_back({segment.path, segment.first_seq});
+  }
+
+  bool need_new_segment = writer.segments_.empty();
+  if (state.drop_last_segment) {
+    // The crash hit segment creation: the header never fully landed, so
+    // the file holds nothing. Its filename still anchors the chain, and
+    // CreateSegment below recreates it at the same first_seq.
+    writer.recovered_torn_tail_ = true;
+    ENSEMFDET_RETURN_NOT_OK(ops.RemoveFile(writer.segments_.back().path));
+    ENSEMFDET_RETURN_NOT_OK(ops.SyncDir(writer.dir_));
+    writer.segments_.pop_back();
+    need_new_segment = true;
+  } else if (!writer.segments_.empty()) {
+    // Cut the torn tail (or stray bytes past the last full record) and
+    // restore any alignment padding the crash clipped off the final
+    // record (TruncateFile grows zero-filled): the next append must land
+    // on an 8-byte frame boundary or the reader would misparse it as a
+    // torn tail and drop an acked record.
+    const uint64_t target =
+        AlignUpRecord(state.last_segment_valid_bytes);
+    writer.recovered_torn_tail_ = state.tail_truncated;
+    if (target != state.last_segment_file_bytes) {
+      ENSEMFDET_RETURN_NOT_OK(
+          ops.TruncateFile(writer.segments_.back().path, target));
+    }
+    state.last_segment_valid_bytes = target;
+  }
+
+  if (need_new_segment) {
+    ENSEMFDET_RETURN_NOT_OK(writer.CreateSegment(writer.next_seq_));
+  } else {
+    ENSEMFDET_ASSIGN_OR_RETURN(
+        writer.active_,
+        ops.OpenWritable(writer.segments_.back().path, /*truncate=*/false));
+    writer.active_bytes_ = state.last_segment_valid_bytes;
+  }
+  return writer;
+}
+
+Status WalWriter::CreateSegment(uint64_t first_seq) {
+  if (active_ != nullptr) {
+    if (options_.fsync != WalFsyncPolicy::kNone && unsynced_records_ > 0) {
+      ENSEMFDET_RETURN_NOT_OK(SyncActive());
+    }
+    ENSEMFDET_RETURN_NOT_OK(active_->Close());
+    active_.reset();
+  }
+  FileOps& ops = CurrentFileOps();
+  const std::string path = dir_ + "/" + WalSegmentFileName(first_seq);
+  WalSegmentHeader header;
+  header.first_seq = first_seq;
+  header.header_crc =
+      Crc32cMask(Crc32c(&header, sizeof(header) - sizeof(uint32_t)));
+  ENSEMFDET_ASSIGN_OR_RETURN(active_,
+                             ops.OpenWritable(path, /*truncate=*/true));
+  ENSEMFDET_RETURN_NOT_OK(active_->Append(&header, sizeof(header)));
+  if (options_.fsync != WalFsyncPolicy::kNone) {
+    // The segment's directory entry must survive a power loss before any
+    // record in it is acked.
+    ENSEMFDET_RETURN_NOT_OK(active_->Sync());
+    ENSEMFDET_RETURN_NOT_OK(ops.SyncDir(dir_));
+  }
+  segments_.push_back({path, first_seq});
+  active_bytes_ = sizeof(header);
+  unsynced_records_ = 0;
+  Metrics().segments_created_total->Increment();
+  return Status::OK();
+}
+
+Status WalWriter::SyncActive() {
+  ENSEMFDET_RETURN_NOT_OK(active_->Sync());
+  unsynced_records_ = 0;
+  Metrics().fsyncs_total->Increment();
+  return Status::OK();
+}
+
+Result<uint64_t> WalWriter::Append(const void* payload, size_t n,
+                                   int64_t timestamp) {
+  obs::TraceSpan span(Metrics().append_seconds, "wal_append");
+  if (closed_ || active_ == nullptr) {
+    return Status::FailedPrecondition("WAL writer is closed");
+  }
+  if (n > kWalMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "WAL payload of " + std::to_string(n) +
+        " bytes exceeds the format cap");
+  }
+  if (active_bytes_ >= options_.segment_bytes) {
+    ENSEMFDET_RETURN_NOT_OK(CreateSegment(next_seq_));
+  }
+
+  WalRecordHeader header;
+  header.payload_length = static_cast<uint32_t>(n);
+  header.payload_crc = Crc32cMask(Crc32c(payload, n));
+  header.seq = next_seq_;
+  header.timestamp = timestamp;
+  header.header_crc =
+      Crc32cMask(Crc32c(&header, sizeof(header) - sizeof(uint32_t)));
+
+  // One contiguous frame per record (header + payload + alignment pad):
+  // a single Append is a single crash point, so a torn record is always
+  // a contiguous prefix — exactly what the reader's tail rule repairs.
+  const uint64_t framed = AlignUpRecord(sizeof(header) + n);
+  std::vector<char> frame(framed, 0);
+  std::memcpy(frame.data(), &header, sizeof(header));
+  if (n > 0) std::memcpy(frame.data() + sizeof(header), payload, n);
+  ENSEMFDET_RETURN_NOT_OK(active_->Append(frame.data(), frame.size()));
+
+  const uint64_t seq = next_seq_;
+  ++next_seq_;
+  active_bytes_ += framed;
+  ++unsynced_records_;
+  Metrics().appends_total->Increment();
+  Metrics().bytes_appended_total->Increment(static_cast<int64_t>(framed));
+
+  switch (options_.fsync) {
+    case WalFsyncPolicy::kAlways:
+      ENSEMFDET_RETURN_NOT_OK(SyncActive());
+      break;
+    case WalFsyncPolicy::kBatch:
+      if (unsynced_records_ >= options_.group_commit_records) {
+        ENSEMFDET_RETURN_NOT_OK(SyncActive());
+      }
+      break;
+    case WalFsyncPolicy::kNone:
+      break;
+  }
+  return seq;
+}
+
+Status WalWriter::Sync() {
+  if (closed_ || active_ == nullptr) {
+    return Status::FailedPrecondition("WAL writer is closed");
+  }
+  return SyncActive();
+}
+
+Status WalWriter::TruncateThrough(uint64_t through_seq) {
+  if (closed_ || active_ == nullptr) {
+    return Status::FailedPrecondition("WAL writer is closed");
+  }
+  FileOps& ops = CurrentFileOps();
+  int64_t removed = 0;
+  // Segment i's records span [first_seq_i, first_seq_{i+1}); it is fully
+  // covered when the NEXT segment starts at or below through_seq + 1.
+  // back() is the active segment and is never removed.
+  while (segments_.size() > 1 &&
+         segments_[1].first_seq <= through_seq + 1) {
+    ENSEMFDET_RETURN_NOT_OK(ops.RemoveFile(segments_.front().path));
+    segments_.erase(segments_.begin());
+    ++removed;
+  }
+  if (removed > 0) {
+    if (options_.fsync != WalFsyncPolicy::kNone) {
+      ENSEMFDET_RETURN_NOT_OK(ops.SyncDir(dir_));
+    }
+    Metrics().segments_truncated_total->Increment(removed);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (closed_ || active_ == nullptr) {
+    closed_ = true;
+    return Status::OK();
+  }
+  Status result = Status::OK();
+  if (options_.fsync != WalFsyncPolicy::kNone && unsynced_records_ > 0) {
+    result = SyncActive();
+  }
+  Status closed = active_->Close();
+  if (result.ok()) result = closed;
+  active_.reset();
+  closed_ = true;
+  return result;
+}
+
+}  // namespace storage
+}  // namespace ensemfdet

@@ -1,0 +1,131 @@
+// Append-only WAL writer over .efw segments (storage/wal_format.h) —
+// the durability half of the durable-ingest layer. One writer owns a WAL
+// directory; records are CRC32C-framed, appended in one contiguous write
+// each, and made durable per the configured fsync policy BEFORE the
+// append returns — the caller may ack upstream the moment Append is OK.
+//
+// Fsync policies (the ack/durability contract, DESIGN.md §"Durable
+// ingest"):
+//   * kNone   — never fsync; an OS/power crash may lose acked records
+//               (a plain process kill cannot — the page cache survives).
+//   * kBatch  — group commit: fsync once every `group_commit_records`
+//               appends, at rotation, and at Close.
+//   * kAlways — fsync after every record; an acked record survives power
+//               loss.
+//
+// Open() recovers the directory: scans the segments, physically
+// truncates a torn tail (the interrupted final append), removes a
+// segment whose own header never landed, and continues the seq chain
+// where the log ends. Truncation by checkpoint (TruncateThrough) removes
+// whole segments whose records are all covered; the active segment is
+// never removed, which keeps the seq chain anchored.
+//
+// Not thread-safe; callers (the service's streaming sessions) serialize
+// per session.
+#ifndef ENSEMFDET_STORAGE_WAL_WRITER_H_
+#define ENSEMFDET_STORAGE_WAL_WRITER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/fault_file.h"
+#include "storage/wal_format.h"
+
+namespace ensemfdet {
+namespace storage {
+
+enum class WalFsyncPolicy {
+  kNone,
+  kBatch,
+  kAlways,
+};
+
+/// "none" / "batch" / "always".
+const char* WalFsyncPolicyName(WalFsyncPolicy policy);
+/// Inverse of WalFsyncPolicyName; InvalidArgument for unknown names.
+Result<WalFsyncPolicy> ParseWalFsyncPolicy(const std::string& name);
+
+struct WalWriterOptions {
+  WalFsyncPolicy fsync = WalFsyncPolicy::kBatch;
+  /// Group-commit interval for kBatch: fsync every this many appends.
+  int64_t group_commit_records = 16;
+  /// Rotate to a new segment once the active one reaches this size.
+  uint64_t segment_bytes = 4ull << 20;
+};
+
+class WalWriter {
+ public:
+  /// Opens (creating the directory if needed) and recovers `dir`; see the
+  /// file comment. IOError on unreadable/corrupt-history segments.
+  static Result<WalWriter> Open(std::string dir, WalWriterOptions options);
+
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  /// Best-effort Close() (errors swallowed — call Close() to see them).
+  ~WalWriter();
+
+  /// Frames and appends one record; returns its seq. On OK the record is
+  /// as durable as the fsync policy promises and may be acked. `n` must
+  /// be <= kWalMaxPayloadBytes. On failure the record is NOT acked; the
+  /// on-disk tail may be torn and is repaired by the next Open().
+  Result<uint64_t> Append(const void* payload, size_t n, int64_t timestamp);
+
+  /// Forces the active segment to stable storage now (an explicit group-
+  /// commit point; resets the kBatch countdown).
+  Status Sync();
+
+  /// Removes every segment whose records ALL have seq <= `through_seq`
+  /// (the active segment is kept regardless). Call only after a
+  /// checkpoint covering `through_seq` is durably on disk — pinned by
+  /// tests/storage_checkpoint_test.cc's lockstep test.
+  Status TruncateThrough(uint64_t through_seq);
+
+  /// Final fsync (per policy) + close. Idempotent.
+  Status Close();
+
+  /// Seq of the most recently appended record (0 = log is empty).
+  uint64_t last_seq() const { return next_seq_ - 1; }
+  uint64_t next_seq() const { return next_seq_; }
+  /// Open() found and repaired a torn tail.
+  bool recovered_torn_tail() const { return recovered_torn_tail_; }
+  /// Segments currently on disk (active included).
+  int64_t segment_count() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+  const WalWriterOptions& options() const { return options_; }
+
+ private:
+  WalWriter(std::string dir, WalWriterOptions options);
+
+  /// Creates the next segment (header write + per-policy dir sync) and
+  /// makes it active.
+  Status CreateSegment(uint64_t first_seq);
+  Status SyncActive();
+
+  std::string dir_;
+  WalWriterOptions options_;
+
+  struct Segment {
+    std::string path;
+    uint64_t first_seq = 0;
+  };
+  std::vector<Segment> segments_;  ///< first_seq order; back() is active
+
+  std::unique_ptr<WritableFile> active_;
+  uint64_t active_bytes_ = 0;
+  uint64_t next_seq_ = 1;
+  int64_t unsynced_records_ = 0;
+  bool recovered_torn_tail_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace storage
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_STORAGE_WAL_WRITER_H_

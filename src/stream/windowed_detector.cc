@@ -122,7 +122,8 @@ Result<EnsemFDetReport> WindowedDetector::RunDetection() {
   return std::move(streamed.report);
 }
 
-Status WindowedDetector::SaveCheckpoint(const std::string& path) {
+Status WindowedDetector::SaveCheckpoint(
+    const std::string& path, const storage::WalPositionRecord* wal) {
   ENSEMFDET_RETURN_NOT_OK(EnsureInitialized());
   storage::DetectorClockRecord clock;
   clock.max_seen = max_seen_;
@@ -140,7 +141,7 @@ Status WindowedDetector::SaveCheckpoint(const std::string& path) {
     reorder.push_back({p.seq, p.tx.timestamp, p.tx.user, p.tx.merchant});
     pending.pop();
   }
-  return store_->SaveCheckpoint(path, &clock, reorder);
+  return store_->SaveCheckpoint(path, &clock, reorder, wal);
 }
 
 Status WindowedDetector::ResumeFromCheckpoint(const std::string& path) {
@@ -177,6 +178,8 @@ Status WindowedDetector::ResumeFromCheckpoint(const std::string& path) {
   const storage::DetectorClockRecord clock = parts.clock;
   const std::vector<storage::ReorderEventRecord> reorder =
       std::move(parts.reorder);
+  const bool has_wal_position = parts.has_wal_position;
+  const uint64_t wal_position = parts.wal_position.last_applied_seq;
 
   // Restore the store BEFORE EnsureInitialized touches any member state:
   // a checkpoint that fails the cross-section/fingerprint gates must
@@ -200,6 +203,8 @@ Status WindowedDetector::ResumeFromCheckpoint(const std::string& path) {
     // restarts at the next event (first detection one interval later).
     max_seen_ = store_->newest_timestamp();
   }
+  has_resumed_wal_position_ = has_wal_position;
+  resumed_wal_position_ = wal_position;
   return Status::OK();
 }
 

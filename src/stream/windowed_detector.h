@@ -106,7 +106,11 @@ class WindowedDetector {
   /// because detection randomness is content-derived (see file comment) —
   /// only the component-replay *cache* starts cold, which changes cost,
   /// never output. Pinned by tests/storage_checkpoint_test.cc.
-  Status SaveCheckpoint(const std::string& path);
+  /// `wal` (optional) embeds the durable-ingest WAL position — the seq
+  /// of the newest WAL record this state reflects — so recovery knows
+  /// where log replay must resume.
+  Status SaveCheckpoint(const std::string& path,
+                        const storage::WalPositionRecord* wal = nullptr);
 
   /// Adopts a checkpoint into this detector. Must be called before any
   /// Ingest (FailedPrecondition otherwise); the checkpoint's universes
@@ -115,6 +119,14 @@ class WindowedDetector {
   /// state (written off a bare DynamicGraphStore) restarts the detection
   /// clock at the next event.
   Status ResumeFromCheckpoint(const std::string& path);
+
+  /// The checkpoint just resumed carried a WAL-position section.
+  bool has_resumed_wal_position() const {
+    return has_resumed_wal_position_;
+  }
+  /// That section's last_applied_seq (0 when absent): replay the WAL
+  /// strictly after this seq to rebuild the unreplayed suffix.
+  uint64_t resumed_wal_position() const { return resumed_wal_position_; }
 
   /// Events currently inside the window (reorder-buffered events are not
   /// yet counted).
@@ -194,6 +206,8 @@ class WindowedDetector {
   int64_t last_detection_;
   std::optional<StreamingDetectionStats> last_stats_;
   std::optional<GraphVersion> last_version_;
+  bool has_resumed_wal_position_ = false;
+  uint64_t resumed_wal_position_ = 0;
 };
 
 }  // namespace ensemfdet

@@ -22,6 +22,7 @@
 #include "service/graph_registry.h"
 #include "storage/snapshot_format.h"
 #include "storage/snapshot_reader.h"
+#include "storage/wal_reader.h"
 #include "stream/windowed_detector.h"
 
 namespace ensemfdet {
@@ -413,6 +414,99 @@ TEST(ServiceStreamCheckpoint, SessionResumesBitExactly) {
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kIOError);
   std::filesystem::remove(path);
+}
+
+// The checkpoint/WAL lockstep invariant (DESIGN.md §"Durable ingest"):
+// SaveStreamCheckpoint writes the checkpoint — WAL position embedded —
+// durably to disk BEFORE TruncateThrough removes the covered segments,
+// so a crash between the two steps can never strand a record that
+// recovery still needs. Exercised through the real sequence:
+// checkpoint → append more → (truncation already happened) → recover,
+// with a parity check against the uninterrupted run, plus the
+// adversarial converse: a log *actually* truncated past its checkpoint
+// must fail recovery loudly instead of silently dropping records.
+TEST(ServiceStreamCheckpoint, WalTruncationNeverDropsUnreplayedRecords) {
+  std::vector<Transaction> events = MakeStream(600, 31);
+  std::vector<IngestBatch> batches(20);
+  for (size_t i = 0; i < events.size(); ++i) {
+    batches[i * batches.size() / events.size()].transactions.push_back(
+        events[i]);
+  }
+
+  StreamSessionConfig session;
+  session.detector = DetectorConfig(0);
+  session.wal.segment_bytes = 256;  // many small segments: truncation bites
+
+  // Uninterrupted baseline (no WAL).
+  GraphRegistry registry;
+  DetectionService service(&registry, nullptr);
+  auto full_stream = service.OpenStream(session);
+  ASSERT_TRUE(full_stream.ok());
+  for (const IngestBatch& batch : batches) {
+    ASSERT_TRUE(service.IngestBatch(*full_stream, batch).ok());
+  }
+  auto full = service.FinishStream(*full_stream);
+  ASSERT_TRUE(full.ok());
+  ASSERT_NE(full->report, nullptr);
+
+  // Durable session: checkpoint mid-stream (embeds WAL position 12 and
+  // truncates the covered segments), then append past it and "crash".
+  const std::string wal_dir = TempPath("lockstep_wal");
+  std::filesystem::remove_all(wal_dir);
+  const std::string ckpt = TempPath("lockstep.efg");
+  StreamSessionConfig durable = session;
+  durable.wal.dir = wal_dir;
+  {
+    auto head = service.OpenStream(durable);
+    ASSERT_TRUE(head.ok()) << head.status().ToString();
+    for (size_t i = 0; i < 12; ++i) {
+      ASSERT_TRUE(service.IngestBatch(*head, batches[i]).ok());
+    }
+    ASSERT_TRUE(service.SaveStreamCheckpoint(*head, ckpt).ok());
+    for (size_t i = 12; i < 16; ++i) {
+      ASSERT_TRUE(service.IngestBatch(*head, batches[i]).ok());
+    }
+    ASSERT_TRUE(service.CloseStream(*head).ok());
+  }
+  // Truncation actually removed covered history: the log no longer
+  // starts at seq 1 — yet everything past the checkpoint survives.
+  auto scanned = storage::ScanWalDir(wal_dir);
+  ASSERT_TRUE(scanned.ok());
+  ASSERT_FALSE(scanned->segments.empty());
+  EXPECT_GT(scanned->segments.front().first_seq, 1u);
+  EXPECT_LE(scanned->segments.front().first_seq, 13u);
+
+  // Recover from checkpoint + WAL suffix, resend the rest: bit-exact.
+  StreamSessionConfig resume = durable;
+  resume.resume_checkpoint = ckpt;
+  resume.wal.recover = true;
+  auto tail = service.OpenStream(resume);
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  auto opened = service.PollReport(*tail);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->wal_records_recovered, 4u);  // exactly 13..16
+  for (uint64_t i = opened->wal_last_seq; i < batches.size(); ++i) {
+    ASSERT_TRUE(
+        service.IngestBatch(*tail, batches[static_cast<size_t>(i)]).ok());
+  }
+  auto resumed = service.FinishStream(*tail);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_NE(resumed->report, nullptr);
+  ExpectReportsEqual(*full->report, *resumed->report, "lockstep parity");
+
+  // Adversarial converse: delete the segments holding the unreplayed
+  // suffix (13..16). Recovery must refuse — those records were acked and
+  // are gone — rather than resume with a silent hole.
+  auto survivors = storage::ScanWalDir(wal_dir);
+  ASSERT_TRUE(survivors.ok());
+  for (const auto& segment : survivors->segments) {
+    std::filesystem::remove(segment.path);
+  }
+  auto hole = service.OpenStream(resume);
+  ASSERT_FALSE(hole.ok());
+
+  std::filesystem::remove_all(wal_dir);
+  std::filesystem::remove(ckpt);
 }
 
 }  // namespace

@@ -1,0 +1,417 @@
+// Kill-and-recover parity of WAL-backed streaming sessions: a session
+// interrupted at ANY point — clean close, a crash at every injected
+// fault point, a log cut at every byte offset of its final record —
+// reopened with wal.recover must produce the bit-identical final
+// detection report of an uninterrupted session over the same stream,
+// across all four sampling methods. Detection randomness is
+// content-derived, so replayed ingest reconstructs the same windows and
+// the same reports; these tests are the proof.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/detection_service.h"
+#include "service/graph_registry.h"
+#include "storage/fault_file.h"
+#include "storage/wal_reader.h"
+#include "stream/windowed_detector.h"
+
+namespace ensemfdet {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("ensemfdet_wal_recovery_" + name))
+          .string();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return dir;
+}
+
+/// A deterministic fragmented stream with a dense planted burst.
+std::vector<Transaction> MakeStream(int64_t count, uint64_t seed) {
+  std::vector<Transaction> events;
+  events.reserve(static_cast<size_t>(count));
+  Rng rng(seed);
+  int64_t ts = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    ts += static_cast<int64_t>(rng.NextBounded(4));
+    if (i % 5 == 0) {
+      // Burst edge inside a small dense block.
+      events.push_back({ts, static_cast<UserId>(rng.NextBounded(6)),
+                        static_cast<MerchantId>(rng.NextBounded(3))});
+    } else {
+      events.push_back({ts, static_cast<UserId>(rng.NextBounded(60)),
+                        static_cast<MerchantId>(rng.NextBounded(30))});
+    }
+  }
+  return events;
+}
+
+std::vector<IngestBatch> MakeBatches(int64_t count, int64_t per_batch,
+                                     uint64_t seed) {
+  const std::vector<Transaction> events = MakeStream(count * per_batch,
+                                                     seed);
+  std::vector<IngestBatch> batches(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count * per_batch; ++i) {
+    batches[static_cast<size_t>(i / per_batch)].transactions.push_back(
+        events[static_cast<size_t>(i)]);
+  }
+  return batches;
+}
+
+StreamSessionConfig Session(SampleMethod method = SampleMethod::kRandomEdge,
+                            uint64_t seed = 17) {
+  StreamSessionConfig config;
+  config.detector.num_users = 60;
+  config.detector.num_merchants = 30;
+  config.detector.window = 120;
+  config.detector.detection_interval = 30;
+  config.detector.ensemble.num_samples = 5;
+  config.detector.ensemble.ratio = 0.3;
+  config.detector.ensemble.seed = seed;
+  config.detector.ensemble.method = method;
+  config.detector.ensemble.fdet.max_blocks = 6;
+  return config;
+}
+
+void ExpectReportsEqual(const EnsemFDetReport& a, const EnsemFDetReport& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.votes.all_user_votes().size(),
+            b.votes.all_user_votes().size())
+      << what;
+  EXPECT_TRUE(std::equal(a.votes.all_user_votes().begin(),
+                         a.votes.all_user_votes().end(),
+                         b.votes.all_user_votes().begin()))
+      << what;
+  EXPECT_TRUE(std::equal(a.votes.all_merchant_votes().begin(),
+                         a.votes.all_merchant_votes().end(),
+                         b.votes.all_merchant_votes().begin()))
+      << what;
+  EXPECT_EQ(a.weighted_user_votes, b.weighted_user_votes) << what;
+  EXPECT_EQ(a.weighted_merchant_votes, b.weighted_merchant_votes) << what;
+}
+
+/// Runs the whole stream through one uninterrupted (non-WAL) session and
+/// returns the final forced detection.
+StreamState UninterruptedRun(const std::vector<IngestBatch>& batches,
+                             StreamSessionConfig config) {
+  GraphRegistry registry;
+  DetectionService service(&registry, nullptr);
+  StreamId id = service.OpenStream(config).ValueOrDie();
+  for (const IngestBatch& batch : batches) {
+    EXPECT_TRUE(service.IngestBatch(id, batch).ok());
+  }
+  return service.FinishStream(id).ValueOrDie();
+}
+
+/// Opens a recovering session on `wal_dir`, resends every batch the WAL
+/// does not already hold (wal_last_seq == 1-based batch number), and
+/// returns the final forced detection.
+Result<StreamState> RecoverAndFinish(const std::vector<IngestBatch>& batches,
+                                     StreamSessionConfig config,
+                                     const std::string& wal_dir,
+                                     const std::string& checkpoint = "") {
+  GraphRegistry registry;
+  DetectionService service(&registry, nullptr);
+  config.wal.dir = wal_dir;
+  config.wal.recover = true;
+  config.resume_checkpoint = checkpoint;
+  ENSEMFDET_ASSIGN_OR_RETURN(StreamId id,
+                             service.OpenStream(std::move(config)));
+  ENSEMFDET_ASSIGN_OR_RETURN(StreamState opened, service.PollReport(id));
+  for (uint64_t i = opened.wal_last_seq; i < batches.size(); ++i) {
+    ENSEMFDET_RETURN_NOT_OK(
+        service.IngestBatch(id, batches[static_cast<size_t>(i)]));
+  }
+  return service.FinishStream(id);
+}
+
+TEST(WalRecovery, KillAndRecoverParityAcrossAllSamplingMethods) {
+  const std::vector<IngestBatch> batches = MakeBatches(24, 8, 5);
+  for (SampleMethod method :
+       {SampleMethod::kRandomEdge, SampleMethod::kOneSideUser,
+        SampleMethod::kOneSideMerchant, SampleMethod::kTwoSide}) {
+    const std::string what = SampleMethodName(method);
+    const StreamState uninterrupted =
+        UninterruptedRun(batches, Session(method));
+    ASSERT_NE(uninterrupted.report, nullptr) << what;
+
+    // Durable first half, then the process "dies" (the session is simply
+    // abandoned after CloseStream drains it — the WAL stays behind).
+    const std::string wal_dir = TempDir("kill_" + what);
+    {
+      GraphRegistry registry;
+      DetectionService service(&registry, nullptr);
+      StreamSessionConfig config = Session(method);
+      config.wal.dir = wal_dir;
+      StreamId id = service.OpenStream(config).ValueOrDie();
+      for (size_t i = 0; i < batches.size() / 2; ++i) {
+        ASSERT_TRUE(service.IngestBatch(id, batches[i]).ok()) << what;
+      }
+      ASSERT_TRUE(service.CloseStream(id).ok()) << what;
+    }
+
+    auto recovered = RecoverAndFinish(batches, Session(method), wal_dir);
+    ASSERT_TRUE(recovered.ok()) << what << ": "
+                                << recovered.status().ToString();
+    ASSERT_NE(recovered->report, nullptr) << what;
+    EXPECT_EQ(recovered->wal_records_recovered, batches.size() / 2) << what;
+    ExpectReportsEqual(*uninterrupted.report, *recovered->report, what);
+    EXPECT_EQ(uninterrupted.reports_generated,
+              recovered->reports_generated)
+        << what;
+    std::error_code ec;
+    fs::remove_all(wal_dir, ec);
+  }
+}
+
+TEST(WalRecovery, FreshOpenOverAnExistingLogIsRefused) {
+  const std::vector<IngestBatch> batches = MakeBatches(6, 8, 5);
+  const std::string wal_dir = TempDir("fresh_refused");
+  {
+    GraphRegistry registry;
+    DetectionService service(&registry, nullptr);
+    StreamSessionConfig config = Session();
+    config.wal.dir = wal_dir;
+    StreamId id = service.OpenStream(config).ValueOrDie();
+    for (const IngestBatch& batch : batches) {
+      ASSERT_TRUE(service.IngestBatch(id, batch).ok());
+    }
+    ASSERT_TRUE(service.CloseStream(id).ok());
+  }
+  GraphRegistry registry;
+  DetectionService service(&registry, nullptr);
+  StreamSessionConfig config = Session();
+  config.wal.dir = wal_dir;  // recover NOT set: silent overwrite refused
+  EXPECT_EQ(service.OpenStream(config).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::error_code ec;
+  fs::remove_all(wal_dir, ec);
+}
+
+TEST(WalRecovery, RecoverRequiresAWalPositionInTheCheckpoint) {
+  // A checkpoint written by a non-WAL session carries no kWalPosition
+  // section; recovering against it cannot know where replay resumes.
+  const std::vector<IngestBatch> batches = MakeBatches(8, 8, 5);
+  const std::string wal_dir = TempDir("no_position_wal");
+  const std::string checkpoint =
+      TempDir("no_position_ckpt_dir") + "_checkpoint.efg";
+  {
+    GraphRegistry registry;
+    DetectionService service(&registry, nullptr);
+    StreamId id = service.OpenStream(Session()).ValueOrDie();
+    for (const IngestBatch& batch : batches) {
+      ASSERT_TRUE(service.IngestBatch(id, batch).ok());
+    }
+    ASSERT_TRUE(service.SaveStreamCheckpoint(id, checkpoint).ok());
+    ASSERT_TRUE(service.CloseStream(id).ok());
+  }
+  auto recovered =
+      RecoverAndFinish(batches, Session(), wal_dir, checkpoint);
+  EXPECT_EQ(recovered.status().code(), StatusCode::kInvalidArgument);
+  std::error_code ec;
+  fs::remove_all(wal_dir, ec);
+  fs::remove(checkpoint, ec);
+}
+
+TEST(WalRecovery, WalDeletedOutFromUnderItsCheckpointIsAnError) {
+  const std::vector<IngestBatch> batches = MakeBatches(12, 8, 5);
+  const std::string wal_dir = TempDir("wiped_wal");
+  const std::string checkpoint = TempDir("wiped_dir") + "_checkpoint.efg";
+  {
+    GraphRegistry registry;
+    DetectionService service(&registry, nullptr);
+    StreamSessionConfig config = Session();
+    config.wal.dir = wal_dir;
+    StreamId id = service.OpenStream(config).ValueOrDie();
+    for (const IngestBatch& batch : batches) {
+      ASSERT_TRUE(service.IngestBatch(id, batch).ok());
+    }
+    ASSERT_TRUE(service.SaveStreamCheckpoint(id, checkpoint).ok());
+    ASSERT_TRUE(service.CloseStream(id).ok());
+  }
+  std::error_code ec;
+  fs::remove_all(wal_dir, ec);  // the log vanishes; the checkpoint stays
+  auto recovered =
+      RecoverAndFinish(batches, Session(), wal_dir, checkpoint);
+  EXPECT_FALSE(recovered.ok());
+  fs::remove(checkpoint, ec);
+}
+
+TEST(WalRecovery, CheckpointPlusWalSuffixReplaysOnlyTheSuffix) {
+  const std::vector<IngestBatch> batches = MakeBatches(24, 8, 5);
+  const StreamState uninterrupted = UninterruptedRun(batches, Session());
+  ASSERT_NE(uninterrupted.report, nullptr);
+
+  const std::string wal_dir = TempDir("suffix_wal");
+  const std::string checkpoint = TempDir("suffix_dir") + "_checkpoint.efg";
+  {
+    GraphRegistry registry;
+    DetectionService service(&registry, nullptr);
+    StreamSessionConfig config = Session();
+    config.wal.dir = wal_dir;
+    StreamId id = service.OpenStream(config).ValueOrDie();
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(service.IngestBatch(id, batches[i]).ok());
+    }
+    ASSERT_TRUE(service.SaveStreamCheckpoint(id, checkpoint).ok());
+    for (size_t i = 10; i < 16; ++i) {
+      ASSERT_TRUE(service.IngestBatch(id, batches[i]).ok());
+    }
+    ASSERT_TRUE(service.CloseStream(id).ok());
+  }
+
+  auto recovered =
+      RecoverAndFinish(batches, Session(), wal_dir, checkpoint);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_NE(recovered->report, nullptr);
+  // The checkpoint restored batches 1..10; only 11..16 replayed.
+  EXPECT_EQ(recovered->wal_records_recovered, 6u);
+  EXPECT_GE(recovered->wal_last_seq, 16u);
+  ExpectReportsEqual(*uninterrupted.report, *recovered->report,
+                     "checkpoint+suffix");
+  std::error_code ec;
+  fs::remove_all(wal_dir, ec);
+  fs::remove(checkpoint, ec);
+}
+
+// The tentpole enumeration: crash the durable session at EVERY injected
+// fault point (op k+1 and everything after fails, the dying append torn
+// mid-frame), recover with healthy file ops, resend from the recovered
+// position, and require the bit-identical final report every time.
+TEST(WalRecovery, EveryFaultPointRecoversBitIdentical) {
+  const std::vector<IngestBatch> batches = MakeBatches(12, 6, 9);
+  const StreamSessionConfig base = Session(SampleMethod::kRandomEdge, 23);
+  const StreamState uninterrupted = UninterruptedRun(batches, base);
+  ASSERT_NE(uninterrupted.report, nullptr);
+
+  auto durable_session = [&](const std::string& wal_dir) {
+    StreamSessionConfig config = base;
+    config.wal.dir = wal_dir;
+    config.wal.fsync = storage::WalFsyncPolicy::kAlways;
+    config.wal.segment_bytes = 512;  // force rotations into the op count
+    return config;
+  };
+
+  // Clean counted run to learn the total mutating-op count T.
+  int64_t total_ops = 0;
+  {
+    const std::string wal_dir = TempDir("faults_count");
+    storage::FaultInjectingFileOps faulty;
+    storage::ScopedFileOpsOverride scope(&faulty);
+    GraphRegistry registry;
+    DetectionService service(&registry, nullptr);
+    StreamId id = service.OpenStream(durable_session(wal_dir)).ValueOrDie();
+    for (const IngestBatch& batch : batches) {
+      ASSERT_TRUE(service.IngestBatch(id, batch).ok());
+    }
+    ASSERT_TRUE(service.CloseStream(id).ok());
+    total_ops = faulty.op_count();
+    std::error_code ec;
+    fs::remove_all(wal_dir, ec);
+  }
+  ASSERT_GT(total_ops, static_cast<int64_t>(batches.size()));
+
+  const std::string wal_dir = TempDir("faults");
+  for (int64_t k = 0; k < total_ops; ++k) {
+    std::error_code ec;
+    fs::remove_all(wal_dir, ec);
+    {
+      storage::FaultInjectingFileOps faulty;
+      faulty.FailAfter(k);
+      faulty.set_short_write_bytes(static_cast<size_t>(k % 17));
+      storage::ScopedFileOpsOverride scope(&faulty);
+      GraphRegistry registry;
+      DetectionService service(&registry, nullptr);
+      auto id = service.OpenStream(durable_session(wal_dir));
+      if (id.ok()) {
+        for (const IngestBatch& batch : batches) {
+          if (!service.IngestBatch(*id, batch).ok()) break;
+        }
+        (void)service.CloseStream(*id);
+      }
+      ASSERT_TRUE(faulty.crashed())
+          << "fault point " << k << " was never reached";
+    }
+    // Recovery with the real file ops must always produce a clean Status
+    // and the bit-identical final report.
+    auto recovered = RecoverAndFinish(batches, base, wal_dir);
+    ASSERT_TRUE(recovered.ok()) << "fault point " << k << ": "
+                                << recovered.status().ToString();
+    ASSERT_NE(recovered->report, nullptr) << "fault point " << k;
+    ExpectReportsEqual(*uninterrupted.report, *recovered->report,
+                       "fault point " + std::to_string(k));
+  }
+  std::error_code ec;
+  fs::remove_all(wal_dir, ec);
+}
+
+// Log cut at every byte offset of the final record (service-level twin
+// of the storage-layer test): recovery resends the torn batch and the
+// final report never changes.
+TEST(WalRecovery, TruncationAtEveryByteOfTheFinalRecordKeepsParity) {
+  const std::vector<IngestBatch> batches = MakeBatches(10, 4, 13);
+  const StreamSessionConfig base = Session(SampleMethod::kTwoSide, 29);
+  const StreamState uninterrupted = UninterruptedRun(batches, base);
+  ASSERT_NE(uninterrupted.report, nullptr);
+
+  // Build the pristine durable log of the full stream.
+  const std::string pristine = TempDir("cut_pristine");
+  {
+    GraphRegistry registry;
+    DetectionService service(&registry, nullptr);
+    StreamSessionConfig config = base;
+    config.wal.dir = pristine;
+    StreamId id = service.OpenStream(config).ValueOrDie();
+    for (const IngestBatch& batch : batches) {
+      ASSERT_TRUE(service.IngestBatch(id, batch).ok());
+    }
+    ASSERT_TRUE(service.CloseStream(id).ok());
+  }
+  auto state = storage::ScanWalDir(pristine);
+  ASSERT_TRUE(state.ok());
+  ASSERT_FALSE(state->segments.empty());
+  const std::string last_name =
+      fs::path(state->segments.back().path).filename().string();
+  const uint64_t tail_end = state->last_segment_valid_bytes;
+  // The final record's frame size is fixed by the codec: a 32-byte
+  // record header plus the 4-transaction payload (8 + 4*16 = 72 bytes),
+  // already 8-byte aligned — 104 bytes. Cutting at every offset from the
+  // frame's first byte to its last covers the whole record.
+  const uint64_t frame_bytes =
+      32 + ((4 * 16 + 8 + 7) / 8) * 8;  // header + aligned payload
+  const uint64_t tail_start =
+      tail_end > frame_bytes ? tail_end - frame_bytes : 64;
+
+  const std::string wal_dir = TempDir("cut");
+  for (uint64_t cut = tail_start; cut < tail_end; ++cut) {
+    std::error_code ec;
+    fs::remove_all(wal_dir, ec);
+    fs::create_directories(wal_dir, ec);
+    fs::copy(pristine, wal_dir, fs::copy_options::recursive, ec);
+    ASSERT_FALSE(ec);
+    fs::resize_file(wal_dir + "/" + last_name, cut, ec);
+    ASSERT_FALSE(ec);
+
+    auto recovered = RecoverAndFinish(batches, base, wal_dir);
+    ASSERT_TRUE(recovered.ok()) << "cut at " << cut << ": "
+                                << recovered.status().ToString();
+    ASSERT_NE(recovered->report, nullptr) << "cut at " << cut;
+    ExpectReportsEqual(*uninterrupted.report, *recovered->report,
+                       "cut at " + std::to_string(cut));
+  }
+  std::error_code ec;
+  fs::remove_all(wal_dir, ec);
+  fs::remove_all(pristine, ec);
+}
+
+}  // namespace
+}  // namespace ensemfdet

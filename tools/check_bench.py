@@ -28,7 +28,10 @@ Checks, per document (schema: bench/README.md):
         baseline comparison needed,
       - obs: the metrics-on vs metrics-off overhead must stay within the
         in-file budget (2%) — self-normalized (both arms timed
-        interleaved in one process), no baseline comparison needed.
+        interleaved in one process), no baseline comparison needed,
+      - wal: the untimed replay gate must have compared every record and
+        all three fsync-policy throughputs must be positive — fsync
+        timing is machine-noisy, so no cross-run regression gate.
 
 Exit codes: 0 all checks passed; 1 a validation or regression check
 failed; 2 usage errors (missing file, unreadable JSON document).
@@ -44,6 +47,7 @@ EXPECTED_SCHEMA = {
     "BENCH_stream.json": 1,
     "BENCH_storage.json": 1,
     "BENCH_obs.json": 1,
+    "BENCH_wal.json": 1,
 }
 COMMON_KEYS = ("schema_version", "bench", "graph", "config", "timings")
 
@@ -155,6 +159,28 @@ def check_obs(fresh):
             f"histogram {overhead['histogram_ns_per_record']:.0f} ns)")
 
 
+def check_wal(fresh):
+    # The producer refuses to emit unless replay reproduced the appended
+    # stream, so the gates here are structural: every record was actually
+    # compared, and all three policies produced a real measurement. No
+    # baseline comparison — fsync latency varies wildly across runners.
+    check(fresh["parity"]["records_compared"] > 0,
+          "wal: no records were replay-compared")
+    check(fresh["parity"]["records_compared"] ==
+          fresh["wal"]["records"],
+          "wal: replay compared fewer records than were appended")
+    throughput = fresh["throughput"]
+    for key in ("acked_events_per_second_none",
+                "acked_events_per_second_batch",
+                "acked_events_per_second_always"):
+        check(throughput.get(key, 0) > 0, f"wal: non-positive {key}")
+    check(fresh["wal"]["segments_created"] >= 1,
+          "wal: no segments were created")
+    return (f"wal {throughput['acked_events_per_second_batch']:.0f} "
+            f"acked events/s batch "
+            f"({throughput['acked_events_per_second_always']:.0f} always)")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Validate BENCH_*.json documents and gate regressions")
@@ -174,7 +200,7 @@ def main():
                         help="min fresh/committed stream-speedup ratio")
     parser.add_argument("files", nargs="*",
                         default=sorted(EXPECTED_SCHEMA),
-                        help="file names to check (default: all five)")
+                        help="file names to check (default: all six)")
     args = parser.parse_args()
 
     summaries = []
@@ -202,6 +228,8 @@ def main():
                 summaries.append(check_storage(fresh))
             elif name == "BENCH_obs.json":
                 summaries.append(check_obs(fresh))
+            elif name == "BENCH_wal.json":
+                summaries.append(check_wal(fresh))
     except CheckFailure as failure:
         print(f"check_bench: FAIL: {failure}", file=sys.stderr)
         return 1

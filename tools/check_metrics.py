@@ -25,8 +25,8 @@ phase):
   * counters and histogram counts/sums are monotone non-decreasing A->B
     (a decrease means a counter was reset or two registries were mixed),
   * B covers the required per-layer series — the scrapes prove every
-    engine layer (pool, detect, cache, ingest, service, storage, stream)
-    actually recorded, not just that the binary links the obs library.
+    engine layer (pool, detect, cache, ingest, service, storage, stream,
+    wal) actually recorded, not just that the binary links the obs library.
 
 Exit codes: 0 all checks passed; 1 a check failed; 2 usage errors.
 """
@@ -38,6 +38,7 @@ import sys
 NAME_RE = re.compile(r"^ensemfdet_[a-z0-9]+(_[a-z0-9]+)+$")
 KNOWN_LAYERS = {
     "cache", "detect", "ingest", "pool", "service", "storage", "stream",
+    "wal",
     # bench_obs times its tight loops against scratch instruments; they
     # never reach the global registry but keep the convention anyway.
     "benchobs",
@@ -82,6 +83,12 @@ REQUIRED = {
     "ensemfdet_stream_components_reused_total": "counter",
     "ensemfdet_stream_edges_total": "counter",
     "ensemfdet_stream_detect_seconds": "histogram",
+    "ensemfdet_wal_appends_total": "counter",
+    "ensemfdet_wal_fsyncs_total": "counter",
+    "ensemfdet_wal_segments_created_total": "counter",
+    "ensemfdet_wal_records_replayed_total": "counter",
+    "ensemfdet_wal_append_seconds": "histogram",
+    "ensemfdet_wal_replay_seconds": "histogram",
 }
 
 

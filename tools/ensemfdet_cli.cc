@@ -143,7 +143,8 @@ int Usage() {
       "               [--max-out-of-order=0] [--min-component-edges=1]\n"
       "               [--register=stream] [--checkpoint=FILE.efg]\n"
       "               [--stop-after-batches=0] [--resume=FILE.efg]\n"
-      "               [--skip-batches=0]\n"
+      "               [--skip-batches=0] [--wal=DIR]\n"
+      "               [--fsync=none|batch|always] [--recover]\n"
       "  bench-smoke  [--scale=0.004] [--seed=7] [--threads=0]\n"
       "  bench-report [--scale=0.02] [--seed=7] [--repeats=5] [--n=16]\n"
       "               [--s=0.1] [--threads=0] [--out-dir=.]\n"
@@ -160,6 +161,16 @@ int Usage() {
       "  --trace-out=FILE     with ENSEMFDET_TRACE=1, flush the Chrome\n"
       "                       trace_event timeline (chrome://tracing)\n"
       "                       [default ensemfdet_trace.json]\n"
+      "\n"
+      "durable ingest (stream-replay):\n"
+      "  --wal=DIR            append every batch to a CRC-framed WAL in\n"
+      "                       DIR, made durable per --fsync (none, batch,\n"
+      "                       always; default batch) before it is acked\n"
+      "  --recover            rebuild a killed run: resume from\n"
+      "                       DIR/checkpoint.efg when present (or\n"
+      "                       --resume=FILE), replay the WAL suffix, and\n"
+      "                       finish the replay — stdout is bit-identical\n"
+      "                       to the uninterrupted run\n"
       "\n"
       "exit codes: 0 ok; 2 usage (bad flags / InvalidArgument / NotFound);\n"
       "            1 runtime failure (IO, corrupt input, detection error)\n");
@@ -691,8 +702,18 @@ int CmdStreamReplay(Flags& flags) {
   // bit-identical to the uninterrupted run (CI asserts this).
   const std::string checkpoint_path = flags.GetString("checkpoint", "");
   const int64_t stop_after = flags.GetInt("stop-after-batches", 0);
-  const std::string resume_path = flags.GetString("resume", "");
+  std::string resume_path = flags.GetString("resume", "");
   const int64_t skip_batches = flags.GetInt("skip-batches", 0);
+  // Durable ingest: --wal=DIR appends every batch to a CRC-framed WAL and
+  // fsyncs per --fsync before the batch is acked; --recover rebuilds a
+  // killed run (newest checkpoint if --resume/--checkpoint points at one,
+  // else DIR/checkpoint.efg if present, then the WAL suffix) and resumes
+  // the replay at the first batch the log does not already hold. stdout
+  // stays bit-identical to an uninterrupted run (CI kills a run with
+  // SIGKILL mid-stream and asserts exactly that).
+  const std::string wal_dir = flags.GetString("wal", "");
+  const std::string fsync_name = flags.GetString("fsync", "batch");
+  const bool recover = flags.GetBool("recover", false);
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_out =
       flags.GetString("trace-out", "ensemfdet_trace.json");
@@ -706,8 +727,29 @@ int CmdStreamReplay(Flags& flags) {
     std::fprintf(stderr, "error: batch counts must be >= 0\n");
     return 2;
   }
+  if (wal_dir.empty() && recover) {
+    std::fprintf(stderr, "error: --recover requires --wal=DIR\n");
+    return 2;
+  }
 
   StreamSessionConfig session;
+  if (!wal_dir.empty()) {
+    auto policy = storage::ParseWalFsyncPolicy(fsync_name);
+    if (!policy.ok()) return FailWith(policy.status());
+    session.wal.dir = wal_dir;
+    session.wal.fsync = *policy;
+    session.wal.recover = recover;
+    if (recover && resume_path.empty()) {
+      // A recovering run picks up the session's own newest checkpoint by
+      // convention: SaveStreamCheckpoint truncated the WAL against it, so
+      // replaying without it would start past the log's beginning.
+      const std::string conventional = wal_dir + "/checkpoint.efg";
+      std::error_code ec;
+      if (std::filesystem::exists(conventional, ec)) {
+        resume_path = conventional;
+      }
+    }
+  }
   session.resume_checkpoint = resume_path;
   session.detector.window = window;
   session.detector.detection_interval = interval;
@@ -748,6 +790,22 @@ int CmdStreamReplay(Flags& flags) {
   auto stream = service.OpenStream(session);
   if (!stream.ok()) return FailWith(stream.status());
 
+  int64_t effective_skip = skip_batches;
+  if (recover) {
+    auto opened = service.PollReport(*stream);
+    if (!opened.ok()) return FailWith(opened.status());
+    // WAL seq == 1-based batch number: batches 1..wal_last_seq are
+    // durable and already applied (via checkpoint or replay); the
+    // deterministic generator just regenerates and skips them.
+    effective_skip = std::max<int64_t>(
+        effective_skip, static_cast<int64_t>(opened->wal_last_seq));
+    std::fprintf(stderr,
+                 "[stream-replay] recovered: %llu WAL records replayed, "
+                 "resuming at batch %lld\n",
+                 (unsigned long long)opened->wal_records_recovered,
+                 (long long)effective_skip);
+  }
+
   // Narration reads from the global metrics registry: every streaming
   // Detect mirrors its StreamingDetectionStats into the
   // ensemfdet_stream_* counters en bloc before the report is published,
@@ -779,7 +837,7 @@ int CmdStreamReplay(Flags& flags) {
   int64_t batch_index = 0;
   for (const IngestBatch& batch : *batches) {
     const int64_t index = batch_index++;
-    if (index < skip_batches) continue;  // the checkpointed run's share
+    if (index < effective_skip) continue;  // already durable/applied
     if (stop_after > 0 && index >= stop_after) break;
     Status st = service.IngestBatch(*stream, batch);
     if (!st.ok()) return FailWith(st);
@@ -943,13 +1001,21 @@ int CmdMetricsDump(Flags& flags) {
     if (!st.ok()) return FailWith(st);
   }
 
-  // Ingest + stream layers: a short synthetic stream through a session.
+  // Ingest + stream + wal layers: a short synthetic WAL-backed stream
+  // through a session, interrupted halfway and recovered, so scrape B
+  // carries the full ensemfdet_wal_* series (appends, fsyncs, segment
+  // creation, replayed records).
+  const std::string wal_dir = workdir + "/ensemfdet_metrics_dump_wal";
+  std::error_code wal_ec;
+  std::filesystem::remove_all(wal_dir, wal_ec);
   StreamSessionConfig session;
   session.detector.window = 600;
   session.detector.detection_interval = 300;
   session.detector.ensemble = request.ensemble;
   session.detector.num_users = dataset->graph.num_users();
   session.detector.num_merchants = dataset->graph.num_merchants();
+  session.wal.dir = wal_dir;
+  session.wal.fsync = storage::WalFsyncPolicy::kBatch;
   StreamTimelineConfig timeline;
   timeline.horizon = 3600;
   timeline.burst_duration = 600;
@@ -962,14 +1028,27 @@ int CmdMetricsDump(Flags& flags) {
       std::max<int64_t>(64, static_cast<int64_t>(batches->size()));
   auto stream = service.OpenStream(session);
   if (!stream.ok()) return FailWith(stream.status());
-  for (const IngestBatch& batch : *batches) {
-    st = service.IngestBatch(*stream, batch);
+  const size_t half = batches->size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    st = service.IngestBatch(*stream, (*batches)[i]);
+    if (!st.ok()) return FailWith(st);
+  }
+  // "Crash": drop the session without a final detection, then recover a
+  // fresh one from the WAL and stream the rest.
+  st = service.CloseStream(*stream);
+  if (!st.ok()) return FailWith(st);
+  session.wal.recover = true;
+  stream = service.OpenStream(session);
+  if (!stream.ok()) return FailWith(stream.status());
+  for (size_t i = half; i < batches->size(); ++i) {
+    st = service.IngestBatch(*stream, (*batches)[i]);
     if (!st.ok()) return FailWith(st);
   }
   auto final_state = service.FinishStream(*stream);
   if (!final_state.ok()) return FailWith(final_state.status());
   if (!final_state->error.ok()) return FailWith(final_state->error);
   std::remove(efg.c_str());
+  std::filesystem::remove_all(wal_dir, wal_ec);
 
   if (!out_b.empty()) {
     st = WriteMetricsSnapshot(out_b);
@@ -1040,10 +1119,15 @@ int CmdBenchReport(Flags& flags) {
   obs_options.num_samples = ensemble.num_samples;
   obs_options.ratio = ensemble.ratio;
 
+  bench::WalBenchOptions wal_options;
+  wal_options.seed = graph_spec.seed;
+  wal_options.repeats = std::max(1, repeats / 2);
+
   bench::EnsembleBenchSummary ensemble_summary;
   bench::StreamBenchSummary stream_summary;
   bench::StorageBenchSummary storage_summary;
   bench::ObsBenchSummary obs_summary;
+  bench::WalBenchSummary wal_summary;
   struct Report {
     const char* file;
     Result<std::string> json;
@@ -1055,6 +1139,7 @@ int CmdBenchReport(Flags& flags) {
       {"BENCH_storage.json",
        bench::RunStorageBench(storage_options, &storage_summary)},
       {"BENCH_obs.json", bench::RunObsBench(obs_options, &obs_summary)},
+      {"BENCH_wal.json", bench::RunWalBench(wal_options, &wal_summary)},
   };
   for (Report& report : reports) {
     if (!report.json.ok()) {
@@ -1100,6 +1185,12 @@ int CmdBenchReport(Flags& flags) {
                100.0 * obs_summary.overhead_fraction,
                obs_summary.counter_ns_per_increment,
                obs_summary.histogram_ns_per_record);
+  std::fprintf(stderr,
+               "[bench-report] wal acked events/s: %.0f none, %.0f batch, "
+               "%.0f always (replay parity verified)\n",
+               wal_summary.acked_events_per_second_none,
+               wal_summary.acked_events_per_second_batch,
+               wal_summary.acked_events_per_second_always);
   return 0;
 }
 
