@@ -27,7 +27,9 @@
 #include "ingest/dynamic_graph_store.h"
 #include "ingest/streaming_detector.h"
 #include "ingest/wal_codec.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/snapshot_reader.h"
 #include "storage/snapshot_writer.h"
 #include "storage/wal_reader.h"
@@ -520,6 +522,22 @@ Result<std::string> RunObsBench(const ObsBenchOptions& options,
     ~RestoreEnabled() { obs::SetMetricsRuntimeEnabled(enabled); }
   } restore{was_enabled};
 
+  // The on-arm must pay for the FULL always-on pipeline — trace-context
+  // propagation, span-id allocation, and the flight recorder's per-span
+  // ring write — so the 2% budget covers what production actually runs,
+  // not a stripped-down build. Installing is best-effort: a read-only
+  // temp dir degrades the measurement to spans-without-rings rather than
+  // failing the bench (the JSON records which variant ran).
+  std::error_code bench_flight_ec;
+  const std::string flight_path =
+      (std::filesystem::temp_directory_path(bench_flight_ec) /
+       "ensemfdet_bench_obs_flight.bin")
+          .string();
+  obs::FlightRecorderOptions flight_options;
+  flight_options.path = flight_path;
+  const bool flight_installed =
+      !bench_flight_ec && obs::InstallFlightRecorder(flight_options).ok();
+
   // Untimed parity gate: recording on vs off must not perturb the report
   // in any bit — instrumentation that changes results is worse than no
   // instrumentation, so a divergence refuses to emit.
@@ -601,6 +619,14 @@ Result<std::string> RunObsBench(const ObsBenchOptions& options,
   timings.push_back(Measure("histogram_record_2m", 3, [&] {
     for (int64_t i = 0; i < kOps; ++i) histogram->Record(i & 0xFFFFF);
   }));
+  // Full span cost: context capture + span-id allocation + histogram
+  // record + flight-recorder ring write (recorder installed above), the
+  // exact sequence every instrumented stage runs per invocation.
+  timings.push_back(Measure("span_record_2m", 3, [&] {
+    for (int64_t i = 0; i < kOps; ++i) {
+      obs::TraceSpan span(histogram, "benchobs_span");
+    }
+  }));
 
   const double seconds_on = timings[0].seconds_min;
   const double seconds_off = timings[1].seconds_min;
@@ -612,6 +638,8 @@ Result<std::string> RunObsBench(const ObsBenchOptions& options,
       timings[2].seconds_min / static_cast<double>(kOps) * 1e9;
   const double histogram_ns =
       timings[3].seconds_min / static_cast<double>(kOps) * 1e9;
+  const double span_ns =
+      timings[4].seconds_min / static_cast<double>(kOps) * 1e9;
 
   if (summary != nullptr) {
     summary->overhead_fraction = overhead_fraction;
@@ -619,6 +647,7 @@ Result<std::string> RunObsBench(const ObsBenchOptions& options,
     summary->seconds_metrics_off = seconds_off;
     summary->counter_ns_per_increment = counter_ns;
     summary->histogram_ns_per_record = histogram_ns;
+    summary->span_ns_per_record = span_ns;
   }
 
   std::string out;
@@ -628,16 +657,19 @@ Result<std::string> RunObsBench(const ObsBenchOptions& options,
   AppendGraphJson(&out, options.graph, dataset.graph);
   AppendF(&out,
           "  \"config\": {\"repeats\": %d, \"num_samples\": %d, "
-          "\"ratio\": %.4g, \"metrics_compiled_in\": %s},\n",
+          "\"ratio\": %.4g, \"metrics_compiled_in\": %s, "
+          "\"flight_recorder_installed\": %s},\n",
           repeats, options.num_samples, options.ratio,
-          obs::kMetricsCompiledIn ? "true" : "false");
+          obs::kMetricsCompiledIn ? "true" : "false",
+          flight_installed ? "true" : "false");
   AppendTimingsJson(&out, timings);
   AppendF(&out,
           "  \"overhead\": {\"fraction\": %.6g, \"budget_fraction\": %.4g, "
           "\"within_budget\": %s, \"counter_ns_per_increment\": %.4g, "
-          "\"histogram_ns_per_record\": %.4g},\n",
+          "\"histogram_ns_per_record\": %.4g, "
+          "\"span_ns_per_record\": %.4g},\n",
           overhead_fraction, budget, within_budget ? "true" : "false",
-          counter_ns, histogram_ns);
+          counter_ns, histogram_ns, span_ns);
   AppendF(&out, "  \"parity\": {\"reports_identical\": %s}\n",
           reports_identical ? "true" : "false");
   out.append("}\n");

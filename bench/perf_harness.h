@@ -207,6 +207,9 @@ struct ObsBenchSummary {
   /// Hot-path record costs measured in a tight loop (enabled path).
   double counter_ns_per_increment = 0.0;
   double histogram_ns_per_record = 0.0;
+  /// Full TraceSpan open/close — context capture, span-id allocation,
+  /// histogram record, and the flight-recorder ring write.
+  double span_ns_per_record = 0.0;
 };
 
 /// Runs the observability-overhead bench and returns the BENCH_obs.json

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/flight_recorder.h"
+
 namespace ensemfdet {
 
 namespace {
@@ -83,6 +85,11 @@ FatalLogMessage::~FatalLogMessage() {
     std::fprintf(stderr, "[FATAL %s:%d] %s\n", Basename(file_), line_,
                  stream_.str().c_str());
   }
+  // Preserve the black box with the CHECK's own message before abort()
+  // raises SIGABRT (whose handler would only know the signal number).
+  // This runs in normal context — the dump itself stays lock-free, so a
+  // CHECK failing on any thread, locks held or not, cannot deadlock it.
+  obs::DumpFlightRecorder(stream_.str().c_str());
   std::abort();
 }
 

@@ -27,11 +27,18 @@ struct PoolMetrics {
 PoolMetrics& Metrics() {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   static PoolMetrics m{
-      reg.GetCounter("ensemfdet_pool_tasks_total"),
-      reg.GetGauge("ensemfdet_pool_queue_depth"),
-      reg.GetGauge("ensemfdet_pool_workers"),
-      reg.GetHistogram("ensemfdet_pool_task_wait_seconds"),
-      reg.GetHistogram("ensemfdet_pool_task_run_seconds"),
+      reg.GetCounter("ensemfdet_pool_tasks_total",
+                     "Tasks enqueued on the shared thread pool."),
+      reg.GetGauge("ensemfdet_pool_queue_depth",
+                   "Tasks waiting in the pool queue right now."),
+      reg.GetGauge("ensemfdet_pool_workers",
+                   "Worker threads of the most recently created pool."),
+      reg.GetHistogram("ensemfdet_pool_task_wait_seconds",
+                       obs::Histogram::Unit::kSeconds,
+                       "Queue wait from enqueue to execution start."),
+      reg.GetHistogram("ensemfdet_pool_task_run_seconds",
+                       obs::Histogram::Unit::kSeconds,
+                       "Task execution time on a worker thread."),
   };
   return m;
 }
@@ -64,10 +71,20 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Enqueue(std::function<void()> task) {
   const int64_t enqueue_ns =
       obs::MetricsRuntimeEnabled() ? obs::TraceNowNs() : -1;
+  // Capture the submitter's causal context so the worker can reinstall
+  // it: spans the task opens then parent to the submitting span, not to
+  // whatever the worker ran last. The flow event pair (s here, f at
+  // execution) draws the cross-thread arrow in trace viewers.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  uint64_t flow_id = 0;
+  if (obs::TraceEnabled() && ctx.valid()) {
+    flow_id = obs::NewSpanId();
+    obs::AppendFlowEvent("pool_flow", 's', flow_id);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ENSEMFDET_CHECK(!shutdown_) << "Submit after shutdown";
-    queue_.push_back(Pending{std::move(task), enqueue_ns});
+    queue_.push_back(Pending{std::move(task), enqueue_ns, ctx, flow_id});
     ++in_flight_;
   }
   PoolMetrics& m = Metrics();
@@ -80,12 +97,16 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     int64_t enqueue_ns = -1;
+    obs::TraceContext ctx;
+    uint64_t flow_id = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with drained queue
       task = std::move(queue_.front().fn);
       enqueue_ns = queue_.front().enqueue_ns;
+      ctx = queue_.front().ctx;
+      flow_id = queue_.front().flow_id;
       queue_.pop_front();
     }
     PoolMetrics& m = Metrics();
@@ -94,7 +115,15 @@ void ThreadPool::WorkerLoop() {
       m.task_wait_seconds->Record(obs::TraceNowNs() - enqueue_ns);
     }
     {
-      obs::TraceSpan span(m.task_run_seconds, "pool_task");
+      // Install the submitter's context (or clear a stale one: ctx may
+      // be invalid) for the task's duration. pool_task is detached — it
+      // times the scheduling layer without inserting itself into the
+      // detection tree, so the tree's *shape* is identical at any pool
+      // width (only flow arrows and pool_task wrappers vary).
+      obs::ScopedTraceContext scope(ctx);
+      if (flow_id != 0) obs::AppendFlowEvent("pool_flow", 'f', flow_id);
+      obs::TraceSpan span(m.task_run_seconds, "pool_task",
+                         obs::TraceSpan::Link::kDetached);
       task();
     }
     {

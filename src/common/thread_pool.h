@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace_context.h"
+
 namespace ensemfdet {
 
 class ThreadPool {
@@ -60,6 +62,11 @@ class ThreadPool {
   struct Pending {
     std::function<void()> fn;
     int64_t enqueue_ns;  // obs trace clock at enqueue; -1 = not stamped
+    // Submitter's causal context, captured at enqueue and reinstalled
+    // around execution — this is the cross-thread hop that keeps one
+    // detection's span tree connected (DESIGN.md "Causal tracing").
+    obs::TraceContext ctx;
+    uint64_t flow_id;  // ties the Chrome flow arrow (s→f); 0 = no flow
   };
 
   void Enqueue(std::function<void()> task);

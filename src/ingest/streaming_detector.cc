@@ -197,6 +197,10 @@ StreamingDetector::ComputeComponent(const std::vector<Edge>& edges,
 
 Result<StreamingReport> StreamingDetector::Detect(const GraphVersion& version,
                                                   ThreadPool* pool) {
+  // Fresh trace per streamed report: each boundary detection gets its
+  // own root (stream_detect), even when fired from inside a windowed
+  // replay job — per-report latency attribution needs per-report trees.
+  obs::ScopedTraceContext trace_root(obs::NewRootContext());
   obs::TraceSpan detect_span(Metrics().detect_seconds, "stream_detect");
   WallTimer total_timer;
   const int64_t num_users = version.num_users();

@@ -30,12 +30,93 @@ double ScaledBound(const HistogramSnapshot& hist, size_t i) {
   return hist.unit == Histogram::Unit::kSeconds ? raw * 1e-9 : raw;
 }
 
+double ScaledExemplar(const HistogramSnapshot& hist) {
+  const double raw = static_cast<double>(hist.exemplar_value);
+  return hist.unit == Histogram::Unit::kSeconds ? raw * 1e-9 : raw;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(&out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string EscapeExpositionText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricHelpText(const MetricSnapshot& metric) {
+  if (!metric.help.empty()) return metric.help;
+  // Derive a serviceable description from the naming convention:
+  // ensemfdet_<layer>_<name>{_total|_seconds} → "<layer> <name ...>".
+  std::string_view body = metric.name;
+  constexpr std::string_view kPrefix = "ensemfdet_";
+  if (body.substr(0, kPrefix.size()) == kPrefix) {
+    body.remove_prefix(kPrefix.size());
+  }
+  auto strip_suffix = [&](std::string_view suffix) {
+    if (body.size() > suffix.size() &&
+        body.substr(body.size() - suffix.size()) == suffix) {
+      body.remove_suffix(suffix.size());
+    }
+  };
+  strip_suffix("_total");
+  strip_suffix("_seconds");
+  std::string words(body);
+  for (char& c : words) {
+    if (c == '_') c = ' ';
+  }
+  switch (metric.kind) {
+    case InstrumentKind::kCounter:
+      return "Monotone count of " + words + " events.";
+    case InstrumentKind::kGauge:
+      return "Instantaneous " + words + " value.";
+    case InstrumentKind::kHistogram:
+      return metric.histogram.unit == Histogram::Unit::kSeconds
+                 ? "Latency distribution of " + words + " in seconds."
+                 : "Size distribution of " + words + ".";
+  }
+  return words;
+}
 
 std::string ToPrometheusText(const RegistrySnapshot& snapshot) {
   std::string out;
   for (const MetricSnapshot& metric : snapshot.metrics) {
     const char* name = metric.name.c_str();
+    const std::string help = EscapeExpositionText(MetricHelpText(metric));
+    AppendF(&out, "# HELP %s %s\n", name, help.c_str());
     switch (metric.kind) {
       case InstrumentKind::kCounter:
         AppendF(&out, "# TYPE %s counter\n%s %lld\n", name, name,
@@ -72,8 +153,9 @@ std::string ToJson(const RegistrySnapshot& snapshot) {
   std::string out = "{\n  \"metrics\": [";
   bool first = true;
   for (const MetricSnapshot& metric : snapshot.metrics) {
-    AppendF(&out, "%s\n    {\"name\": \"%s\", ", first ? "" : ",",
-            metric.name.c_str());
+    AppendF(&out, "%s\n    {\"name\": \"%s\", \"help\": \"%s\", ",
+            first ? "" : ",", metric.name.c_str(),
+            JsonEscape(MetricHelpText(metric)).c_str());
     first = false;
     switch (metric.kind) {
       case InstrumentKind::kCounter:
@@ -89,11 +171,23 @@ std::string ToJson(const RegistrySnapshot& snapshot) {
         AppendF(&out,
                 "\"type\": \"histogram\", \"unit\": \"%s\", "
                 "\"count\": %lld, \"sum\": %.9g, \"p50\": %.9g, "
-                "\"p99\": %.9g, \"p999\": %.9g, \"buckets\": [",
+                "\"p99\": %.9g, \"p999\": %.9g, ",
                 hist.unit == Histogram::Unit::kSeconds ? "seconds" : "units",
                 static_cast<long long>(hist.count), hist.ScaledSum(),
                 hist.Quantile(0.50), hist.Quantile(0.99),
                 hist.Quantile(0.999));
+        if (hist.has_exemplar()) {
+          char span_hex[17];
+          std::snprintf(span_hex, sizeof(span_hex), "%016llx",
+                        static_cast<unsigned long long>(
+                            hist.exemplar.span_id));
+          AppendF(&out,
+                  "\"exemplar\": {\"value\": %.9g, \"trace_id\": \"%s\", "
+                  "\"span_id\": \"%s\"}, ",
+                  ScaledExemplar(hist), hist.ExemplarTraceId().c_str(),
+                  span_hex);
+        }
+        out += "\"buckets\": [";
         const int highest = HighestBucket(hist);
         int64_t cumulative = 0;
         for (int i = 0; i <= highest; ++i) {

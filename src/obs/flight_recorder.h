@@ -1,0 +1,145 @@
+// Always-on crash flight recorder (DESIGN.md "Causal tracing & flight
+// recorder").
+//
+// Every completed TraceSpan leaves one fixed-size 64-byte binary record
+// in a per-thread lock-free ring — the engine's black box. The rings live
+// directly in a pre-sized memory-mapped file, so the last-N spans per
+// thread survive *any* process death, including SIGKILL where no handler
+// can run: the kernel's page cache keeps the mapped writes regardless of
+// how the process exits. This replaces "tracing is a debugging mode" for
+// the trailing window — recording costs one thread-local ring write, no
+// locks, and is covered by the CI-gated 2% BENCH_obs budget.
+//
+// On fatal signals (SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT) an installed
+// handler additionally stamps the crash signal into the mapped header and
+// appends a footer through an async-signal-safe path: a pre-opened fd and
+// pwrite() only — no malloc, no locks, no stdio. ENSEMFDET_CHECK failures
+// and WAL-recovery IOErrors reach the same dump through
+// DumpFlightRecorder(), which may also msync (those run in normal, not
+// signal, context).
+//
+// File layout (little-endian, offsets fixed by the header):
+//   [FlightFileHeader: 4096 B]  magic/version/geometry + crash marker
+//   [name table: max_names x 64 B]  interned span names, NUL-terminated
+//   [thread slots: max_threads x (64 B slot header + ring_records x 64 B)]
+//   [optional crash footer, appended by the signal/CHECK hook]
+// Threads claim a slot on their first record (one atomic increment) and
+// keep it for the process lifetime; `seq` in the slot header counts every
+// record the thread ever wrote, so record i lives at seq % ring_records
+// and the reader can tell retained from overwritten history.
+//
+// With ENSEMFDET_METRICS=OFF recording compiles out (there are no spans);
+// Install refuses so callers can warn, but the reader still works — a
+// metrics-off binary can inspect dumps produced elsewhere.
+#ifndef ENSEMFDET_OBS_FLIGHT_RECORDER_H_
+#define ENSEMFDET_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace_context.h"
+
+namespace ensemfdet {
+namespace obs {
+
+/// One completed span in the black box. Exactly 64 bytes; written in
+/// place into the mapped ring, read back verbatim by ReadFlightDump and
+/// tools/check_trace.py --flight.
+struct FlightRecord {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  int64_t start_ns = 0;     // TraceNowNs() at span open
+  int64_t duration_ns = 0;
+  uint32_t name_id = 0;     // index into the dump's name table
+  uint32_t flags = 0;       // reserved
+  uint64_t seq = 0;         // per-thread monotone record number
+};
+static_assert(sizeof(FlightRecord) == 64,
+              "FlightRecord is the on-disk ring format; keep it 64 bytes");
+
+struct FlightRecorderOptions {
+  std::string path;
+  uint32_t ring_records = 2048;  // retained spans per thread
+  uint32_t max_threads = 32;     // ring slots; extra threads drop records
+  uint32_t max_names = 256;      // name-table capacity
+};
+
+/// Creates (truncates) the black-box file, maps it, installs the fatal-
+/// signal handlers, and turns on recording. Reinstall is allowed (tests):
+/// the previous mapping is leaked deliberately so threads racing a
+/// reinstall never write through a dead pointer. Fails with
+/// FailedPrecondition when metrics are compiled out.
+Status InstallFlightRecorder(const FlightRecorderOptions& options);
+
+bool FlightRecorderInstalled();
+
+/// Marks `reason` in the black box and appends the crash footer via the
+/// pre-opened fd, then msyncs the mapping. Safe from normal (non-signal)
+/// context; the fatal-signal path uses an internal async-signal-safe
+/// variant. No-op when no recorder is installed.
+void DumpFlightRecorder(const char* reason);
+
+namespace internal {
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+extern std::atomic<bool> g_flight_active;
+inline bool FlightActive() {
+  return g_flight_active.load(std::memory_order_relaxed);
+}
+void RecordFlightSpanSlow(const char* name, int64_t start_ns,
+                          int64_t duration_ns, const TraceContext& ctx,
+                          uint64_t parent_span_id);
+#else
+inline bool FlightActive() { return false; }
+inline void RecordFlightSpanSlow(const char*, int64_t, int64_t,
+                                 const TraceContext&, uint64_t) {}
+#endif
+}  // namespace internal
+
+/// Hot-path hook (TraceSpan destructor): one relaxed load when no
+/// recorder is installed; otherwise a thread-local slot lookup and one
+/// 64-byte ring write.
+inline void RecordFlightSpan(const char* name, int64_t start_ns,
+                             int64_t duration_ns, const TraceContext& ctx,
+                             uint64_t parent_span_id) {
+  if (name == nullptr || !internal::FlightActive()) return;
+  internal::RecordFlightSpanSlow(name, start_ns, duration_ns, ctx,
+                                 parent_span_id);
+}
+
+/// Decoded black box, oldest-to-newest per thread.
+struct FlightDumpThread {
+  uint32_t tid = 0;              // matches the trace timeline's tid
+  uint64_t total_records = 0;    // ever written; > records.size() ⇒ wrapped
+  std::vector<FlightRecord> records;
+};
+
+struct FlightDump {
+  uint32_t ring_records = 0;
+  uint32_t max_threads = 0;
+  uint32_t max_names = 0;
+  int32_t crash_signal = 0;      // 0 = no crash marker (e.g. SIGKILL)
+  std::string crash_reason;
+  bool has_footer = false;
+  int32_t footer_signal = 0;
+  std::string footer_reason;
+  uint64_t dropped_records = 0;  // threads beyond max_threads
+  std::vector<std::string> names;  // name_id → name ("" when unseen)
+  std::vector<FlightDumpThread> threads;
+
+  const std::string& Name(uint32_t id) const;
+};
+
+/// Parses a black-box file (works in every build config, and on dumps
+/// from processes that died mid-write — records are fixed-size and
+/// self-describing, so the worst torn artifact is one garbled record).
+Result<FlightDump> ReadFlightDump(const std::string& path);
+
+}  // namespace obs
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_OBS_FLIGHT_RECORDER_H_

@@ -31,6 +31,15 @@ void SetMetricsRuntimeEnabled(bool) {}
 bool MetricsRuntimeEnabled() { return false; }
 #endif
 
+std::string HistogramSnapshot::ExemplarTraceId() const {
+  if (!has_exemplar()) return std::string();
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(exemplar.trace_hi),
+                static_cast<unsigned long long>(exemplar.trace_lo));
+  return std::string(buf);
+}
+
 double HistogramSnapshot::QuantileRaw(double q) const {
   if (count <= 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -79,11 +88,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 MetricsRegistry::Entry& MetricsRegistry::GetEntry(std::string_view name,
-                                                  InstrumentKind kind) {
+                                                  InstrumentKind kind,
+                                                  const char* help) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
-    it = entries_.emplace(std::string(name), Entry{kind, {}, {}, {}}).first;
+    it = entries_
+             .emplace(std::string(name), Entry{kind, {}, {}, {}, {}})
+             .first;
   } else if (it->second.kind != kind) {
     std::fprintf(stderr,
                  "MetricsRegistry: instrument '%.*s' registered twice with "
@@ -91,26 +103,29 @@ MetricsRegistry::Entry& MetricsRegistry::GetEntry(std::string_view name,
                  static_cast<int>(name.size()), name.data());
     std::abort();
   }
+  if (help != nullptr && it->second.help.empty()) it->second.help = help;
   return it->second;
 }
 
-Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  Entry& entry = GetEntry(name, InstrumentKind::kCounter);
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     const char* help) {
+  Entry& entry = GetEntry(name, InstrumentKind::kCounter, help);
   std::lock_guard<std::mutex> lock(mu_);
   if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
   return entry.counter.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  Entry& entry = GetEntry(name, InstrumentKind::kGauge);
+Gauge* MetricsRegistry::GetGauge(std::string_view name, const char* help) {
+  Entry& entry = GetEntry(name, InstrumentKind::kGauge, help);
   std::lock_guard<std::mutex> lock(mu_);
   if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
   return entry.gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
-                                         Histogram::Unit unit) {
-  Entry& entry = GetEntry(name, InstrumentKind::kHistogram);
+                                         Histogram::Unit unit,
+                                         const char* help) {
+  Entry& entry = GetEntry(name, InstrumentKind::kHistogram, help);
   std::lock_guard<std::mutex> lock(mu_);
   if (entry.histogram == nullptr) {
     entry.histogram = std::make_unique<Histogram>(unit);
@@ -125,6 +140,7 @@ RegistrySnapshot MetricsRegistry::Scrape() const {
   for (const auto& [name, entry] : entries_) {
     MetricSnapshot metric;
     metric.name = name;
+    metric.help = entry.help;
     metric.kind = entry.kind;
     switch (entry.kind) {
       case InstrumentKind::kCounter:
@@ -137,6 +153,8 @@ RegistrySnapshot MetricsRegistry::Scrape() const {
         const Histogram& hist = *entry.histogram;
         metric.histogram.unit = hist.unit();
         metric.histogram.raw_sum = hist.RawSum();
+        metric.histogram.exemplar_value = hist.ExemplarValue();
+        metric.histogram.exemplar = hist.ExemplarContext();
         int64_t count = 0;
         for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
           metric.histogram.buckets[i] = hist.BucketCount(i);

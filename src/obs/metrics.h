@@ -45,6 +45,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace_context.h"
+
 namespace ensemfdet {
 namespace obs {
 
@@ -196,6 +198,22 @@ class Histogram {
     if (value < 0) value = 0;
     buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    // Tail exemplar: remember the trace that produced the largest
+    // observation so far, so a p999 in a scrape links back to a span
+    // tree. One relaxed load on the hot path; the four stores below are
+    // individually atomic but unsynchronized as a group — a scrape that
+    // races a new maximum may pair the value with a neighbor exemplar's
+    // ids, which is acceptable for a debugging pointer (exemplars are
+    // best-effort by nature; exact once writers quiesce).
+    if (value > exemplar_value_.load(std::memory_order_relaxed)) {
+      const TraceContext ctx = CurrentTraceContext();
+      if (ctx.valid()) {
+        exemplar_trace_hi_.store(ctx.trace_hi, std::memory_order_relaxed);
+        exemplar_trace_lo_.store(ctx.trace_lo, std::memory_order_relaxed);
+        exemplar_span_.store(ctx.span_id, std::memory_order_relaxed);
+        exemplar_value_.store(value, std::memory_order_relaxed);
+      }
+    }
 #else
     (void)value;
 #endif
@@ -227,11 +245,34 @@ class Histogram {
 #endif
   }
 
+  /// Raw value of the tail exemplar (-1 when none recorded yet).
+  int64_t ExemplarValue() const {
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+    return exemplar_value_.load(std::memory_order_relaxed);
+#else
+    return -1;
+#endif
+  }
+  /// The exemplar's causal identity (span_id = the recording span).
+  TraceContext ExemplarContext() const {
+    TraceContext ctx;
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+    ctx.trace_hi = exemplar_trace_hi_.load(std::memory_order_relaxed);
+    ctx.trace_lo = exemplar_trace_lo_.load(std::memory_order_relaxed);
+    ctx.span_id = exemplar_span_.load(std::memory_order_relaxed);
+#endif
+    return ctx;
+  }
+
  private:
   Unit unit_;
 #if !defined(ENSEMFDET_METRICS_DISABLED)
   std::atomic<int64_t> sum_{0};
   std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> exemplar_value_{-1};
+  std::atomic<uint64_t> exemplar_trace_hi_{0};
+  std::atomic<uint64_t> exemplar_trace_lo_{0};
+  std::atomic<uint64_t> exemplar_span_{0};
 #endif
 };
 
@@ -245,6 +286,16 @@ struct HistogramSnapshot {
   int64_t count = 0;
   int64_t raw_sum = 0;
   std::array<int64_t, Histogram::kNumBuckets> buckets{};
+  /// Tail exemplar: the largest observation's raw value and causal ids
+  /// (-1 / zeros when nothing was recorded with a context installed).
+  int64_t exemplar_value = -1;
+  TraceContext exemplar;
+
+  bool has_exemplar() const { return exemplar_value >= 0 && exemplar.valid(); }
+  /// 32-hex-digit trace id of the exemplar ("" when absent) — the same
+  /// rendering the flushed timeline's args.trace_id uses, so the two
+  /// join directly.
+  std::string ExemplarTraceId() const;
 
   /// Estimated q-quantile (q in [0,1]) in raw units: walks the
   /// cumulative bucket counts to the bucket containing rank
@@ -263,6 +314,7 @@ enum class InstrumentKind { kCounter, kGauge, kHistogram };
 /// `histogram` for histograms.
 struct MetricSnapshot {
   std::string name;
+  std::string help;  // exporter-facing description ("" → derived)
   InstrumentKind kind = InstrumentKind::kCounter;
   int64_t value = 0;
   HistogramSnapshot histogram;
@@ -287,10 +339,14 @@ class MetricsRegistry {
   /// The process-wide registry (never destroyed).
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  /// `help` (optional) is the exporter's # HELP text; the first non-null
+  /// help registered for a name wins. Series registered without help get
+  /// a description derived from the naming convention on export.
+  Counter* GetCounter(std::string_view name, const char* help = nullptr);
+  Gauge* GetGauge(std::string_view name, const char* help = nullptr);
   Histogram* GetHistogram(std::string_view name,
-                          Histogram::Unit unit = Histogram::Unit::kSeconds);
+                          Histogram::Unit unit = Histogram::Unit::kSeconds,
+                          const char* help = nullptr);
 
   /// Copies every instrument's current value; sorted by name.
   RegistrySnapshot Scrape() const;
@@ -298,11 +354,13 @@ class MetricsRegistry {
  private:
   struct Entry {
     InstrumentKind kind;
+    std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  Entry& GetEntry(std::string_view name, InstrumentKind kind);
+  Entry& GetEntry(std::string_view name, InstrumentKind kind,
+                  const char* help);
 
   mutable std::mutex mu_;
   std::map<std::string, Entry, std::less<>> entries_;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -14,10 +15,15 @@ namespace obs {
 namespace {
 
 struct TraceEvent {
-  const char* name;  // string literal; not owned
+  uint32_t name_id;
+  char ph;  // 'X' complete, 's'/'f' flow endpoints
+  int32_t tid;
   int64_t start_ns;
   int64_t duration_ns;
-  int32_t tid;
+  uint64_t trace_hi;
+  uint64_t trace_lo;
+  uint64_t span_id;  // flow events: the flow id
+  uint64_t parent_span_id;
 };
 
 struct TraceState {
@@ -50,6 +56,34 @@ std::chrono::steady_clock::time_point TraceEpoch() {
   return epoch;
 }
 
+// Interned span names: id → leaked C string, published with release so
+// lock-free readers (the flight recorder's name mirror, FlushTraceTo)
+// never see a half-written entry. Id 0 is the "(unknown)" sentinel; the
+// table is bounded — span names are code-shaped (a few dozen in
+// practice), so hitting the cap means a caller is interning unbounded
+// data, and collapsing to "(unknown)" beats unbounded growth.
+constexpr uint32_t kMaxSpanNames = 1024;
+std::atomic<const char*> g_name_table[kMaxSpanNames];
+std::mutex g_intern_mu;
+std::map<std::string, uint32_t, std::less<>>& InternIndex() {
+  static auto* index = new std::map<std::string, uint32_t, std::less<>>();
+  return *index;
+}
+std::atomic<uint32_t> g_name_count{1};
+
+void AppendEvent(const TraceEvent& event) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.push_back(event);
+}
+
+void AppendHex(std::string* out, uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  out->append(buf);
+}
+
 }  // namespace
 
 bool TraceEnabled() {
@@ -66,19 +100,106 @@ int64_t TraceNowNs() {
       .count();
 }
 
-void AppendTraceEvent(const char* name, int64_t start_ns,
+int32_t CurrentThreadTraceId() { return ThreadTraceId(); }
+
+uint32_t InternSpanName(std::string_view name) {
+  // Fast path: span names are almost always string literals, so a tiny
+  // thread-local cache keyed by the *pointer* turns the steady state
+  // into two loads. Dynamic names miss it and take the mutex below.
+  struct CacheEntry {
+    const char* data;
+    size_t size;
+    uint32_t id;
+  };
+  thread_local CacheEntry cache[8] = {};
+  const size_t slot =
+      (reinterpret_cast<uintptr_t>(name.data()) >> 4) & (8 - 1);
+  if (cache[slot].data == name.data() && cache[slot].size == name.size()) {
+    return cache[slot].id;
+  }
+
+  uint32_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_intern_mu);
+    auto& index = InternIndex();
+    auto it = index.find(name);
+    if (it != index.end()) {
+      id = it->second;
+    } else {
+      const uint32_t next = g_name_count.load(std::memory_order_relaxed);
+      if (next < kMaxSpanNames) {
+        char* copy = static_cast<char*>(std::malloc(name.size() + 1));
+        if (copy != nullptr) {
+          std::memcpy(copy, name.data(), name.size());
+          copy[name.size()] = '\0';
+          g_name_table[next].store(copy, std::memory_order_release);
+          g_name_count.store(next + 1, std::memory_order_release);
+          index.emplace(std::string(name), next);
+          id = next;
+        }
+      }
+    }
+  }
+  cache[slot] = CacheEntry{name.data(), name.size(), id};
+  return id;
+}
+
+const char* InternedSpanName(uint32_t id) {
+  if (id == 0 || id >= kMaxSpanNames) return "(unknown)";
+  const char* name = g_name_table[id].load(std::memory_order_acquire);
+  return name != nullptr ? name : "(unknown)";
+}
+
+void AppendTraceEvent(std::string_view name, int64_t start_ns,
                       int64_t duration_ns) {
   if (!TraceEnabled()) return;
-  TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
-  state.events.push_back(
-      TraceEvent{name, start_ns, duration_ns, ThreadTraceId()});
+  AppendEvent(TraceEvent{InternSpanName(name), 'X', ThreadTraceId(),
+                         start_ns, duration_ns, 0, 0, 0, 0});
+}
+
+void AppendSpanEvent(uint32_t name_id, int64_t start_ns, int64_t duration_ns,
+                     const TraceContext& ctx, uint64_t parent_span_id) {
+  if (!TraceEnabled()) return;
+  AppendEvent(TraceEvent{name_id, 'X', ThreadTraceId(), start_ns,
+                         duration_ns, ctx.trace_hi, ctx.trace_lo,
+                         ctx.span_id, parent_span_id});
+}
+
+void AppendFlowEvent(std::string_view name, char ph, uint64_t flow_id) {
+  if (!TraceEnabled()) return;
+  AppendEvent(TraceEvent{InternSpanName(name), ph, ThreadTraceId(),
+                         TraceNowNs(), 0, 0, 0, flow_id, 0});
 }
 
 size_t TraceEventCount() {
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
   return state.events.size();
+}
+
+std::vector<CollectedTraceEvent> DrainTraceEvents() {
+  std::vector<TraceEvent> events;
+  {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    events.swap(state.events);
+  }
+  std::vector<CollectedTraceEvent> out;
+  out.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    CollectedTraceEvent c;
+    c.name = InternedSpanName(e.name_id);
+    c.ph = e.ph;
+    c.tid = e.tid;
+    c.start_ns = e.start_ns;
+    c.duration_ns = e.duration_ns;
+    c.trace_hi = e.trace_hi;
+    c.trace_lo = e.trace_lo;
+    c.span_id = e.span_id;
+    c.parent_span_id = e.parent_span_id;
+    out.push_back(std::move(c));
+  }
+  return out;
 }
 
 bool FlushTraceTo(const std::string& path) {
@@ -90,15 +211,37 @@ bool FlushTraceTo(const std::string& path) {
   }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  // Chrome trace_event JSON array format: ts/dur are microseconds.
+  // Chrome trace_event JSON array format, one event per line (ts/dur are
+  // microseconds). Complete events carry the causal ids in args; flow
+  // events ("s" opens at the enqueue site, "f" lands where the task
+  // runs) share an id so viewers draw the cross-thread arrow.
   std::fputs("[", f);
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
-    std::fprintf(f,
-                 "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
-                 "\"ts\":%.3f,\"dur\":%.3f}",
-                 i == 0 ? "" : ",", e.name, e.tid, e.start_ns / 1e3,
-                 e.duration_ns / 1e3);
+    const char* name = InternedSpanName(e.name_id);
+    if (e.ph == 'X') {
+      std::string ids = "{\"trace_id\":\"";
+      AppendHex(&ids, e.trace_hi);
+      AppendHex(&ids, e.trace_lo);
+      ids += "\",\"span_id\":\"";
+      AppendHex(&ids, e.span_id);
+      ids += "\",\"parent_span_id\":\"";
+      AppendHex(&ids, e.parent_span_id);
+      ids += "\"}";
+      std::fprintf(f,
+                   "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                   "\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}",
+                   i == 0 ? "" : ",", name, e.tid, e.start_ns / 1e3,
+                   e.duration_ns / 1e3, ids.c_str());
+    } else {
+      std::string id;
+      AppendHex(&id, e.span_id);
+      std::fprintf(f,
+                   "%s\n{\"name\":\"%s\",\"cat\":\"pool\",\"ph\":\"%c\","
+                   "\"id\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f%s}",
+                   i == 0 ? "" : ",", name, e.ph, id.c_str(), e.tid,
+                   e.start_ns / 1e3, e.ph == 'f' ? ",\"bp\":\"e\"" : "");
+    }
   }
   std::fputs("\n]\n", f);
   const bool ok = std::fclose(f) == 0;

@@ -1,23 +1,35 @@
-// Scoped timing: TraceSpan measures the enclosing scope's wall time,
-// records it into a Histogram (Unit::kSeconds, nanosecond observations),
-// and — when tracing is on — appends a Chrome trace_event to the global
-// in-memory timeline.
+// Scoped timing + causal span emission. TraceSpan measures the enclosing
+// scope's wall time, records it into a Histogram (Unit::kSeconds,
+// nanosecond observations), and stamps the span with causal identity
+// from trace_context.h: a span opened while a context is installed
+// parents to that context's innermost span; opened with no context it
+// starts a fresh trace and becomes a root.
 //
-// Tracing is opt-in via the environment: ENSEMFDET_TRACE=1 enables event
-// collection; FlushTraceTo() writes the collected events in Chrome's
-// trace_event JSON format (load in chrome://tracing or Perfetto). Events
-// are buffered under a mutex — tracing is a debugging mode, not a
-// production path, so simplicity wins over lock-freedom there. With
-// tracing off (the default) a span costs two steady_clock reads and one
-// histogram record; with metrics compiled out it costs nothing.
+// Three sinks, cheapest first:
+//   * Histogram — always (runtime-enabled); tail recordings carry an
+//     exemplar trace id (metrics.h) linking a p999 back to its span tree.
+//   * Flight recorder — when installed (flight_recorder.h): one 64-byte
+//     ring write per span, the always-on black box.
+//   * Chrome timeline — when ENSEMFDET_TRACE=1 (or SetTraceEnabled):
+//     events buffered under a mutex, written by FlushTraceTo() as Chrome
+//     trace_event JSON (chrome://tracing / Perfetto). Complete events
+//     ("ph":"X") carry trace/span/parent ids in args; ThreadPool emits
+//     flow events ("ph":"s"/"f") tying an enqueue to its execution.
+//
+// Span names are interned into a process-lifetime table — dynamic
+// (stack- or heap-built) names are safe, the buffered events and flight
+// records hold the interned id, never the caller's pointer.
 #ifndef ENSEMFDET_OBS_TRACE_H_
 #define ENSEMFDET_OBS_TRACE_H_
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
-#include "common/timer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace ensemfdet {
 namespace obs {
@@ -31,35 +43,103 @@ void SetTraceEnabled(bool enabled);
 /// Nanoseconds since the process's trace epoch (first use).
 int64_t TraceNowNs();
 
-/// Appends one complete ("ph":"X") event. `name` must outlive the flush
-/// (string literals only). Thread-safe; no-op when tracing is off.
-void AppendTraceEvent(const char* name, int64_t start_ns, int64_t duration_ns);
+/// The calling thread's stable id in the trace timeline (dense,
+/// first-use order). The flight recorder labels ring slots with it so a
+/// dump's threads line up with the flushed timeline's "tid" fields.
+int32_t CurrentThreadTraceId();
+
+/// Interns `name`, returning a stable id (> 0) valid for the process
+/// lifetime; returns 0 (rendered "(unknown)") once the table is full.
+/// Safe for dynamic strings — the table owns a copy.
+uint32_t InternSpanName(std::string_view name);
+/// The interned string for `id`; "(unknown)" for 0 or out-of-range ids.
+const char* InternedSpanName(uint32_t id);
+
+/// Appends one complete ("ph":"X") event with no causal identity. `name`
+/// is interned — dynamic names are safe (they used to have to outlive
+/// the flush). Thread-safe; no-op when tracing is off.
+void AppendTraceEvent(std::string_view name, int64_t start_ns,
+                      int64_t duration_ns);
+
+/// Appends one complete event stamped with trace/span/parent ids
+/// (TraceSpan's emission path). No-op when tracing is off.
+void AppendSpanEvent(uint32_t name_id, int64_t start_ns, int64_t duration_ns,
+                     const TraceContext& ctx, uint64_t parent_span_id);
+
+/// Appends a Chrome flow event: `ph` is 's' (flow opens at the enqueue
+/// site) or 'f' (flow lands where the task runs); the shared `flow_id`
+/// draws the arrow. No-op when tracing is off.
+void AppendFlowEvent(std::string_view name, char ph, uint64_t flow_id);
 
 /// Number of buffered events (test hook).
 size_t TraceEventCount();
+
+/// One buffered event, decoded (names resolved). ph 'X' = complete span;
+/// 's'/'f' = flow endpoints (span_id holds the flow id, duration 0).
+struct CollectedTraceEvent {
+  std::string name;
+  char ph = 'X';
+  int32_t tid = 0;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+};
+
+/// Removes and returns every buffered event (trace-report and tests
+/// inspect span trees programmatically through this).
+std::vector<CollectedTraceEvent> DrainTraceEvents();
 
 /// Writes the buffered timeline as Chrome trace_event JSON and clears
 /// the buffer. Returns false on I/O failure.
 bool FlushTraceTo(const std::string& path);
 
 /// RAII scope timer. On destruction records elapsed nanoseconds into
-/// `histogram` (if non-null) and appends a trace event (if `name` is
-/// non-null and tracing is on).
+/// `histogram` (if non-null), appends a trace event and a flight record
+/// (if `name` is non-null and the respective sink is on).
+///
+/// Link::kParent (default): the span installs itself as the thread's
+/// current context, so spans opened inside it become its children.
+/// Link::kDetached: the span records its parent but leaves the current
+/// context alone — for infrastructure wrappers (ThreadPool's pool_task)
+/// whose presence must not change the *detection* tree's shape across
+/// pool widths.
 class TraceSpan {
  public:
-  explicit TraceSpan(Histogram* histogram, const char* name = nullptr) {
+  enum class Link { kParent, kDetached };
+
+  explicit TraceSpan(Histogram* histogram, const char* name = nullptr,
+                     Link link = Link::kParent) {
 #if !defined(ENSEMFDET_METRICS_DISABLED)
     trace_ = name != nullptr && TraceEnabled();
     if (internal::RuntimeEnabled() || trace_) {
       histogram_ = histogram;
       name_ = name;
-      if (trace_) start_ns_ = TraceNowNs();
-      timer_.Restart();
+      start_ns_ = TraceNowNs();
+      const TraceContext parent = CurrentTraceContext();
+      parent_span_id_ = parent.span_id;
+      if (parent.valid()) {
+        ctx_.trace_hi = parent.trace_hi;
+        ctx_.trace_lo = parent.trace_lo;
+      } else {
+        const TraceContext fresh = NewRootContext();
+        ctx_.trace_hi = fresh.trace_hi;
+        ctx_.trace_lo = fresh.trace_lo;
+      }
+      ctx_.span_id = NewSpanId();
+      if (link == Link::kParent) {
+        prev_ = parent;
+        SetCurrentTraceContext(ctx_);
+        pushed_ = true;
+      }
       active_ = true;
     }
 #else
     (void)histogram;
     (void)name;
+    (void)link;
 #endif
   }
 
@@ -69,22 +149,42 @@ class TraceSpan {
   ~TraceSpan() {
 #if !defined(ENSEMFDET_METRICS_DISABLED)
     if (!active_) return;
-    const int64_t elapsed_ns = timer_.ElapsedNanos();
+    const int64_t elapsed_ns = TraceNowNs() - start_ns_;
+    // Record while this span is still the current context: the
+    // histogram's tail exemplar then points at this span, not its
+    // parent.
     if (histogram_ != nullptr && internal::RuntimeEnabled()) {
       histogram_->Record(elapsed_ns);
     }
-    if (trace_) AppendTraceEvent(name_, start_ns_, elapsed_ns);
+    RecordFlightSpan(name_, start_ns_, elapsed_ns, ctx_, parent_span_id_);
+    if (trace_) {
+      AppendSpanEvent(InternSpanName(name_), start_ns_, elapsed_ns, ctx_,
+                      parent_span_id_);
+    }
+    if (pushed_) SetCurrentTraceContext(prev_);
+#endif
+  }
+
+  /// This span's identity (test hook; {0,...} when inactive).
+  TraceContext context() const {
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+    return ctx_;
+#else
+    return {};
 #endif
   }
 
  private:
 #if !defined(ENSEMFDET_METRICS_DISABLED)
-  WallTimer timer_;
   Histogram* histogram_ = nullptr;
   const char* name_ = nullptr;
   int64_t start_ns_ = 0;
+  TraceContext ctx_;
+  TraceContext prev_;
+  uint64_t parent_span_id_ = 0;
   bool trace_ = false;
   bool active_ = false;
+  bool pushed_ = false;
 #endif
 };
 

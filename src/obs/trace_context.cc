@@ -1,0 +1,76 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+
+namespace ensemfdet {
+namespace obs {
+
+namespace internal {
+thread_local TraceContext g_current_context;
+}  // namespace internal
+
+namespace {
+
+// splitmix64: cheap avalanche so sequential counters don't produce
+// near-identical trace ids.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t ProcessSeed() {
+  static const uint64_t seed = [] {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    static int anchor = 0;  // ASLR entropy: its address varies per process
+    return Mix64(static_cast<uint64_t>(now.count()) ^
+                 reinterpret_cast<uint64_t>(&anchor));
+  }();
+  return seed;
+}
+
+// Span ids are handed out in thread-local blocks of 2^16 carved off one
+// global atomic: the global counter is touched once per 65k spans per
+// thread, so the hot path is a thread-local increment. Block 1 is the
+// first handed out, so id 0 (the "no parent" sentinel) is never issued.
+constexpr uint64_t kSpanIdBlock = uint64_t{1} << 16;
+std::atomic<uint64_t> g_next_span_block{1};
+
+struct SpanIdAllocator {
+  uint64_t next = 0;
+  uint64_t end = 0;
+};
+thread_local SpanIdAllocator t_span_ids;
+
+std::atomic<uint64_t> g_next_trace{1};
+
+}  // namespace
+
+uint64_t NewSpanId() {
+  SpanIdAllocator& a = t_span_ids;
+  if (a.next == a.end) {
+    const uint64_t block =
+        g_next_span_block.fetch_add(1, std::memory_order_relaxed);
+    a.next = block * kSpanIdBlock;
+    a.end = a.next + kSpanIdBlock;
+  }
+  return a.next++;
+}
+
+TraceContext NewRootContext() {
+  const uint64_t n = g_next_trace.fetch_add(1, std::memory_order_relaxed);
+  TraceContext ctx;
+  ctx.trace_hi = ProcessSeed();
+  ctx.trace_lo = Mix64(n ^ ProcessSeed());
+  ctx.span_id = 0;
+  return ctx;
+}
+
+}  // namespace obs
+}  // namespace ensemfdet
+
+#endif  // !ENSEMFDET_METRICS_DISABLED

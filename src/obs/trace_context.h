@@ -1,0 +1,105 @@
+// Causal trace identity (DESIGN.md "Causal tracing & flight recorder").
+//
+// A TraceContext names "the work this thread is doing right now": a
+// 128-bit trace id (one detection request / streamed report) plus the
+// 64-bit id of the innermost open span. The context lives in a
+// thread-local slot; TraceSpan pushes itself there on construction and
+// restores the parent on destruction, so child spans parent correctly
+// without any plumbing through call signatures. Crossing a thread is
+// explicit: ThreadPool captures the submitter's context into the queued
+// task and installs it (ScopedTraceContext) around execution, which is
+// what makes one detection's span tree hang together across the fan-out.
+//
+// Ids are cheap and process-unique, not globally unique: span ids come
+// from thread-local blocks carved off one global atomic (no contention,
+// never 0); trace ids mix a per-process seed with a counter. Zero trace
+// id means "no context" — spans opened there start a fresh trace (they
+// become roots).
+//
+// With ENSEMFDET_METRICS=OFF everything here compiles to no-ops; the
+// types stay defined so call sites don't need guards.
+#ifndef ENSEMFDET_OBS_TRACE_CONTEXT_H_
+#define ENSEMFDET_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace ensemfdet {
+namespace obs {
+
+/// Identity of the current causal scope. Copyable, 24 bytes.
+struct TraceContext {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;  // innermost open span; 0 = root position
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+  friend bool operator==(const TraceContext& a, const TraceContext& b) {
+    return a.trace_hi == b.trace_hi && a.trace_lo == b.trace_lo &&
+           a.span_id == b.span_id;
+  }
+};
+
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+
+namespace internal {
+extern thread_local TraceContext g_current_context;
+}  // namespace internal
+
+/// The calling thread's current context ({0,0,0} when none).
+inline TraceContext CurrentTraceContext() {
+  return internal::g_current_context;
+}
+inline void SetCurrentTraceContext(const TraceContext& ctx) {
+  internal::g_current_context = ctx;
+}
+
+/// Process-unique span id, never 0. Wait-free after the first call per
+/// thread-block (thread-local allocation from a global atomic).
+uint64_t NewSpanId();
+
+/// Fresh 128-bit trace id with span_id 0 — install it (ScopedTraceContext)
+/// to make the next span a root. One call per service job / streamed
+/// report.
+TraceContext NewRootContext();
+
+#else  // ENSEMFDET_METRICS_DISABLED
+
+inline TraceContext CurrentTraceContext() { return {}; }
+inline void SetCurrentTraceContext(const TraceContext&) {}
+inline uint64_t NewSpanId() { return 0; }
+inline TraceContext NewRootContext() { return {}; }
+
+#endif
+
+/// RAII: installs `ctx` as the thread's current context, restores the
+/// previous one on scope exit. Used by ThreadPool around task execution
+/// (with the submitter's captured context) and by the service/stream
+/// layers to open a fresh root per unit of work.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx) {
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+    prev_ = CurrentTraceContext();
+    SetCurrentTraceContext(ctx);
+#else
+    (void)ctx;
+#endif
+  }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+  ~ScopedTraceContext() {
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+    SetCurrentTraceContext(prev_);
+#endif
+  }
+
+ private:
+#if !defined(ENSEMFDET_METRICS_DISABLED)
+  TraceContext prev_;
+#endif
+};
+
+}  // namespace obs
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_OBS_TRACE_CONTEXT_H_

@@ -225,6 +225,11 @@ void DetectionService::RunJob(const std::shared_ptr<Job>& job) {
   // failed job, not a lost task: the destructor waits on tasks_in_flight_.
   Result<JobResult> outcome = [&]() -> Result<JobResult> {
     try {
+      // Fresh trace per job: service_job becomes the root every span of
+      // this detection (including ensemble member fan-out on other
+      // threads) parents back to — "why was this job slow?" is one
+      // span tree in the flushed timeline.
+      obs::ScopedTraceContext trace_root(obs::NewRootContext());
       obs::TraceSpan run_span(metrics.job_run_seconds, "service_job");
       return Execute(*job);
     } catch (const std::exception& e) {
@@ -592,6 +597,12 @@ Status DetectionService::OpenSessionWal(
           }
           return Status::OK();
         });
+    if (!replayed.ok() && replayed.status().code() == StatusCode::kIOError) {
+      // A WAL that fails to replay is exactly the moment the black box
+      // exists for: preserve the last-N spans (what recovery was doing)
+      // before the error propagates.
+      obs::DumpFlightRecorder(replayed.status().message().c_str());
+    }
     ENSEMFDET_RETURN_NOT_OK(replayed.status());
     session->events += recovered_events;
     session->wal_recovered = replayed->records_replayed;
@@ -603,6 +614,7 @@ Status DetectionService::OpenSessionWal(
         "; open with wal.recover to resume it");
   }
   if (writer.next_seq() <= session->wal_applied_seq) {
+    obs::DumpFlightRecorder("wal recovery: log ends before checkpoint seq");
     return Status::IOError(
         "WAL directory " + w.dir + " ends at seq " +
         std::to_string(writer.last_seq()) +

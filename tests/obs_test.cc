@@ -428,6 +428,111 @@ TEST_F(ObsTest, JsonExport) {
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
+TEST_F(ObsTest, PrometheusHelpPrecedesEveryType) {
+  MetricsRegistry reg;
+  reg.GetCounter("ensemfdet_test_ops_total",
+                 "Registered help text wins over derivation.");
+  reg.GetGauge("ensemfdet_test_depth");
+  reg.GetHistogram("ensemfdet_test_lat_seconds");
+  const std::string text = ToPrometheusText(reg.Scrape());
+  // Registered help is emitted verbatim.
+  EXPECT_NE(text.find("# HELP ensemfdet_test_ops_total Registered help "
+                      "text wins over derivation."),
+            std::string::npos);
+  // Every series gets a HELP line, and it precedes its TYPE line —
+  // including series that never registered one (derived help).
+  for (const char* name :
+       {"ensemfdet_test_ops_total", "ensemfdet_test_depth",
+        "ensemfdet_test_lat_seconds"}) {
+    const size_t help = text.find(std::string("# HELP ") + name + " ");
+    const size_t type = text.find(std::string("# TYPE ") + name + " ");
+    ASSERT_NE(help, std::string::npos) << name;
+    ASSERT_NE(type, std::string::npos) << name;
+    EXPECT_LT(help, type) << name;
+    // Derived or registered, the help text itself is never empty.
+    const size_t eol = text.find('\n', help);
+    EXPECT_GT(eol - help, std::string("# HELP ").size() +
+                              std::string(name).size() + 1)
+        << name;
+  }
+}
+
+TEST(ExpositionEscape, BackslashAndNewlineRoundTrip) {
+  EXPECT_EQ(EscapeExpositionText("plain text"), "plain text");
+  EXPECT_EQ(EscapeExpositionText("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeExpositionText("line one\nline two"),
+            "line one\\nline two");
+  EXPECT_EQ(EscapeExpositionText("\\\n"), "\\\\\\n");
+}
+
+TEST_F(ObsTest, PrometheusHelpWithNewlineStaysOneLine) {
+  MetricsRegistry reg;
+  reg.GetCounter("ensemfdet_test_multiline_total",
+                 "first line\nsecond line");
+  const std::string text = ToPrometheusText(reg.Scrape());
+  // The raw newline must not split the HELP comment (that would turn the
+  // rest into an invalid exposition line); the escaped form appears.
+  EXPECT_NE(text.find("first line\\nsecond line"), std::string::npos);
+  EXPECT_EQ(text.find("first line\nsecond"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonExportCarriesHelpForEveryMetric) {
+  MetricsRegistry reg;
+  reg.GetCounter("ensemfdet_test_ops_total", "Counted \"ops\".");
+  reg.GetHistogram("ensemfdet_test_lat_seconds");
+  const std::string json = ToJson(reg.Scrape());
+  // Registered help round-trips JSON-escaped; derived help is present.
+  EXPECT_NE(json.find("\"help\": \"Counted \\\"ops\\\".\""),
+            std::string::npos);
+  size_t metrics = 0, helps = 0, pos = 0;
+  while ((pos = json.find("{\"name\":", pos)) != std::string::npos) {
+    ++metrics;
+    pos += 1;
+  }
+  pos = 0;
+  while ((pos = json.find("\"help\":", pos)) != std::string::npos) {
+    ++helps;
+    pos += 1;
+  }
+  EXPECT_EQ(metrics, 2u);
+  EXPECT_EQ(helps, metrics);
+}
+
+TEST_F(ObsTest, HistogramTailExemplarLinksToLiveTrace) {
+  if (!kMetricsCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("ensemfdet_test_exemplar_seconds");
+  // No context installed -> no exemplar captured.
+  SetCurrentTraceContext(TraceContext{});
+  h->Record(10'000'000);
+  RegistrySnapshot snap = reg.Scrape();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_FALSE(snap.metrics[0].histogram.has_exemplar());
+
+  // Under a live span context, the new maximum becomes the exemplar and
+  // its trace id renders identically to the timeline's args form.
+  const TraceContext ctx = NewRootContext();
+  {
+    ScopedTraceContext scope(ctx);
+    h->Record(20'000'000);
+    h->Record(5'000'000);  // smaller: must not displace the max exemplar
+  }
+  snap = reg.Scrape();
+  const HistogramSnapshot& hist = snap.metrics[0].histogram;
+  ASSERT_TRUE(hist.has_exemplar());
+  EXPECT_EQ(hist.exemplar_value, 20'000'000);
+  EXPECT_EQ(hist.exemplar.span_id, ctx.span_id);
+  char want[33];
+  std::snprintf(want, sizeof(want), "%016llx%016llx",
+                static_cast<unsigned long long>(ctx.trace_hi),
+                static_cast<unsigned long long>(ctx.trace_lo));
+  EXPECT_EQ(hist.ExemplarTraceId(), want);
+
+  const std::string json = ToJson(snap);
+  EXPECT_NE(json.find("\"exemplar\": {\"value\":"), std::string::npos);
+  EXPECT_NE(json.find(want), std::string::npos);
+}
+
 TEST_F(ObsTest, CompileFlagIsCoherent) {
   // The OFF build must report itself as such so callers (and this very
   // suite) can gate expectations.

@@ -15,6 +15,12 @@ Single-scrape checks:
     ensemfdet_<layer>_..., counters end in _total, histograms in
     _seconds, gauges in neither suffix, and <layer> is one of the known
     engine layers,
+  * every series carries non-empty help text: `# HELP` preceding
+    `# TYPE` in the Prometheus exposition, a "help" key in JSON — a
+    scrape is only self-describing if a human reading it cold can tell
+    what each series measures,
+  * Prometheus HELP text is exposition-escaped (no raw newline can
+    survive serialization, so we check the escape sequences re-decode),
   * histogram internal consistency: cumulative buckets non-decreasing
     with the final (+Inf) bucket equal to the observation count.
 
@@ -106,7 +112,7 @@ def parse_json(path, text):
     check("metrics" in doc, f"{path}: no 'metrics' array")
     out = {}
     for m in doc["metrics"]:
-        entry = {"type": m["type"]}
+        entry = {"type": m["type"], "help": m.get("help")}
         if m["type"] == "histogram":
             entry["count"] = m["count"]
             entry["sum"] = m["sum"]
@@ -117,19 +123,50 @@ def parse_json(path, text):
     return out
 
 
+def unescape_help(path, name, raw):
+    """Decodes Prometheus exposition escaping (\\ and \\n); a lone
+    backslash before anything else means the exporter's escaping is
+    broken, so fail rather than guess."""
+    decoded = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\":
+            check(i + 1 < len(raw) and raw[i + 1] in ("\\", "n"),
+                  f"{path}: HELP for '{name}' has invalid escape at "
+                  f"column {i}: {raw!r}")
+            decoded.append("\\" if raw[i + 1] == "\\" else "\n")
+            i += 2
+        else:
+            decoded.append(ch)
+            i += 1
+    return "".join(decoded)
+
+
 def parse_prometheus(path, text):
     out = {}
+    pending_help = {}  # name -> help text seen before its TYPE line
     for line in text.splitlines():
-        line = line.strip()
-        if not line:
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            check(name not in pending_help and name not in out,
+                  f"{path}: duplicate HELP for {name}")
+            pending_help[name] = unescape_help(path, name, help_text)
             continue
         if line.startswith("# TYPE "):
             _, _, name, kind = line.split()
-            out[name] = {"type": kind}
+            check(name in pending_help,
+                  f"{path}: TYPE for '{name}' without a preceding HELP")
+            out[name] = {"type": kind, "help": pending_help.pop(name)}
             if kind == "histogram":
                 out[name]["buckets"] = []
             continue
         check(not line.startswith("#"), f"{path}: unexpected comment {line}")
+        line = line.strip()
         series, value = line.rsplit(" ", 1)
         value = float(value)
         if series.endswith("}") and "_bucket{" in series:
@@ -142,6 +179,8 @@ def parse_prometheus(path, text):
         else:
             check(series in out, f"{path}: sample for undeclared {series}")
             out[series]["value"] = value
+    check(not pending_help,
+          f"{path}: HELP without TYPE for {sorted(pending_help)}")
     return out
 
 
@@ -168,6 +207,8 @@ def validate_scrape(path, metrics):
         layer = name.split("_")[1]
         check(layer in KNOWN_LAYERS,
               f"{path}: '{name}' names unknown layer '{layer}'")
+        check(isinstance(m.get("help"), str) and m["help"].strip(),
+              f"{path}: '{name}' has no help text")
         kind = m["type"]
         if kind == "counter":
             check(name.endswith("_total"),

@@ -13,6 +13,10 @@
 //                --checkpoint / --resume persist and resume the window
 //   bench-smoke  end-to-end self-check of the service layer (used by CI)
 //   bench-report emit the BENCH_*.json perf baselines
+//   trace-report offline latency attribution over a --trace-out timeline:
+//                per-stage self-time rollups and the critical path per
+//                job, exemplar join against a --metrics-out JSON scrape,
+//                and flight-recorder dump summaries
 //
 // Everything goes through GraphRegistry + DetectionService — this tool is
 // both the operational CLI and a living integration test of the service
@@ -46,6 +50,7 @@
 
 #include "core/ensemfdet.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/snapshot_reader.h"
@@ -150,8 +155,10 @@ int Usage() {
       "               [--s=0.1] [--threads=0] [--out-dir=.]\n"
       "  metrics-dump [--scale=0.004] [--seed=7] [--threads=0]\n"
       "               [--out-a=FILE] [--out-b=FILE] [--workdir=DIR]\n"
+      "  trace-report [--trace=FILE] [--metrics=FILE.json] [--flight=FILE]\n"
+      "               [--top=12]\n"
       "\n"
-      "observability: detect / evaluate / stream-replay / metrics-dump take\n"
+      "observability: every command takes\n"
       "  --metrics-out=FILE   scrape the global metrics registry on exit\n"
       "                       (*.json -> JSON, anything else -> Prometheus\n"
       "                       text); metrics-dump runs a mini end-to-end\n"
@@ -159,8 +166,24 @@ int Usage() {
       "                       the batch phase, --out-b after streaming) for\n"
       "                       counter-monotonicity checks\n"
       "  --trace-out=FILE     with ENSEMFDET_TRACE=1, flush the Chrome\n"
-      "                       trace_event timeline (chrome://tracing)\n"
+      "                       trace_event timeline (chrome://tracing);\n"
+      "                       complete events carry trace_id / span_id /\n"
+      "                       parent_span_id args, so the file is also a\n"
+      "                       causal span forest (one tree per detection)\n"
       "                       [default ensemfdet_trace.json]\n"
+      "  --flight-recorder=FILE\n"
+      "                       map an always-on crash black box at FILE:\n"
+      "                       the last ~2k spans per thread survive any\n"
+      "                       process death (even SIGKILL); inspect with\n"
+      "                       trace-report --flight=FILE (warns and runs\n"
+      "                       without it when metrics are compiled out;\n"
+      "                       not on bench-*, whose obs bench installs\n"
+      "                       its own recorder)\n"
+      "\n"
+      "trace-report reads those artifacts back: per-stage self-time\n"
+      "  rollups and the critical path per traced job (--trace), histogram\n"
+      "  tail exemplars joined to their span trees (--metrics), and\n"
+      "  black-box dump summaries with crash markers (--flight)\n"
       "\n"
       "durable ingest (stream-replay):\n"
       "  --wal=DIR            append every batch to a CRC-framed WAL in\n"
@@ -297,6 +320,29 @@ int FinishObservability(const std::string& metrics_out,
   return 0;
 }
 
+// --flight-recorder=FILE: map the always-on crash black box for this
+// process. Consumed by every workload command; warns and continues when
+// metrics are compiled out so the flag is safe in metrics-off CI legs.
+int MaybeInstallFlightRecorder(Flags& flags) {
+  const std::string path = flags.GetString("flight-recorder", "");
+  if (path.empty()) return 0;
+  obs::FlightRecorderOptions options;
+  options.path = path;
+  Status st = obs::InstallFlightRecorder(options);
+  if (!st.ok()) {
+    if (!obs::kMetricsCompiledIn) {
+      std::fprintf(stderr,
+                   "[warn] --flight-recorder=%s ignored: metrics compiled "
+                   "out (ENSEMFDET_METRICS=OFF)\n",
+                   path.c_str());
+      return 0;
+    }
+    return FailWith(st);
+  }
+  std::fprintf(stderr, "[flight] black box -> %s\n", path.c_str());
+  return 0;
+}
+
 // Shared by detect/evaluate: assemble the ensemble config from flags.
 EnsemFDetConfig EnsembleFromFlags(Flags& flags) {
   EnsemFDetConfig config;
@@ -319,6 +365,11 @@ int CmdGenerate(Flags& flags) {
   const std::string preset_name = flags.GetString("preset", "dataset1");
   const double scale = flags.GetDouble("scale", 0.01);
   const uint64_t seed = flags.GetUint64("seed", 7);
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out =
+      flags.GetString("trace-out", "ensemfdet_trace.json");
+  const int fr = MaybeInstallFlightRecorder(flags);
+  if (fr != 0) return fr;
   flags.DieOnUnknown();
   if (out.empty()) {
     std::fprintf(stderr, "error: generate requires --out=FILE\n");
@@ -344,7 +395,7 @@ int CmdGenerate(Flags& flags) {
     if (!st.ok()) return FailWith(st);
     std::fprintf(stderr, "[generate] blacklist -> %s\n", labels_path.c_str());
   }
-  return 0;
+  return FinishObservability(metrics_out, trace_out);
 }
 
 // ---------------------------------------------------------------------------
@@ -443,8 +494,10 @@ int CmdDetect(Flags& flags) {
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_out =
       flags.GetString("trace-out", "ensemfdet_trace.json");
+  int rc = MaybeInstallFlightRecorder(flags);
+  if (rc != 0) return rc;
   GraphSnapshot snapshot;
-  int rc = LoadAndPublishGraph(flags, registry, &snapshot);
+  rc = LoadAndPublishGraph(flags, registry, &snapshot);
   if (rc == 0) rc = RunDetectJobs(flags, service, &run);
   // Only typo-check flags on the success path: after a failure, flags the
   // aborted stage never consumed would be misreported as unknown.
@@ -490,6 +543,11 @@ int CmdSaveGraph(Flags& flags) {
     std::fprintf(stderr, "error: save-graph requires --out=FILE.efg\n");
     return 2;
   }
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out =
+      flags.GetString("trace-out", "ensemfdet_trace.json");
+  const int fr = MaybeInstallFlightRecorder(flags);
+  if (fr != 0) return fr;
   GraphRegistry registry;
   GraphSnapshot snapshot;
   int rc = LoadAndPublishGraph(flags, registry, &snapshot);
@@ -517,7 +575,7 @@ int CmdSaveGraph(Flags& flags) {
                "(mmap round-trip verified)\n",
                out.c_str(), (long long)snapshot.graph->num_edges(),
                (unsigned long long)snapshot.fingerprint);
-  return 0;
+  return FinishObservability(metrics_out, trace_out);
 }
 
 // ---------------------------------------------------------------------------
@@ -538,6 +596,8 @@ int CmdEvaluate(Flags& flags) {
     std::fprintf(stderr, "error: evaluate requires --labels=FILE\n");
     return 2;
   }
+  int fr = MaybeInstallFlightRecorder(flags);
+  if (fr != 0) return fr;
 
   // Load the graph and validate the labels *before* detection: a bad
   // --labels path must not cost a full ensemble run.
@@ -758,6 +818,8 @@ int CmdStreamReplay(Flags& flags) {
       flags.GetInt("min-component-edges", 1);
   session.detector.ensemble = EnsembleFromFlags(flags);
   session.publish_name = register_name;
+  const int fr = MaybeInstallFlightRecorder(flags);
+  if (fr != 0) return fr;
   flags.DieOnUnknown();
 
   auto preset = ParsePreset(preset_name);
@@ -961,6 +1023,8 @@ int CmdMetricsDump(Flags& flags) {
       flags.GetString("trace-out", "ensemfdet_trace.json");
   std::string workdir = flags.GetString("workdir", "");
   ThreadPool* pool = PoolFromFlag(flags.GetInt("threads", 0));
+  const int fr = MaybeInstallFlightRecorder(flags);
+  if (fr != 0) return fr;
   flags.DieOnUnknown();
   if (workdir.empty()) {
     std::error_code ec;
@@ -1071,6 +1135,259 @@ int CmdMetricsDump(Flags& flags) {
 }
 
 // ---------------------------------------------------------------------------
+// trace-report: offline per-job latency attribution. Reads back the
+// artifacts the other commands emit — the --trace-out timeline (whose 'X'
+// events carry trace/span/parent ids), a --metrics-out JSON scrape (whose
+// histogram tail exemplars name a trace), and a --flight-recorder black
+// box — and answers "where did this job's latency go": per-stage
+// self-time rollups (span duration minus time covered by its children)
+// and the critical path root -> deepest-finishing leaf.
+// ---------------------------------------------------------------------------
+
+// Extracts "key" from one line of this binary's own exporters (both the
+// trace writer and the JSON metrics exporter emit one object per line, so
+// a line-scoped scan is exact for them; this is not a general JSON
+// parser). Handles both `"k":v` (trace) and `"k": v` (metrics) spacing.
+bool JsonRawField(const std::string& line, const std::string& key,
+                  std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return false;
+  if (line[pos] == '"') {
+    const size_t end = line.find('"', pos + 1);
+    if (end == std::string::npos) return false;
+    *out = line.substr(pos + 1, end - pos - 1);
+  } else {
+    size_t end = pos;
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+    *out = line.substr(pos, end - pos);
+  }
+  return true;
+}
+
+struct ReportSpan {
+  std::string name;
+  double ts = 0;   // microseconds, trace epoch
+  double dur = 0;
+  std::string trace;  // 32-hex trace id
+  uint64_t span = 0;
+  uint64_t parent = 0;
+};
+
+int CmdTraceReport(Flags& flags) {
+  const std::string trace_path = flags.GetString("trace", "");
+  const std::string metrics_path = flags.GetString("metrics", "");
+  const std::string flight_path = flags.GetString("flight", "");
+  const int top = flags.GetInt("top", 12);
+  flags.DieOnUnknown();
+  if (trace_path.empty() && metrics_path.empty() && flight_path.empty()) {
+    std::fprintf(stderr,
+                 "error: trace-report wants --trace=FILE and/or "
+                 "--metrics=FILE.json and/or --flight=FILE\n");
+    return 2;
+  }
+
+  std::vector<ReportSpan> spans;
+  std::map<std::string, std::vector<size_t>> by_trace;  // trace id -> spans
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path);
+    if (!in) return FailWith(Status::IOError("cannot open " + trace_path));
+    std::string line;
+    size_t flows = 0;
+    while (std::getline(in, line)) {
+      if (line.find("\"ph\":\"X\"") == std::string::npos) {
+        if (line.find("\"ph\":\"s\"") != std::string::npos ||
+            line.find("\"ph\":\"f\"") != std::string::npos) {
+          ++flows;
+        }
+        continue;
+      }
+      ReportSpan s;
+      std::string ts, dur, span_hex, parent_hex;
+      if (!JsonRawField(line, "name", &s.name) ||
+          !JsonRawField(line, "ts", &ts) ||
+          !JsonRawField(line, "dur", &dur) ||
+          !JsonRawField(line, "trace_id", &s.trace) ||
+          !JsonRawField(line, "span_id", &span_hex) ||
+          !JsonRawField(line, "parent_span_id", &parent_hex)) {
+        std::fprintf(stderr, "error: %s: X event without causal args: %s\n",
+                     trace_path.c_str(), line.c_str());
+        return 1;
+      }
+      s.ts = std::atof(ts.c_str());
+      s.dur = std::atof(dur.c_str());
+      s.span = std::strtoull(span_hex.c_str(), nullptr, 16);
+      s.parent = std::strtoull(parent_hex.c_str(), nullptr, 16);
+      by_trace[s.trace].push_back(spans.size());
+      spans.push_back(std::move(s));
+    }
+    std::fprintf(stderr,
+                 "[trace-report] %s: %zu spans in %zu trace(s), %zu flow "
+                 "endpoints\n",
+                 trace_path.c_str(), spans.size(), by_trace.size(),
+                 flows);
+
+    for (const auto& [trace_id, members] : by_trace) {
+      const ReportSpan* root = nullptr;
+      std::map<uint64_t, std::vector<const ReportSpan*>> children;
+      for (size_t i : members) {
+        const ReportSpan& s = spans[i];
+        if (s.parent == 0 && root == nullptr) root = &s;
+        if (s.parent != 0) children[s.parent].push_back(&s);
+      }
+      if (root == nullptr) continue;  // torn file; check_trace.py flags it
+
+      // Self time per stage: own duration minus the union of direct
+      // children's intervals (children overlap when they ran in parallel
+      // on the pool, so merge before subtracting).
+      struct Rollup {
+        double self_us = 0;
+        int64_t count = 0;
+      };
+      std::map<std::string, Rollup> rollups;
+      for (size_t i : members) {
+        const ReportSpan& s = spans[i];
+        std::vector<std::pair<double, double>> intervals;
+        auto it = children.find(s.span);
+        if (it != children.end()) {
+          for (const ReportSpan* c : it->second) {
+            const double lo = std::max(c->ts, s.ts);
+            const double hi = std::min(c->ts + c->dur, s.ts + s.dur);
+            if (hi > lo) intervals.emplace_back(lo, hi);
+          }
+        }
+        std::sort(intervals.begin(), intervals.end());
+        double covered = 0, end = -1;
+        for (const auto& [lo, hi] : intervals) {
+          if (lo > end) {
+            covered += hi - lo;
+            end = hi;
+          } else if (hi > end) {
+            covered += hi - end;
+            end = hi;
+          }
+        }
+        Rollup& r = rollups[s.name];
+        r.self_us += std::max(0.0, s.dur - covered);
+        r.count += 1;
+      }
+
+      std::printf("trace %s  root=%s  total=%.3fms  spans=%zu\n",
+                  trace_id.c_str(), root->name.c_str(), root->dur / 1e3,
+                  members.size());
+      std::vector<std::pair<std::string, Rollup>> ranked(rollups.begin(),
+                                                         rollups.end());
+      std::sort(ranked.begin(), ranked.end(), [](const auto& a,
+                                                 const auto& b) {
+        return a.second.self_us > b.second.self_us;
+      });
+      std::printf("  %-28s %6s %12s %6s\n", "stage", "count", "self_ms",
+                  "%root");
+      for (size_t i = 0; i < ranked.size() && i < (size_t)top; ++i) {
+        const auto& [name, r] = ranked[i];
+        std::printf("  %-28s %6lld %12.3f %5.1f%%\n", name.c_str(),
+                    (long long)r.count, r.self_us / 1e3,
+                    root->dur > 0 ? 100.0 * r.self_us / root->dur : 0.0);
+      }
+      // Critical path: descend into the child that finishes last — the
+      // chain that bounded this job's wall clock.
+      std::printf("  critical path:");
+      const ReportSpan* node = root;
+      for (;;) {
+        std::printf(" %s(%.3fms)", node->name.c_str(), node->dur / 1e3);
+        auto it = children.find(node->span);
+        if (it == children.end()) break;
+        const ReportSpan* last = nullptr;
+        for (const ReportSpan* c : it->second) {
+          if (last == nullptr || c->ts + c->dur > last->ts + last->dur) {
+            last = c;
+          }
+        }
+        node = last;
+        std::printf(" ->");
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    // Join histogram tail exemplars to their span trees: a p999 outlier
+    // in the scrape names the exact trace to open in the timeline.
+    std::ifstream in(metrics_path);
+    if (!in) return FailWith(Status::IOError("cannot open " + metrics_path));
+    std::string line;
+    size_t exemplars = 0;
+    while (std::getline(in, line)) {
+      const size_t pos = line.find("\"exemplar\":");
+      if (pos == std::string::npos) continue;
+      std::string name, trace_id, span_id;
+      JsonRawField(line, "name", &name);
+      const std::string tail = line.substr(pos);
+      std::string value;
+      JsonRawField(tail, "value", &value);
+      JsonRawField(tail, "trace_id", &trace_id);
+      JsonRawField(tail, "span_id", &span_id);
+      ++exemplars;
+      const bool in_trace = by_trace.count(trace_id) > 0;
+      std::printf("exemplar %-40s max=%ss trace=%s span=%s%s\n",
+                  name.c_str(), value.c_str(), trace_id.c_str(),
+                  span_id.c_str(),
+                  trace_path.empty()
+                      ? ""
+                      : (in_trace ? "  [in trace]" : "  [not in trace]"));
+    }
+    std::fprintf(stderr, "[trace-report] %s: %zu histogram exemplar(s)\n",
+                 metrics_path.c_str(), exemplars);
+  }
+
+  if (!flight_path.empty()) {
+    auto dump = obs::ReadFlightDump(flight_path);
+    if (!dump.ok()) return FailWith(dump.status());
+    size_t records = 0;
+    std::map<std::string, std::pair<int64_t, int64_t>> per_name;
+    for (const obs::FlightDumpThread& t : dump->threads) {
+      records += t.records.size();
+      for (const obs::FlightRecord& r : t.records) {
+        auto& acc = per_name[dump->Name(r.name_id)];
+        acc.first += 1;
+        acc.second += r.duration_ns;
+      }
+    }
+    std::printf("flight %s: %zu thread(s), %zu retained record(s), "
+                "dropped=%llu\n",
+                flight_path.c_str(), dump->threads.size(), records,
+                (unsigned long long)dump->dropped_records);
+    if (dump->crash_signal != 0 || !dump->crash_reason.empty() ||
+        dump->has_footer) {
+      std::printf("  crash: signal=%d reason=%s%s\n",
+                  dump->crash_signal != 0 ? dump->crash_signal
+                                          : dump->footer_signal,
+                  !dump->crash_reason.empty() ? dump->crash_reason.c_str()
+                                              : dump->footer_reason.c_str(),
+                  dump->has_footer ? " (footer present)" : "");
+    } else {
+      std::printf("  crash: none marked (clean exit or SIGKILL)\n");
+    }
+    std::printf("  %-28s %6s %12s\n", "span", "count", "total_ms");
+    std::vector<std::pair<std::string, std::pair<int64_t, int64_t>>> ranked(
+        per_name.begin(), per_name.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a,
+                                               const auto& b) {
+      return a.second.second > b.second.second;
+    });
+    for (size_t i = 0; i < ranked.size() && i < (size_t)top; ++i) {
+      std::printf("  %-28s %6lld %12.3f\n", ranked[i].first.c_str(),
+                  (long long)ranked[i].second.first,
+                  ranked[i].second.second / 1e6);
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // bench-report: emit the BENCH_peeling.json / BENCH_ensemble.json perf
 // baselines (bench/README.md documents the schema; CI validates and
 // uploads them). The measurements live in bench/perf_harness.cc so the
@@ -1093,6 +1410,9 @@ int CmdBenchReport(Flags& flags) {
   ensemble.num_samples = flags.GetInt("n", 16);
   ensemble.ratio = flags.GetDouble("s", 0.1);
   ensemble.threads = flags.GetInt("threads", 0);
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out =
+      flags.GetString("trace-out", "ensemfdet_trace.json");
   flags.DieOnUnknown();
 
   // Create the destination up front: an unwritable --out-dir must fail
@@ -1181,17 +1501,19 @@ int CmdBenchReport(Flags& flags) {
   std::fprintf(stderr,
                "[bench-report] observability overhead: %.3g%% metrics-on vs "
                "metrics-off (budget 2%%; counter %.3g ns/inc, histogram "
-               "%.3g ns/rec, report parity verified)\n",
+               "%.3g ns/rec, span+flight %.3g ns/span, report parity "
+               "verified)\n",
                100.0 * obs_summary.overhead_fraction,
                obs_summary.counter_ns_per_increment,
-               obs_summary.histogram_ns_per_record);
+               obs_summary.histogram_ns_per_record,
+               obs_summary.span_ns_per_record);
   std::fprintf(stderr,
                "[bench-report] wal acked events/s: %.0f none, %.0f batch, "
                "%.0f always (replay parity verified)\n",
                wal_summary.acked_events_per_second_none,
                wal_summary.acked_events_per_second_batch,
                wal_summary.acked_events_per_second_always);
-  return 0;
+  return FinishObservability(metrics_out, trace_out);
 }
 
 }  // namespace
@@ -1208,6 +1530,7 @@ int main(int argc, char** argv) {
   if (command == "bench-smoke") return CmdBenchSmoke(flags);
   if (command == "bench-report") return CmdBenchReport(flags);
   if (command == "metrics-dump") return CmdMetricsDump(flags);
+  if (command == "trace-report") return CmdTraceReport(flags);
   if (command == "help" || command == "--help") return Usage();
   std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   return Usage();
