@@ -53,8 +53,11 @@ struct EnsembleBenchSummary {
   /// reference) on the same preset/pool — the PR acceptance headline.
   double zero_materialization_speedup = 0.0;
   double members_per_second = 0.0;
-  /// seconds_min(1 thread) ÷ seconds_min(4-thread pool).
+  /// seconds_min(1 thread) ÷ seconds_min(wide pool), where the wide pool
+  /// is clamped to the runner's hardware threads (parallel_wide_threads).
   double parallel_speedup = 0.0;
+  /// Resolved width of the wide scaling arm (== hardware threads).
+  int parallel_wide_threads = 0;
   /// Arena buffer growths summed over a full post-warm-up run (0 when the
   /// per-worker arenas are reused perfectly), and the same per member.
   int64_t arena_grow_events = 0;
@@ -225,12 +228,15 @@ Result<std::string> RunObsBench(const ObsBenchOptions& options,
                                 ObsBenchSummary* summary = nullptr);
 
 /// Runs the ensemble bench and returns the BENCH_ensemble.json document
-/// (schema_version 2): zero-materialization hot path on the configured
-/// pool / 1 thread / a 4-wide pool, plus the materializing reference path,
-/// with detected hardware threads, arena-reuse stats, and a vote-parity
-/// block. Fails with Internal — refusing to emit — if the two paths'
-/// votes, weighted votes, or member stats differ. When `summary` is
-/// non-null it receives the headline numbers.
+/// (schema_version 3): zero-materialization hot path on the configured
+/// pool, member-throughput scaling rows at 1/2/4/all-hardware threads
+/// (the wide arm clamped to the runner's true core count and its
+/// resolved width recorded), the materializing reference path, per-ISA
+/// SIMD kernel rows, and a dispatch block (CPU / detected / active ISA
+/// level). Fails with Internal — refusing to emit — if the hot path
+/// diverges from the reference, OR if votes are not identical across
+/// every runnable SIMD dispatch level, OR across every timed pool width.
+/// When `summary` is non-null it receives the headline numbers.
 Result<std::string> RunEnsembleBench(const EnsembleBenchOptions& options,
                                      EnsembleBenchSummary* summary = nullptr);
 

@@ -55,6 +55,24 @@ class ThreadPool {
   void ParallelFor(int64_t begin, int64_t end,
                    const std::function<void(int64_t)>& fn);
 
+  /// ParallelFor with work stealing: each participant (the caller plus up
+  /// to num_threads() pool helpers) owns a deque seeded with a contiguous
+  /// slice of [begin, end); owners claim items off their own front, and a
+  /// participant that runs dry steals the upper half of a victim's back
+  /// range. Use instead of ParallelFor when per-item cost is heavy and
+  /// skewed (ensemble members, residual components): a static split
+  /// strands the tail of a skewed distribution on one worker, stealing
+  /// rebalances it. Same contract otherwise: caller participates (safe to
+  /// call from a worker), blocks until all items complete, first failing
+  /// item's exception rethrown on the calling thread. Helpers ride the
+  /// normal Enqueue path, so the causal-trace shape is identical to
+  /// ParallelFor's at every width (detached pool_task wrappers only).
+  /// Deterministic outputs are the caller's job, exactly as with
+  /// ParallelFor: fn(i) must depend only on i, never on which thread or
+  /// in which order items run.
+  void ParallelForWorkStealing(int64_t begin, int64_t end,
+                               const std::function<void(int64_t)>& fn);
+
   /// Blocks until every task enqueued so far has finished.
   void WaitIdle();
 

@@ -1,0 +1,19 @@
+#include "detect/simd/kernels.h"
+
+namespace ensemfdet {
+namespace simd {
+
+const KernelTable& KernelsFor(IsaLevel level) {
+  if (level >= IsaLevel::kAvx512) {
+    if (const KernelTable* t = Avx512KernelsOrNull()) return *t;
+  }
+  if (level >= IsaLevel::kAvx2) {
+    if (const KernelTable* t = Avx2KernelsOrNull()) return *t;
+  }
+  return ScalarKernels();
+}
+
+const KernelTable& ActiveKernels() { return KernelsFor(ActiveIsaLevel()); }
+
+}  // namespace simd
+}  // namespace ensemfdet

@@ -1,0 +1,136 @@
+#include "detect/simd/isa.h"
+
+#include <atomic>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "detect/simd/kernels.h"
+
+namespace ensemfdet {
+namespace simd {
+
+namespace {
+
+// The build ceiling: the highest level whose kernel TU actually compiled
+// with target support on this toolchain.
+IsaLevel BuiltIsaLevel() {
+  if (Avx512KernelsOrNull() != nullptr) return IsaLevel::kAvx512;
+  if (Avx2KernelsOrNull() != nullptr) return IsaLevel::kAvx2;
+  return IsaLevel::kScalar;
+}
+
+struct StartupResolution {
+  int level;
+  bool forced_by_env;
+};
+
+// Resolved once, on first use: min(detected, FORCE_ISA if valid).
+const StartupResolution& Startup() {
+  static const StartupResolution startup = [] {
+    StartupResolution r{static_cast<int>(DetectedIsaLevel()), false};
+    const std::string forced = GetEnvString("ENSEMFDET_FORCE_ISA", "");
+    if (forced.empty()) return r;
+    IsaLevel requested;
+    if (!ParseIsaLevel(forced, &requested)) {
+      ENSEMFDET_LOG(Warning)
+          << "ENSEMFDET_FORCE_ISA='" << forced
+          << "' is not scalar|avx2|avx512 - ignoring, dispatching "
+          << IsaLevelName(DetectedIsaLevel());
+      return r;
+    }
+    r.forced_by_env = true;
+    if (requested > DetectedIsaLevel()) {
+      // Clamp instead of SIGILLing later: CI jobs that force upward guard
+      // with a CPUID check step and skip; a clamped run must still be
+      // visible as such (isa-report, the bench dispatch block).
+      ENSEMFDET_LOG(Warning)
+          << "ENSEMFDET_FORCE_ISA=" << IsaLevelName(requested)
+          << " exceeds what this CPU/build supports ("
+          << IsaLevelName(DetectedIsaLevel()) << ") - clamping";
+      return r;
+    }
+    r.level = static_cast<int>(requested);
+    return r;
+  }();
+  return startup;
+}
+
+// What ScopedIsaLevel / SetActiveIsaLevel move afterwards.
+std::atomic<int>& ActiveLevelCell() {
+  static std::atomic<int> level{Startup().level};
+  return level;
+}
+
+}  // namespace
+
+const char* IsaLevelName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseIsaLevel(std::string_view name, IsaLevel* out) {
+  if (name == "scalar") {
+    *out = IsaLevel::kScalar;
+  } else if (name == "avx2") {
+    *out = IsaLevel::kAvx2;
+  } else if (name == "avx512") {
+    *out = IsaLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+IsaLevel CpuIsaLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The F/BW/DQ/VL quartet is what the AVX-512 kernels use (byte-mask
+  // tests, 256/512 mixing); treat anything less as AVX2-class.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return IsaLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return IsaLevel::kAvx2;
+#endif
+  return IsaLevel::kScalar;
+}
+
+IsaLevel DetectedIsaLevel() {
+  static const IsaLevel detected = [] {
+    const IsaLevel cpu = CpuIsaLevel();
+    const IsaLevel built = BuiltIsaLevel();
+    return cpu < built ? cpu : built;
+  }();
+  return detected;
+}
+
+IsaLevel ActiveIsaLevel() {
+  return static_cast<IsaLevel>(
+      ActiveLevelCell().load(std::memory_order_relaxed));
+}
+
+bool SetActiveIsaLevel(IsaLevel level) {
+  if (level > DetectedIsaLevel()) return false;
+  ActiveLevelCell().store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+bool IsaForcedByEnv() { return Startup().forced_by_env; }
+
+ScopedIsaLevel::ScopedIsaLevel(IsaLevel level)
+    : prev_(ActiveIsaLevel()), ok_(SetActiveIsaLevel(level)) {}
+
+ScopedIsaLevel::~ScopedIsaLevel() {
+  if (ok_) SetActiveIsaLevel(prev_);
+}
+
+}  // namespace simd
+}  // namespace ensemfdet

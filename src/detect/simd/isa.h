@@ -1,0 +1,83 @@
+// Runtime ISA selection for the SIMD peeling kernels (detect/simd/).
+//
+// Three levels exist: a scalar referee (always built, always correct —
+// every other level is tested against it), an AVX2 level, and an
+// AVX-512 level. Which level actually runs is decided once at startup
+// from three inputs, and the decision is the *minimum* of all three:
+//
+//   1. what the CPU reports (CPUID, via __builtin_cpu_supports),
+//   2. what this binary was built with (a toolchain without -mavx2 /
+//      -mavx512f support compiles the corresponding kernel TU empty),
+//   3. what ENSEMFDET_FORCE_ISA requests (`scalar` | `avx2` | `avx512`).
+//
+// The FORCE_ISA contract (DESIGN.md §"SIMD kernels & dispatch"): forcing
+// *down* (e.g. `scalar` on an AVX-512 machine) is always honored — this
+// is how the CI matrix proves every dispatch path on whatever runner it
+// lands on. Forcing *up* past what the CPU or build supports is clamped
+// with a warning rather than crashing on SIGILL; CI jobs that force AVX2
+// therefore guard with a CPUID check step (`ensemfdet_cli isa-report`)
+// and skip cleanly on incapable runners instead of passing vacuously.
+//
+// Tests and benches can move the active level at runtime (within the
+// detected/built ceiling) via SetActiveIsaLevel / ScopedIsaLevel, which
+// is what lets one process cross-check every kernel on every available
+// level and gate vote-identity between dispatch levels.
+#ifndef ENSEMFDET_DETECT_SIMD_ISA_H_
+#define ENSEMFDET_DETECT_SIMD_ISA_H_
+
+#include <string_view>
+
+namespace ensemfdet {
+namespace simd {
+
+enum class IsaLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// "scalar" / "avx2" / "avx512".
+const char* IsaLevelName(IsaLevel level);
+
+/// Parses an ENSEMFDET_FORCE_ISA value; false on anything unknown.
+bool ParseIsaLevel(std::string_view name, IsaLevel* out);
+
+/// Highest level this CPU supports (CPUID), regardless of what was built.
+IsaLevel CpuIsaLevel();
+
+/// Highest level that can actually run: min(CPU support, kernels compiled
+/// into this binary). The dispatch ceiling.
+IsaLevel DetectedIsaLevel();
+
+/// The level the dispatcher currently hands out. Resolved once at first
+/// use as min(DetectedIsaLevel, ENSEMFDET_FORCE_ISA if set and valid);
+/// movable afterwards via SetActiveIsaLevel.
+IsaLevel ActiveIsaLevel();
+
+/// Moves the active level (tests/benches). Returns false — leaving the
+/// active level unchanged — when `level` exceeds DetectedIsaLevel().
+bool SetActiveIsaLevel(IsaLevel level);
+
+/// True when ENSEMFDET_FORCE_ISA was set to a parseable level at startup.
+bool IsaForcedByEnv();
+
+/// RAII active-level override for tests and the per-ISA bench rows.
+/// `ok()` is false (and the level is untouched) if the request exceeded
+/// the detected ceiling.
+class ScopedIsaLevel {
+ public:
+  explicit ScopedIsaLevel(IsaLevel level);
+  ~ScopedIsaLevel();
+  ScopedIsaLevel(const ScopedIsaLevel&) = delete;
+  ScopedIsaLevel& operator=(const ScopedIsaLevel&) = delete;
+  bool ok() const { return ok_; }
+
+ private:
+  IsaLevel prev_;
+  bool ok_;
+};
+
+}  // namespace simd
+}  // namespace ensemfdet
+
+#endif  // ENSEMFDET_DETECT_SIMD_ISA_H_

@@ -119,11 +119,13 @@ Result<std::unique_ptr<Sampler>> ValidatedSampler(
 }
 
 // Pool-vs-serial member dispatch shared by every entry point; outputs are
-// indexed by member, so results are identical at any pool width.
+// indexed by member, so results are identical at any pool width. Member
+// costs are skewed (sampled residuals differ wildly in size), so wide
+// pools use the work-stealing split rather than the static one.
 template <typename Fn>
 void ForEachMember(int n, ThreadPool* pool, const Fn& run_one) {
   if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
-    pool->ParallelFor(0, n, run_one);
+    pool->ParallelForWorkStealing(0, n, run_one);
   } else {
     for (int64_t i = 0; i < n; ++i) run_one(i);
   }

@@ -19,7 +19,15 @@ Checks, per document (schema: bench/README.md):
       - ensemble: members_per_second normalized by the same run's
         materializing-reference throughput must stay within
         --ensemble-tolerance of the baseline's normalized ratio (the
-        in-file reference cancels out runner speed),
+        in-file reference cancels out runner speed); both documents must
+        name a real SIMD dispatch level (a missing or 'unknown'
+        dispatch.detected/active means the producer lost runtime
+        dispatch); and on runners with >= 4 hardware threads the
+        scaling row at the full hardware-thread width must deliver
+        >= --scaling-floor x the 1-thread row's members_per_second
+        (self-normalized: both rows are timed in the same process, so
+        the gate is runner-independent and skips itself on narrow
+        machines where the wide arm IS the 1-thread arm),
       - stream: incremental speedup >= --stream-floor (hard) and within
         --stream-tolerance of the baseline (self-normalized by
         construction: both replays are timed in the same process),
@@ -43,7 +51,7 @@ import sys
 
 EXPECTED_SCHEMA = {
     "BENCH_peeling.json": 1,
-    "BENCH_ensemble.json": 2,
+    "BENCH_ensemble.json": 3,
     "BENCH_stream.json": 1,
     "BENCH_storage.json": 1,
     "BENCH_obs.json": 1,
@@ -88,9 +96,48 @@ def validate_envelope(name, doc, schema):
             check(value, f"{name}: parity check '{key}' is false")
 
 
-def check_ensemble(fresh, baseline, tolerance):
+def check_ensemble_dispatch(name, doc):
+    # A schema-3 document must name the ISA level it actually ran at:
+    # a missing or 'unknown' level means the producer lost runtime
+    # dispatch (or the file predates it), and every per-ISA comparison
+    # downstream would silently be scalar-vs-scalar.
+    dispatch = doc.get("dispatch", {})
+    for key in ("detected", "active"):
+        level = dispatch.get(key)
+        check(level not in (None, "", "unknown"),
+              f"{name}: dispatch.{key} missing or 'unknown' — the producer "
+              f"does not know what ISA level it ran at")
+
+
+def check_ensemble_scaling(fresh, floor):
+    # Self-normalized multi-core gate: on a runner with >= 4 hardware
+    # threads the full-width scaling row must deliver >= floor x the
+    # 1-thread row's members_per_second. Both rows come from the same
+    # process on the same graph, so runner speed cancels out; on narrow
+    # machines (hardware_threads < 4) the wide arm measures nothing but
+    # oversubscription, so the gate skips itself.
+    hw = fresh["config"]["hardware_threads"]
+    if hw < 4:
+        return f"scaling gate skipped ({hw} hw threads)"
+    rows = {row["threads"]: row["members_per_second"]
+            for row in fresh["scaling"]}
+    check(1 in rows, "ensemble: scaling has no 1-thread row")
+    check(hw in rows,
+          f"ensemble: scaling has no row at hardware width {hw}")
+    ratio = rows[hw] / rows[1]
+    check(ratio >= floor,
+          f"ensemble stopped scaling: {ratio:.2f}x members/s at {hw} "
+          f"threads vs 1 thread (floor {floor}x) — the work-stealing "
+          f"scheduler is not spreading members/components")
+    return f"{ratio:.2f}x scaling at {hw} threads"
+
+
+def check_ensemble(fresh, baseline, tolerance, scaling_floor):
     check(baseline["graph"]["scale"] == fresh["graph"]["scale"],
           "ensemble: baseline/CI scale mismatch - comparison meaningless")
+    check_ensemble_dispatch("fresh BENCH_ensemble.json", fresh)
+    check_ensemble_dispatch("baseline BENCH_ensemble.json", baseline)
+    scaling_note = check_ensemble_scaling(fresh, scaling_floor)
     # Normalize by the materializing-reference throughput measured in the
     # same run: the reference is the in-file speed ruler, so the
     # comparison cancels out how fast this machine happens to be and only
@@ -107,7 +154,8 @@ def check_ensemble(fresh, baseline, tolerance):
           f"(>{100 * (1 - tolerance):.0f}% drop)")
     return (f"ensemble {fresh['throughput']['members_per_second']:.0f} "
             f"members/s = {fresh_ratio:.2f}x ref "
-            f"(baseline {committed_ratio:.2f}x)")
+            f"(baseline {committed_ratio:.2f}x) "
+            f"[{fresh['dispatch']['active']}] {scaling_note}")
 
 
 def check_stream(fresh, baseline, floor, tolerance):
@@ -194,6 +242,10 @@ def main():
     parser.add_argument("--ensemble-tolerance", type=float, default=0.8,
                         help="min fresh/committed normalized-throughput "
                              "ratio (default 0.8 = 20%% drop allowed)")
+    parser.add_argument("--scaling-floor", type=float, default=1.6,
+                        help="min members_per_second(hardware threads) / "
+                             "members_per_second(1 thread) when the runner "
+                             "has >= 4 hardware threads")
     parser.add_argument("--stream-floor", type=float, default=1.5,
                         help="hard minimum incremental speedup")
     parser.add_argument("--stream-tolerance", type=float, default=0.75,
@@ -218,7 +270,8 @@ def main():
             if name == "BENCH_ensemble.json":
                 baseline = load(f"{args.baseline_dir}/{name}")
                 summaries.append(check_ensemble(fresh, baseline,
-                                                args.ensemble_tolerance))
+                                                args.ensemble_tolerance,
+                                                args.scaling_floor))
             elif name == "BENCH_stream.json":
                 baseline = load(f"{args.baseline_dir}/{name}")
                 summaries.append(check_stream(fresh, baseline,
